@@ -1,0 +1,133 @@
+"""Ablation benches for the design choices called out in DESIGN.md §6.
+
+Each bench regenerates one ablation's data series and prints it (visible
+with ``pytest -s``):
+
+* **layers** — the multi-stage computation with L=1 (== the coarse-grain
+  workflow: no overlap possible) vs increasing L, showing where the
+  overlap benefit comes from and that it saturates;
+* **epsilon** — sensitivity of Algorithm 2's economic choice to ε: a
+  stingier threshold spends fewer I/O processors for nearly the same
+  modelled runtime;
+* **disk granularity** — per-request vs per-seek disk events: identical
+  simulated times (the folding is exact), very different simulation cost;
+* **tuning objective** — paper-verbatim Eq. (10) vs the overlap-feasible
+  pipelined objective: identical in the compute-bound regime, the
+  pipelined one avoids comm-bound configurations at extreme budgets.
+"""
+
+import pytest
+
+from repro.cluster import MachineSpec
+from repro.filters import PerfScenario, simulate_penkf, simulate_senkf
+from repro.tuning import autotune
+
+
+def scenario():
+    return PerfScenario.small()
+
+
+def spec():
+    return MachineSpec.small_cluster()
+
+
+def test_ablation_layers(benchmark):
+    """L sweep at fixed processors: L=1 has zero overlap; larger L hides
+    more I/O until the exposed first stage stops shrinking."""
+
+    def run():
+        rows = []
+        for n_layers in (1, 2, 3, 5, 6, 10, 15, 30):
+            report = simulate_senkf(
+                spec(), scenario(), n_sdx=60, n_sdy=6, n_layers=n_layers,
+                n_cg=6,
+            )
+            rows.append(
+                (n_layers, report.total_time, report.overlap_fraction())
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n  L   total(s)   overlap%")
+    for n_layers, total, ovl in rows:
+        print(f"{n_layers:3d}   {total:8.4f}   {100 * ovl:7.1f}")
+    totals = [t for _, t, _ in rows]
+    # Multi-stage must beat single-stage, and the gain must come early.
+    assert min(totals[1:]) < totals[0]
+    assert totals[0] - min(totals) > 0.3 * (totals[0] - totals[-1])
+
+
+def test_ablation_epsilon(benchmark):
+    """ε sweep: the economic rule trades I/O processors for runtime."""
+
+    def run():
+        params = scenario().cost_params(spec())
+        rows = []
+        for epsilon in (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1):
+            res = autotune(params, n_p=720, epsilon=epsilon,
+                           objective="pipelined")
+            rows.append((epsilon, res.c1, res.c2, res.t_total))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n  epsilon      C1    C2   modelled total(s)")
+    for eps, c1, c2, total in rows:
+        print(f"  {eps:8.0e}  {c1:5d}  {c2:4d}   {total:10.4f}")
+    c1s = [c1 for _, c1, _, _ in rows]
+    totals = [t for *_, t in rows]
+    # Stingier epsilon never spends more I/O processors...
+    assert all(a >= b for a, b in zip(c1s, c1s[1:]))
+    # ...and the modelled runtime degrades only gradually.
+    assert max(totals) <= 2.5 * min(totals)
+
+
+def test_ablation_disk_granularity(benchmark):
+    """Per-request vs per-seek disk events: identical makespans."""
+
+    def run():
+        scen = scenario().with_(n_members=8)
+        request = simulate_penkf(
+            spec().with_(disk_granularity="request"), scen, n_sdx=24, n_sdy=10
+        )
+        per_seek = simulate_penkf(
+            spec().with_(disk_granularity="per_seek"), scen, n_sdx=24, n_sdy=10
+        )
+        return request.total_time, per_seek.total_time
+
+    t_request, t_per_seek = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n  request-granular: {t_request:.4f}s  "
+          f"per-seek: {t_per_seek:.4f}s")
+    # Identical physics; sub-percent drift comes from floating-point
+    # timestamps reshuffling FIFO grant order among simultaneous requests.
+    assert t_request == pytest.approx(t_per_seek, rel=1e-2)
+
+
+def test_ablation_tuning_objective(benchmark):
+    """Paper Eq. (10) vs pipelined objective across budgets."""
+
+    def run():
+        params = scenario().cost_params(spec())
+        rows = []
+        for n_p in (240, 480, 720, 1200):
+            paper = autotune(params, n_p=n_p, epsilon=1e-3, objective="paper")
+            piped = autotune(params, n_p=n_p, epsilon=1e-3,
+                             objective="pipelined")
+            rows.append((n_p, paper.choice, piped.choice))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n   n_p   paper (sdx,sdy,L,cg)    pipelined (sdx,sdy,L,cg)")
+    for n_p, a, b in rows:
+        print(f"  {n_p:5d}   ({a.n_sdx},{a.n_sdy},{a.n_layers},{a.n_cg})"
+              f"{'':12s}({b.n_sdx},{b.n_sdy},{b.n_layers},{b.n_cg})")
+    # The pipelined objective never chooses a configuration whose
+    # per-stage comm/read exceeds its per-stage compute.
+    from repro.costmodel.model import t_comm, t_comp, t_read
+
+    params = scenario().cost_params(spec())
+    for _, _, choice in rows:
+        comp = t_comp(params, choice.n_sdx, choice.n_sdy, choice.n_layers)
+        comm = t_comm(params, choice.n_sdx, choice.n_sdy, choice.n_layers,
+                      choice.n_cg)
+        read = t_read(params, choice.n_sdy, choice.n_layers, choice.n_cg)
+        assert comp >= 0.99 * max(comm, read) or choice.n_layers == 1

@@ -1,0 +1,106 @@
+"""Microbenchmarks of the numerical kernels and substrates.
+
+Not figures from the paper — these track the cost of the building blocks
+(local analysis, modified Cholesky, global analysis, the DES engine, the
+auto-tuner) so performance regressions in the library itself are visible.
+"""
+
+import numpy as np
+
+from repro.core import (
+    Decomposition,
+    Grid,
+    ObservationNetwork,
+    analysis_gain_form,
+    local_analysis,
+    perturb_observations,
+)
+from repro.core.cholesky import modified_cholesky_inverse
+from repro.models import correlated_ensemble
+from repro.sim import Environment
+from repro.tuning import autotune
+
+
+def _setup_local(n_x=32, n_y=16, n_members=20, m=80, seed=0):
+    grid = Grid(n_x=n_x, n_y=n_y, dx_km=1.0, dy_km=1.0)
+    rng = np.random.default_rng(seed)
+    states = correlated_ensemble(grid, n_members, length_scale_km=4.0, rng=rng)
+    net = ObservationNetwork.random(grid, m=m, obs_error_std=0.3, rng=rng)
+    y = rng.normal(size=net.m)
+    ys = perturb_observations(y, net.obs_error_std, n_members, rng=rng)
+    decomp = Decomposition(grid, n_sdx=4, n_sdy=2, xi=3, eta=3)
+    return grid, states, net, ys, decomp
+
+
+def test_local_analysis(benchmark):
+    """One sub-domain local analysis (Eq. 6) with modified Cholesky."""
+    grid, states, net, ys, decomp = _setup_local()
+    sd = decomp.subdomain(1, 1)
+    exp = states[sd.expansion_flat]
+    benchmark(local_analysis, sd, exp, net, ys, 2.0)
+
+
+def test_modified_cholesky(benchmark):
+    """B̂⁻¹ estimation on a 200-point local ensemble."""
+    grid, states, net, ys, decomp = _setup_local()
+    sd = decomp.subdomain(1, 1)
+    exp = states[sd.expansion_flat]
+    ix, iy = sd.expansion_coords
+    benchmark(modified_cholesky_inverse, exp, grid, ix, iy, 2.0)
+
+
+def test_global_gain_form(benchmark):
+    """Global stochastic analysis (Eq. 3) on a 512-point state."""
+    grid, states, net, ys, _ = _setup_local()
+    r_diag = np.full(net.m, net.obs_error_std**2)
+    benchmark(analysis_gain_form, states, net.operator, r_diag, ys)
+
+
+def test_des_engine_throughput(benchmark):
+    """DES kernel: 10k processes x 10 timeouts (event-loop speed)."""
+
+    def run():
+        env = Environment()
+
+        def proc(env):
+            for _ in range(10):
+                yield env.timeout(1.0)
+
+        for _ in range(10_000):
+            env.process(proc(env))
+        env.run()
+        return env.now
+
+    assert benchmark(run) == 10.0
+
+
+def test_autotuner_paper_scale(benchmark):
+    """Algorithm 2 over a 12,000-processor budget at paper scale."""
+    from repro.filters import PerfScenario
+    from repro.cluster import MachineSpec
+
+    params = PerfScenario.paper().cost_params(MachineSpec.tianhe2())
+    result = benchmark(autotune, params, 12000, 1e-5)
+    assert result is not None
+
+
+def test_local_analysis_sparse_solver(benchmark):
+    """Sparse-LU local analysis on a larger expansion (vs dense above)."""
+    grid, states, net, ys, _ = _setup_local(n_x=64, n_y=32, m=200)
+    from repro.core import Decomposition
+
+    decomp = Decomposition(grid, n_sdx=2, n_sdy=1, xi=4, eta=4)
+    sd = decomp.subdomain(0, 0)
+    exp = states[sd.expansion_flat]
+    benchmark(local_analysis, sd, exp, net, ys, 2.0, None, 1e-8, True)
+
+
+def test_local_analysis_dense_large(benchmark):
+    """Dense local analysis on the same large expansion (comparison)."""
+    grid, states, net, ys, _ = _setup_local(n_x=64, n_y=32, m=200)
+    from repro.core import Decomposition
+
+    decomp = Decomposition(grid, n_sdx=2, n_sdy=1, xi=4, eta=4)
+    sd = decomp.subdomain(0, 0)
+    exp = states[sd.expansion_flat]
+    benchmark(local_analysis, sd, exp, net, ys, 2.0)

@@ -1,0 +1,55 @@
+"""Quickstart: assimilate observations of a chaotic system with the EnKF.
+
+A 40-variable Lorenz-96 twin experiment: a hidden truth runs forward, we
+observe half its components with noise every few steps, and a 24-member
+stochastic EnKF keeps the ensemble locked onto the hidden trajectory —
+while an identical model run *without* assimilation drifts off to
+climatological error.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import Grid, ObservationNetwork, inflate
+from repro.filters import SerialEnKF
+from repro.models import Lorenz96, TwinExperiment
+
+
+def main() -> None:
+    model = Lorenz96(n=40, dt=0.05)
+    # The repo's observation networks live on 2-D grids; a 1-D problem is
+    # just an (n_x, 1) mesh.
+    grid = Grid(n_x=40, n_y=1)
+    network = ObservationNetwork.regular(
+        grid, every_x=2, every_y=1, obs_error_std=1.0
+    )
+    enkf = SerialEnKF(network, inflation=1.05)
+
+    def assimilate(states, y, rng):
+        return enkf.assimilate(states, y, rng=rng)
+
+    rng = np.random.default_rng(42)
+    truth0 = model.spun_up_state(rng=rng)
+    ensemble0 = truth0[:, None] + rng.normal(0, 3.0, size=(40, 24))
+
+    twin = TwinExperiment(model, network, assimilate, steps_per_cycle=2)
+    result = twin.run(truth0, ensemble0, n_cycles=50)
+
+    print("cycle   background-RMSE   analysis-RMSE   free-run-RMSE   spread")
+    for k in range(0, result.n_cycles, 5):
+        print(
+            f"{k + 1:5d}   {result.background_rmse[k]:15.3f}   "
+            f"{result.analysis_rmse[k]:13.3f}   {result.free_rmse[k]:13.3f}   "
+            f"{result.spread[k]:6.3f}"
+        )
+    mean_an = result.mean_analysis_rmse(skip=10)
+    mean_free = float(np.mean(result.free_rmse[10:]))
+    print(f"\nmean analysis RMSE (after spin-up): {mean_an:.3f}")
+    print(f"mean free-run RMSE  (after spin-up): {mean_free:.3f}")
+    print(f"=> assimilation reduces error {mean_free / mean_an:.1f}x")
+    assert mean_an < 0.5 * mean_free, "filter should beat the free run"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Strong-scaling study on the simulated cluster (the paper's Fig. 13).
+
+Sweeps the processor count for P-EnKF (block reading, no overlap) and the
+auto-tuned S-EnKF (concurrent bar-reading groups + multi-stage overlap) on
+the simulated parallel file system, and prints the total-runtime table:
+P-EnKF stops scaling once block-read seeks saturate the disks; S-EnKF
+keeps scaling because its reads hide behind the analyses.
+
+Run:  python examples/scaling_study.py          (reduced scale, seconds)
+      REPRO_FULL=1 python examples/scaling_study.py   (paper scale, slow)
+"""
+
+from repro.experiments import default_config
+from repro.filters import simulate_penkf, simulate_senkf_autotuned
+
+
+def main() -> None:
+    config = default_config()
+    print(f"scale: {config.scale_note}\n")
+    print("   n_p   P-EnKF(s)   S-EnKF(s)   speedup   S-EnKF io%hidden   tuned (n_sdx,n_sdy,L,n_cg)")
+    rows = []
+    for n_sdx, n_sdy in config.scaling_configs:
+        n_p = n_sdx * n_sdy
+        p = simulate_penkf(config.spec, config.scenario, n_sdx, n_sdy)
+        s, tuned = simulate_senkf_autotuned(
+            config.spec, config.scenario, n_p=n_p, epsilon=config.epsilon
+        )
+        ch = tuned.choice
+        rows.append((n_p, p.total_time, s.total_time))
+        print(
+            f"{n_p:6d}   {p.total_time:9.3f}   {s.total_time:9.3f}   "
+            f"{p.total_time / s.total_time:7.2f}   "
+            f"{100 * s.overlap_fraction():15.1f}%   "
+            f"({ch.n_sdx},{ch.n_sdy},{ch.n_layers},{ch.n_cg})"
+        )
+
+    n0, p0, s0 = rows[0]
+    n1, p1, s1 = rows[-1]
+    print(f"\nS-EnKF strong-scaling efficiency {n0}->{n1} ranks: "
+          f"{(s0 * n0) / (s1 * n1):.2f}")
+    print(f"P-EnKF the same: {(p0 * n0) / (p1 * n1):.2f}")
+    print(f"S-EnKF speedup over P-EnKF at {n1} ranks: {p1 / s1:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

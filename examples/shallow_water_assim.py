@@ -1,0 +1,82 @@
+"""Multivariate assimilation: observing sea-surface height fixes currents.
+
+A rotating shallow-water ocean (height h plus velocities u, v) runs as
+truth; only the *height* field is observed (the altimeter situation), yet
+the EnKF's ensemble cross-covariances update the unobserved velocity
+fields too — because in rotating flow, height gradients and currents are
+dynamically tied (geostrophic balance).
+
+Run:  python examples/shallow_water_assim.py
+"""
+
+import numpy as np
+
+from repro.core import Grid, perturb_observations
+from repro.core.analysis import analysis_gain_form
+from repro.core.adaptive import rtps
+from repro.core.verification import rmse
+from repro.models import ShallowWaterModel
+from repro.models.grf import gaussian_random_field
+
+
+def balanced_state(model, seed, std=0.1):
+    h = model.grid.as_field(
+        gaussian_random_field(model.grid, length_scale_km=6.0, std=std,
+                              rng=seed)
+    )
+    return model.geostrophic_state(h)
+
+
+def main() -> None:
+    grid = Grid(n_x=24, n_y=12)
+    model = ShallowWaterModel(grid, depth=100.0, coriolis=1e-3, dt=10.0)
+    rng = np.random.default_rng(9)
+
+    truth = balanced_state(model, seed=100)
+    n_members = 40
+    members = np.column_stack(
+        [balanced_state(model, seed=200 + k) for k in range(n_members)]
+    )
+
+    # Observe h on every 2nd grid point, never u or v.
+    h_idx = model.h_indices()[::2]
+    m = h_idx.size
+    h_op = np.zeros((m, model.state_size))
+    h_op[np.arange(m), h_idx] = 1.0
+    sigma = 0.01
+    n = grid.n
+
+    def split_errors(states, truth):
+        mean = states.mean(axis=1)
+        return (
+            rmse(mean[:n], truth[:n]),           # h
+            rmse(mean[n:], truth[n:]),           # u, v together
+        )
+
+    print(f"{m} height observations on a {grid.n_x}x{grid.n_y} ocean; "
+          f"{n_members} members; velocities NEVER observed\n")
+    print("cycle    h-RMSE(bg)   h-RMSE(an)   uv-RMSE(bg)   uv-RMSE(an)")
+    steps_per_cycle = 30
+    for cycle in range(6):
+        truth = model.step(truth, steps_per_cycle)
+        members = model.step_ensemble(members, steps_per_cycle)
+
+        y = h_op @ truth + rng.normal(0, sigma, m)
+        h_bg, uv_bg = split_errors(members, truth)
+        ys = perturb_observations(y, sigma, n_members, rng=rng)
+        analysed = analysis_gain_form(members, h_op, np.full(m, sigma**2), ys)
+        members = rtps(members, analysed, relaxation=0.3)
+        h_an, uv_an = split_errors(members, truth)
+        print(f"{cycle + 1:5d}    {h_bg:10.4f}   {h_an:10.4f}   "
+              f"{uv_bg:11.5f}   {uv_an:11.5f}")
+        if h_bg > 3 * sigma:
+            assert h_an < h_bg, "analysis must improve above the noise floor"
+        else:
+            assert h_an < 6 * sigma, "analysis must stay near the noise floor"
+
+    print("\nThe unobserved velocity errors shrink with the height errors: "
+          "the ensemble carries the geostrophic h-uv covariances.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Thin shim so legacy (non-PEP-660) editable installs work offline.
+
+All metadata lives in pyproject.toml; this file only exists because the
+target environment has setuptools but not `wheel`, so `pip install -e .`
+must take the `setup.py develop` path.
+"""
+
+from setuptools import setup
+
+setup()

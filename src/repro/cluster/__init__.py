@@ -1,0 +1,26 @@
+"""Machine model: disks, parallel file system, network, machine presets.
+
+This package turns the DES kernel into a model of the platform the paper
+ran on (Tianhe-2: compute nodes on TH Express-2, H2FS/Lustre storage).
+First-order costs only — the quantities that drive the paper's evaluation:
+
+* per-request disk service = ``seeks * seek_time + bytes * theta``
+  (Table 1's θ is the per-byte disk→memory transfer time),
+* bounded per-disk concurrency (processors "line up for accessing data"),
+* files striped across a finite set of storage nodes (concurrent groups
+  stop helping once every disk is busy — Fig. 10's saturation),
+* network messages cost ``a + b * bytes`` (Table 1's startup/transfer costs).
+"""
+
+from repro.cluster.params import MachineSpec
+from repro.cluster.disk import Disk, DiskReadOutcome
+from repro.cluster.pfs import ParallelFileSystem
+from repro.cluster.machine import Machine
+
+__all__ = [
+    "Disk",
+    "DiskReadOutcome",
+    "Machine",
+    "MachineSpec",
+    "ParallelFileSystem",
+]

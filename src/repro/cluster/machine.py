@@ -1,0 +1,42 @@
+"""The assembled machine: environment + file system + network constants.
+
+A :class:`Machine` is what filter implementations simulate against.  It
+owns the DES :class:`~repro.sim.Environment`, the
+:class:`~repro.cluster.pfs.ParallelFileSystem`, and exposes the α/β network
+constants consumed by the simulated MPI layer.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.params import MachineSpec
+from repro.cluster.pfs import ParallelFileSystem
+from repro.sim import Environment
+
+
+class Machine:
+    """A simulated cluster instance (one per simulation run)."""
+
+    def __init__(self, spec: MachineSpec | None = None, env: Environment | None = None):
+        self.spec = spec if spec is not None else MachineSpec()
+        self.env = env if env is not None else Environment()
+        self.pfs = ParallelFileSystem(self.env, self.spec)
+
+    # Convenience pass-throughs -------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.env.now
+
+    def message_time(self, nbytes: float) -> float:
+        """Point-to-point message cost ``a + b * bytes``."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        return self.spec.alpha + self.spec.beta * nbytes
+
+    def run(self, until=None):
+        """Advance the simulation (delegates to the environment)."""
+        return self.env.run(until=until)
+
+    def n_nodes(self, n_processors: int) -> int:
+        """Compute-node count hosting ``n_processors`` ranks."""
+        per = self.spec.cores_per_node
+        return -(-int(n_processors) // per)

@@ -1,0 +1,75 @@
+"""Parallel file system: files placed across storage nodes.
+
+Models the property Sec. 4.1.3 exploits: different ensemble-member files
+live on different disks "with a high probability", so reading several files
+concurrently multiplies effective bandwidth — until every disk is busy,
+which is exactly the saturation knee of Fig. 10.
+
+Placement hashes the file id to a disk (deterministic, uniform).  A plain
+round-robin would alias with the strided file→group assignment of the
+concurrent access approach (group ``g`` reads files ``≡ g (mod n_cg)``,
+which modulo the disk count collapses onto a fraction of the disks); real
+parallel file systems place objects (pseudo-)randomly, which is what the
+hash models.  Users cannot choose placement ("the users can not exactly
+know which node stores a given file", Sec. 3.1), so no strategy in this
+repo is allowed to depend on it beyond issuing reads.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.disk import Disk
+from repro.cluster.params import MachineSpec
+from repro.sim import Environment
+
+
+class ParallelFileSystem:
+    """A set of disks plus a file → disk placement function."""
+
+    def __init__(self, env: Environment, spec: MachineSpec):
+        self.env = env
+        self.spec = spec
+        self.disks = [
+            Disk(
+                env,
+                disk_id=d,
+                seek_time=spec.seek_time,
+                theta=spec.theta,
+                concurrency=spec.disk_concurrency,
+                granularity=spec.disk_granularity,
+            )
+            for d in range(spec.n_storage_nodes)
+        ]
+
+    @property
+    def n_disks(self) -> int:
+        return len(self.disks)
+
+    def disk_of(self, file_id: int) -> Disk:
+        """The disk storing the given ensemble-member file (hashed)."""
+        if file_id < 0:
+            raise ValueError(f"file_id must be >= 0, got {file_id}")
+        # Avalanching integer mix (xor-shift/multiply finaliser): uniform,
+        # deterministic, and free of stride/parity aliasing.
+        x = file_id & 0xFFFFFFFF
+        x = ((x ^ (x >> 16)) * 0x45D9F3B) & 0xFFFFFFFF
+        x = ((x ^ (x >> 16)) * 0x45D9F3B) & 0xFFFFFFFF
+        x ^= x >> 16
+        return self.disks[x % self.n_disks]
+
+    def read(self, file_id: int, seeks: int, nbytes: float):
+        """Process: read (seeks, bytes) from the disk that holds ``file_id``.
+
+        Usage inside a simulated process::
+
+            outcome = yield from pfs.read(file_id=k, seeks=1, nbytes=bar_bytes)
+        """
+        outcome = yield from self.disk_of(file_id).read(seeks, nbytes)
+        return outcome
+
+    def totals(self) -> dict[str, float]:
+        """Aggregate I/O counters across all disks (for reports/tests)."""
+        return {
+            "requests": sum(d.total_requests for d in self.disks),
+            "seeks": sum(d.total_seeks for d in self.disks),
+            "bytes": sum(d.total_bytes for d in self.disks),
+        }

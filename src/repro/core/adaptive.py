@@ -1,0 +1,87 @@
+"""Adaptive inflation schemes.
+
+Fixed multiplicative inflation (:func:`repro.core.inflation.inflate`)
+needs hand tuning; these estimators adapt it from the data:
+
+* :func:`rtps` — relaxation to prior spread (Whitaker & Hamill 2012):
+  after the analysis, blend the analysis spread back toward the background
+  spread, component-wise.  The workhorse of operational EnKF systems.
+* :func:`innovation_inflation_factor` — Desroziers-style consistency: the
+  innovation variance should satisfy ``E[d dᵀ] = H B Hᵀ + R``; if the
+  observed innovations are larger than the ensemble predicts, inflate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_in_range, check_positive
+
+
+def rtps(
+    background: np.ndarray,
+    analysis: np.ndarray,
+    relaxation: float,
+    min_std: float = 1e-12,
+) -> np.ndarray:
+    """Relaxation-to-prior-spread inflation of an analysed ensemble.
+
+    Component-wise, the analysis anomalies are scaled by
+    ``1 + α (σ_b − σ_a) / σ_a`` so the posterior spread relaxes a fraction
+    ``α`` of the way back to the prior spread.  ``α = 0`` returns the
+    analysis unchanged; ``α = 1`` restores the background spread.
+    """
+    check_in_range("relaxation", relaxation, 0.0, 1.0)
+    xb = np.asarray(background, dtype=float)
+    xa = np.asarray(analysis, dtype=float)
+    if xb.shape != xa.shape or xb.ndim != 2:
+        raise ValueError(
+            f"background {xb.shape} and analysis {xa.shape} must be equal "
+            "(n, N) matrices"
+        )
+    if xb.shape[1] < 2:
+        raise ValueError("RTPS needs at least 2 members")
+    sigma_b = xb.std(axis=1, ddof=1)
+    sigma_a = np.maximum(xa.std(axis=1, ddof=1), min_std)
+    factor = 1.0 + relaxation * (sigma_b - sigma_a) / sigma_a
+    mean = xa.mean(axis=1, keepdims=True)
+    return mean + factor[:, None] * (xa - mean)
+
+
+def innovation_inflation_factor(
+    innovations: np.ndarray,
+    hbht_diag: np.ndarray,
+    r_diag: np.ndarray,
+    floor: float = 1.0,
+    ceiling: float = 2.0,
+) -> float:
+    """Multiplicative inflation from innovation statistics.
+
+    Solves ``mean(d²) = λ · mean(diag(H B Hᵀ)) + mean(diag(R))`` for the
+    variance inflation ``λ`` and returns ``sqrt(λ)`` clipped into
+    ``[floor, ceiling]`` (anomalies scale by the square root).
+    """
+    check_positive("floor", floor)
+    if ceiling < floor:
+        raise ValueError(f"ceiling {ceiling} < floor {floor}")
+    d = np.asarray(innovations, dtype=float).ravel()
+    hbht = np.asarray(hbht_diag, dtype=float).ravel()
+    r = np.asarray(r_diag, dtype=float).ravel()
+    if d.size == 0:
+        raise ValueError("no innovations")
+    if hbht.size != d.size or r.size != d.size:
+        raise ValueError("diagnostic arrays must match the innovation count")
+    predicted_bg = float(np.mean(hbht))
+    if predicted_bg <= 0:
+        return floor
+    lam = (float(np.mean(d**2)) - float(np.mean(r))) / predicted_bg
+    return float(np.clip(np.sqrt(max(lam, 0.0)), floor, ceiling))
+
+
+def ensemble_hbht_diag(states: np.ndarray, h_operator) -> np.ndarray:
+    """Diagonal of ``H B Hᵀ`` from an ensemble (sample estimate)."""
+    states = np.asarray(states, dtype=float)
+    if states.ndim != 2 or states.shape[1] < 2:
+        raise ValueError("need an (n, N>=2) ensemble")
+    hx = np.asarray(h_operator @ states)
+    return hx.var(axis=1, ddof=1)

@@ -1,0 +1,137 @@
+"""Modified-Cholesky estimation of the inverse background covariance.
+
+This is the estimator at the heart of P-EnKF (Nino-Ruiz, Sandu & Deng 2017,
+2018; Bickel & Levina 2008), which the paper adopts for the local analysis:
+instead of the rank-deficient sample covariance, fit
+
+    B̂⁻¹ = Lᵀ D⁻¹ L
+
+where ``L`` is unit lower-triangular and ``D`` diagonal, from per-variable
+regressions: each component ``x_i`` is regressed onto its *predecessors in
+a fixed ordering that lie within the localization radius*, so ``L`` is
+sparse by construction and the estimate is well-conditioned even for small
+ensembles.  ``B̂⁻¹`` is symmetric positive definite whenever every residual
+variance is positive (we floor them to guarantee it).
+
+The function operates on a *local* ensemble (a sub-domain expansion): the
+coordinate arrays tell it the (ix, iy) of each component so the conditional
+dependence structure follows the physical localization radius.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.grid import Grid
+from repro.util.validation import check_positive
+
+
+def neighbour_predecessors(
+    grid: Grid,
+    ix: np.ndarray,
+    iy: np.ndarray,
+    radius_km: float,
+) -> list[np.ndarray]:
+    """For each component i, indices j < i within ``radius_km`` of i.
+
+    The ordering is the components' storage order (row-major over the
+    expansion), matching the column-major "previous rows" conditioning in
+    the modified-Cholesky literature.
+    """
+    check_positive("radius_km", radius_km)
+    ix = np.asarray(ix)
+    iy = np.asarray(iy)
+    n = ix.size
+    preds: list[np.ndarray] = []
+    for i in range(n):
+        dx = np.abs(ix[:i] - ix[i])
+        if grid.periodic_x:
+            dx = np.minimum(dx, grid.n_x - dx)
+        dy = np.abs(iy[:i] - iy[i])
+        dist = np.hypot(dx * grid.dx_km, dy * grid.dy_km)
+        preds.append(np.nonzero(dist <= radius_km)[0])
+    return preds
+
+
+def modified_cholesky_inverse(
+    states: np.ndarray,
+    grid: Grid,
+    ix: np.ndarray,
+    iy: np.ndarray,
+    radius_km: float,
+    ridge: float = 1e-8,
+    min_variance: float = 1e-12,
+    sparse: bool = False,
+) -> np.ndarray:
+    """Estimate ``B̂⁻¹`` from a (local) ensemble by modified Cholesky.
+
+    Parameters
+    ----------
+    states:
+        (n_local, N) ensemble matrix.
+    grid, ix, iy:
+        Mesh and per-component grid coordinates (for the radius test).
+    radius_km:
+        Localization radius defining the conditional-dependence stencil.
+    ridge:
+        Tikhonov regularisation added to each regression's normal matrix
+        (scaled by its trace) — keeps the fit well-posed when the number of
+        predecessors approaches or exceeds N.
+    min_variance:
+        Floor on residual variances so ``D⁻¹`` (and hence SPD-ness) is
+        always defined.
+    sparse:
+        Return a ``scipy.sparse.csr_matrix`` instead of a dense array.
+        ``L`` has at most ``O(stencil)`` entries per row, so ``B̂⁻¹`` is
+        banded; the sparse representation lets the precision-form solve
+        use sparse factorisation on large local domains.
+
+    Returns
+    -------
+    (n_local, n_local) SPD matrix ``B̂⁻¹ = Lᵀ D⁻¹ L`` (dense ndarray, or
+    CSR when ``sparse=True``).
+    """
+    u = np.asarray(states, dtype=float)
+    if u.ndim != 2:
+        raise ValueError(f"expected (n, N) ensemble, got shape {u.shape}")
+    n, n_members = u.shape
+    if n_members < 2:
+        raise ValueError("modified Cholesky needs at least 2 members")
+    if np.asarray(ix).size != n or np.asarray(iy).size != n:
+        raise ValueError("coordinate arrays must match the state dimension")
+    u = u - u.mean(axis=1, keepdims=True)
+
+    preds = neighbour_predecessors(grid, ix, iy, radius_km)
+    d = np.empty(n)
+    dof = max(n_members - 1, 1)
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+
+    for i in range(n):
+        p = preds[i]
+        xi = u[i]
+        rows.append(i)
+        cols.append(i)
+        vals.append(1.0)
+        if p.size == 0:
+            resid = xi
+        else:
+            xp = u[p]  # (|p|, N)
+            gram = xp @ xp.T
+            lam = ridge * (np.trace(gram) / max(p.size, 1) + 1.0)
+            gram[np.diag_indices_from(gram)] += lam
+            beta = np.linalg.solve(gram, xp @ xi)
+            rows.extend([i] * p.size)
+            cols.extend(int(j) for j in p)
+            vals.extend(float(-b) for b in beta)
+            resid = xi - beta @ xp
+        d[i] = max(float(resid @ resid) / dof, min_variance)
+
+    lower = sp.csr_matrix((vals, (rows, cols)), shape=(n, n))
+    d_inv = sp.diags(1.0 / d)
+    b_inv = (lower.T @ d_inv @ lower).tocsr()
+    if sparse:
+        return b_inv
+    return np.asarray(b_inv.todense())

@@ -1,0 +1,65 @@
+"""Background-error covariance estimation.
+
+Implements Eq. (4): the rank-deficient sample covariance
+``B = U Uᵀ / (N − 1)`` with ``U`` the ensemble anomaly matrix, plus the
+Schur-product (Gaspari–Cohn) tapered variant used by covariance
+localization — the alternative to domain localization the paper discusses
+in Sec. 2.2.  Dense construction is only intended for local (sub-domain)
+problems and for tests; the filters never form the global ``B``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.grid import Grid
+from repro.core.localization import gaspari_cohn
+
+
+def anomalies(states: np.ndarray) -> np.ndarray:
+    """Deviation matrix ``U = X − x̄ ⊗ 1ᵀ`` of Eq. (4)."""
+    states = np.asarray(states, dtype=float)
+    if states.ndim != 2:
+        raise ValueError(f"expected (n, N) ensemble matrix, got {states.shape}")
+    return states - states.mean(axis=1, keepdims=True)
+
+
+def sample_covariance(states: np.ndarray) -> np.ndarray:
+    """Sample covariance ``B = U Uᵀ / (N − 1)`` (dense)."""
+    u = anomalies(states)
+    n_members = u.shape[1]
+    if n_members < 2:
+        raise ValueError("sample covariance needs at least 2 members")
+    return (u @ u.T) / (n_members - 1)
+
+
+def distance_matrix(
+    grid: Grid, ix: np.ndarray, iy: np.ndarray
+) -> np.ndarray:
+    """Pairwise distances (km) between grid points, periodic in longitude."""
+    ix = np.asarray(ix)
+    iy = np.asarray(iy)
+    dx = np.abs(ix[:, None] - ix[None, :])
+    if grid.periodic_x:
+        dx = np.minimum(dx, grid.n_x - dx)
+    dy = np.abs(iy[:, None] - iy[None, :])
+    return np.hypot(dx * grid.dx_km, dy * grid.dy_km)
+
+
+def tapered_covariance(
+    states: np.ndarray,
+    grid: Grid,
+    ix: np.ndarray,
+    iy: np.ndarray,
+    support_km: float,
+) -> np.ndarray:
+    """Gaspari–Cohn-tapered sample covariance ``ρ ∘ B`` (dense).
+
+    ``ix``/``iy`` give the grid coordinates of each state component (so the
+    function works on local expansions as well as full meshes).
+    """
+    b = sample_covariance(states)
+    if b.shape[0] != np.asarray(ix).size:
+        raise ValueError("coordinate arrays must match the state dimension")
+    taper = gaspari_cohn(distance_matrix(grid, ix, iy), support_km)
+    return b * taper

@@ -1,0 +1,91 @@
+"""Desroziers observation-space diagnostics.
+
+Desroziers et al. (2005): in a statistically consistent assimilation
+system, the cross-products of the background innovations
+``d_b = y − H x̄^b`` and the analysis residuals ``d_a = y − H x̄^a``
+estimate the error covariances actually at play:
+
+* ``E[d_b d_bᵀ] ≈ H B Hᵀ + R``  (innovation variance),
+* ``E[d_a d_bᵀ] ≈ R``           (observation-error consistency),
+* ``E[(H x̄^a − H x̄^b) d_bᵀ] ≈ H B Hᵀ``  (background-error consistency).
+
+These are the standard operational tools for validating the ``B̂⁻¹``
+estimate and the prescribed ``R`` — exactly what a centre adopting this
+library would run after every reanalysis stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class DesroziersStats:
+    """Scalar (diagonal-mean) consistency diagnostics."""
+
+    #: mean d_b² — should match hbht_plus_r_expected
+    innovation_variance: float
+    #: mean d_a·d_b — estimates the actual observation-error variance
+    estimated_r: float
+    #: mean (Hxa − Hxb)·d_b — estimates the actual background variance in
+    #: observation space
+    estimated_hbht: float
+    #: the R variance the system assumed
+    assumed_r: float
+
+    @property
+    def r_consistency_ratio(self) -> float:
+        """Estimated over assumed observation-error variance (1 = consistent)."""
+        return self.estimated_r / self.assumed_r
+
+    @property
+    def innovation_consistency_ratio(self) -> float:
+        """Innovation variance over its prediction (1 = consistent)."""
+        predicted = self.estimated_hbht + self.assumed_r
+        return self.innovation_variance / predicted if predicted > 0 else np.inf
+
+
+def desroziers_diagnostics(
+    background: np.ndarray,
+    analysis: np.ndarray,
+    h_operator,
+    y: np.ndarray,
+    assumed_r_variance: float,
+) -> DesroziersStats:
+    """Compute the diagnostics from one assimilation's in/out ensembles.
+
+    Parameters
+    ----------
+    background, analysis:
+        (n, N) ensembles before and after the update.
+    h_operator, y:
+        The observation operator and observations used.
+    assumed_r_variance:
+        The (scalar) observation-error variance the analysis assumed.
+    """
+    check_positive("assumed_r_variance", assumed_r_variance)
+    xb = np.asarray(background, dtype=float)
+    xa = np.asarray(analysis, dtype=float)
+    if xb.shape != xa.shape or xb.ndim != 2:
+        raise ValueError(
+            f"background {xb.shape} and analysis {xa.shape} must match"
+        )
+    y = np.asarray(y, dtype=float).ravel()
+    hxb = np.asarray(h_operator @ xb.mean(axis=1))
+    hxa = np.asarray(h_operator @ xa.mean(axis=1))
+    if hxb.size != y.size:
+        raise ValueError(
+            f"operator maps to {hxb.size} values but y has {y.size}"
+        )
+    d_b = y - hxb
+    d_a = y - hxa
+    return DesroziersStats(
+        innovation_variance=float(np.mean(d_b**2)),
+        estimated_r=float(np.mean(d_a * d_b)),
+        estimated_hbht=float(np.mean((hxa - hxb) * d_b)),
+        assumed_r=float(assumed_r_variance),
+    )

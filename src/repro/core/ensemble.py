@@ -1,0 +1,66 @@
+"""Ensemble container: the background ensemble ``X^b`` of Eq. (2)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_positive
+
+
+class Ensemble:
+    """An ensemble of ``N`` model states, stored as an ``(n, N)`` matrix.
+
+    Column ``k`` is the k-th ensemble member ``X^{b[k]}`` (Eq. 2).  The
+    container is a thin, validated wrapper so filters can pass ensembles
+    around without re-checking shapes.
+    """
+
+    def __init__(self, states: np.ndarray):
+        states = np.asarray(states, dtype=float)
+        if states.ndim != 2:
+            raise ValueError(f"ensemble must be 2-D (n, N), got {states.shape}")
+        check_positive("n (state dimension)", states.shape[0])
+        check_positive("N (ensemble size)", states.shape[1])
+        self.states = states
+
+    @property
+    def n(self) -> int:
+        """State dimension."""
+        return self.states.shape[0]
+
+    @property
+    def size(self) -> int:
+        """Ensemble size ``N``."""
+        return self.states.shape[1]
+
+    def member(self, k: int) -> np.ndarray:
+        """The k-th member as a 1-D state vector (a view)."""
+        if not 0 <= k < self.size:
+            raise ValueError(f"member index {k} out of range [0, {self.size})")
+        return self.states[:, k]
+
+    def mean(self) -> np.ndarray:
+        """Ensemble mean ``x̄`` (1-D)."""
+        return self.states.mean(axis=1)
+
+    def anomalies(self) -> np.ndarray:
+        """Deviation matrix ``U = X − x̄ ⊗ 1ᵀ`` (Eq. 4), shape (n, N)."""
+        return self.states - self.mean()[:, None]
+
+    def restrict(self, indices: np.ndarray) -> "Ensemble":
+        """Sub-ensemble on a subset of state components (copy)."""
+        return Ensemble(self.states[np.asarray(indices), :])
+
+    def copy(self) -> "Ensemble":
+        return Ensemble(self.states.copy())
+
+    @classmethod
+    def from_members(cls, members) -> "Ensemble":
+        """Build from an iterable of 1-D member vectors."""
+        cols = [np.asarray(m, dtype=float).ravel() for m in members]
+        if not cols:
+            raise ValueError("need at least one member")
+        return cls(np.column_stack(cols))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Ensemble(n={self.n}, N={self.size})"

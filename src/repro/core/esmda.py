@@ -1,0 +1,90 @@
+"""Ensemble smoother with multiple data assimilation (ES-MDA).
+
+Emerick & Reynolds 2013 — the paper's reference [7] for oceanic data
+assimilation.  Instead of one EnKF update, ES-MDA applies ``K`` damped
+updates with the observation-error covariance inflated by coefficients
+``α_k`` satisfying ``Σ 1/α_k = 1``:
+
+.. math::
+
+    X \\leftarrow X + B_k H^T (H B_k H^T + \\alpha_k R)^{-1}
+                 (y + \\sqrt{\\alpha_k}\\,\\varepsilon_k - H X)
+
+For linear-Gaussian problems the composition is *exactly* one EnKF update
+(in the large-ensemble limit); for nonlinear observation operators the
+damped steps track the posterior better — which is why reservoir and
+ocean applications favour it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.analysis import analysis_gain_form
+from repro.util.seeding import spawn_rng
+from repro.util.validation import check_positive
+
+
+def mda_coefficients(n_iterations: int, geometric_ratio: float = 1.0) -> np.ndarray:
+    """Inflation coefficients ``α_k`` with ``Σ 1/α_k = 1``.
+
+    ``geometric_ratio = 1`` gives the standard constant choice
+    ``α_k = K``; a ratio > 1 front-loads damping (larger α first), which
+    Emerick recommends for strongly nonlinear problems.
+    """
+    check_positive("n_iterations", n_iterations)
+    check_positive("geometric_ratio", geometric_ratio)
+    if geometric_ratio == 1.0:
+        return np.full(n_iterations, float(n_iterations))
+    # 1/alpha_k geometric: 1/alpha_{k+1} = ratio * 1/alpha_k, summing to 1.
+    inverse = geometric_ratio ** np.arange(n_iterations)
+    inverse = inverse / inverse.sum()
+    return 1.0 / inverse
+
+
+def esmda(
+    background: np.ndarray,
+    h_operator,
+    r_diag: np.ndarray,
+    y: np.ndarray,
+    n_iterations: int = 4,
+    geometric_ratio: float = 1.0,
+    rng=None,
+) -> np.ndarray:
+    """ES-MDA update of an ensemble against one observation batch.
+
+    Parameters
+    ----------
+    background:
+        ``X`` of shape (n, N).
+    h_operator, r_diag, y:
+        Observation operator, diagonal of ``R`` and the observation vector.
+    n_iterations:
+        ``K`` — number of damped assimilation sweeps.
+    geometric_ratio:
+        See :func:`mda_coefficients`.
+    rng:
+        Seed/generator for the per-iteration observation perturbations.
+
+    Returns the analysed ensemble (n, N).
+    """
+    states = np.asarray(background, dtype=float)
+    if states.ndim != 2 or states.shape[1] < 2:
+        raise ValueError(f"background must be (n, N>=2), got {states.shape}")
+    r_diag = np.asarray(r_diag, dtype=float).ravel()
+    y = np.asarray(y, dtype=float).ravel()
+    if y.size != r_diag.size:
+        raise ValueError(
+            f"y has {y.size} entries but R has {r_diag.size} diagonal values"
+        )
+    rng = spawn_rng(rng)
+    n_members = states.shape[1]
+    alphas = mda_coefficients(n_iterations, geometric_ratio)
+
+    for alpha in alphas:
+        eps = rng.normal(size=(y.size, n_members)) * np.sqrt(alpha * r_diag)[:, None]
+        if n_members > 1:
+            eps -= eps.mean(axis=1, keepdims=True)
+        ys = y[:, None] + eps
+        states = analysis_gain_form(states, h_operator, alpha * r_diag, ys)
+    return states

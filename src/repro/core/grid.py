@@ -1,0 +1,123 @@
+"""The latitude–longitude mesh and its flat-index convention.
+
+Conventions used throughout the repo (they match the paper's storage
+discussion in Sec. 4.1.1):
+
+* The mesh has ``n_x`` points along longitude and ``n_y`` along latitude,
+  ``n = n_x * n_y`` model components per field.
+* A state vector is flat with **latitude-major** ordering:
+  ``flat = iy * n_x + ix``.  One latitude row (all longitudes at fixed
+  ``iy``) is contiguous — this is why a *bar* (a band of latitude rows) is
+  a single contiguous extent on disk while a *block* (a longitude slice of
+  a bar) is not.
+* Longitude is periodic (the globe wraps); latitude is clamped (poles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class Grid:
+    """A 2-D latitude–longitude mesh.
+
+    Parameters
+    ----------
+    n_x, n_y:
+        Points along longitude / latitude.
+    dx_km, dy_km:
+        Physical spacing (used to convert a radius of influence in km to
+        halo widths ``ξ``/``η``; the paper's Fig. 2 example has dx < dy so
+        ``ξ > η``).
+    periodic_x:
+        Whether longitude wraps (true for global meshes).
+    """
+
+    n_x: int
+    n_y: int
+    dx_km: float = 1.0
+    dy_km: float = 1.0
+    periodic_x: bool = True
+
+    def __post_init__(self) -> None:
+        check_positive("n_x", self.n_x)
+        check_positive("n_y", self.n_y)
+        check_positive("dx_km", self.dx_km)
+        check_positive("dy_km", self.dy_km)
+
+    @property
+    def n(self) -> int:
+        """Total number of model components (grid points)."""
+        return self.n_x * self.n_y
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """(n_y, n_x): the 2-D array shape of one field."""
+        return (self.n_y, self.n_x)
+
+    # -- index mapping ------------------------------------------------------
+    def flat_index(self, ix, iy):
+        """Flat index of point(s) at longitude ``ix``, latitude ``iy``."""
+        ix = np.asarray(ix)
+        iy = np.asarray(iy)
+        if np.any(ix < 0) or np.any(ix >= self.n_x):
+            raise ValueError("ix out of range")
+        if np.any(iy < 0) or np.any(iy >= self.n_y):
+            raise ValueError("iy out of range")
+        return iy * self.n_x + ix
+
+    def coords(self, flat):
+        """(ix, iy) of flat index/indices."""
+        flat = np.asarray(flat)
+        if np.any(flat < 0) or np.any(flat >= self.n):
+            raise ValueError("flat index out of range")
+        return flat % self.n_x, flat // self.n_x
+
+    def wrap_x(self, ix):
+        """Wrap longitude indices into [0, n_x) (periodic meshes only)."""
+        ix = np.asarray(ix)
+        if self.periodic_x:
+            return np.mod(ix, self.n_x)
+        if np.any(ix < 0) or np.any(ix >= self.n_x):
+            raise ValueError("ix out of range on a non-periodic mesh")
+        return ix
+
+    def clamp_y(self, iy):
+        """Clamp latitude indices into [0, n_y)."""
+        return np.clip(np.asarray(iy), 0, self.n_y - 1)
+
+    # -- geometry -------------------------------------------------------------
+    def distance_km(self, ix_a, iy_a, ix_b, iy_b):
+        """Planar distance between grid points, periodic in longitude.
+
+        A planar metric (not great-circle) is what the paper's local boxes
+        use implicitly — the box is rectangular in index space.
+        """
+        dx = np.abs(np.asarray(ix_a) - np.asarray(ix_b))
+        if self.periodic_x:
+            dx = np.minimum(dx, self.n_x - dx)
+        dy = np.abs(np.asarray(iy_a) - np.asarray(iy_b))
+        return np.hypot(dx * self.dx_km, dy * self.dy_km)
+
+    def as_field(self, state: np.ndarray) -> np.ndarray:
+        """Reshape a flat state vector into its (n_y, n_x) field."""
+        state = np.asarray(state)
+        if state.shape[0] != self.n:
+            raise ValueError(
+                f"state has {state.shape[0]} components, expected {self.n}"
+            )
+        return state.reshape(self.n_y, self.n_x, *state.shape[1:])
+
+    def as_state(self, field: np.ndarray) -> np.ndarray:
+        """Flatten a (n_y, n_x, ...) field into a state vector."""
+        field = np.asarray(field)
+        if field.shape[:2] != (self.n_y, self.n_x):
+            raise ValueError(
+                f"field has shape {field.shape[:2]}, expected {(self.n_y, self.n_x)}"
+            )
+        return field.reshape(self.n, *field.shape[2:])

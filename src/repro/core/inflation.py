@@ -1,0 +1,25 @@
+"""Multiplicative covariance inflation.
+
+Standard remedy for the variance underestimation of finite ensembles in
+cycling assimilation: scale anomalies about the mean by ``ρ ≥ 1`` so the
+filter keeps enough spread to accept future observations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_positive
+
+
+def inflate(states: np.ndarray, factor: float) -> np.ndarray:
+    """Return the ensemble with anomalies scaled by ``factor``.
+
+    ``X ← x̄ ⊗ 1ᵀ + ρ (X − x̄ ⊗ 1ᵀ)``; the mean is untouched.
+    """
+    check_positive("factor", factor)
+    states = np.asarray(states, dtype=float)
+    if states.ndim != 2:
+        raise ValueError(f"expected (n, N) ensemble, got {states.shape}")
+    mean = states.mean(axis=1, keepdims=True)
+    return mean + factor * (states - mean)

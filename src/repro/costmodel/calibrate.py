@@ -1,0 +1,60 @@
+"""Machine-constant calibration: MachineSpec + problem → CostParams.
+
+The auto-tuner consumes :class:`~repro.costmodel.model.CostParams`; this
+module builds them from a simulated machine and a problem description, and
+can *measure* the effective constants by microbenchmarking the simulator
+(useful when disk concurrency limits make the effective θ differ from the
+nominal per-stream θ).
+"""
+
+from __future__ import annotations
+
+from repro.cluster.machine import Machine
+from repro.cluster.params import MachineSpec
+from repro.costmodel.model import CostParams
+from repro.sim import Environment
+
+
+def calibrate_from_machine(
+    spec: MachineSpec,
+    n_x: int,
+    n_y: int,
+    n_members: int,
+    h: float,
+    xi: int,
+    eta: int,
+    measure_theta: bool = False,
+    probe_bytes: float = 1 << 24,
+) -> CostParams:
+    """Build cost-model constants for a machine and problem.
+
+    With ``measure_theta=True`` the effective per-byte disk time is
+    measured by timing a single-stream read on a fresh simulated machine
+    (which includes the request's seek amortisation); otherwise the
+    nominal ``spec.theta`` is used.
+    """
+    theta = spec.theta
+    if measure_theta:
+        machine = Machine(spec, env=Environment())
+        done = {}
+
+        def probe(env):
+            outcome = yield from machine.pfs.read(0, seeks=1, nbytes=probe_bytes)
+            done["service"] = outcome.service
+
+        machine.env.process(probe(machine.env))
+        machine.run()
+        theta = done["service"] / probe_bytes
+
+    return CostParams(
+        n_x=n_x,
+        n_y=n_y,
+        n_members=n_members,
+        h=h,
+        xi=xi,
+        eta=eta,
+        a=spec.alpha,
+        b=spec.beta,
+        c=spec.c_point,
+        theta=theta,
+    )

@@ -1,0 +1,32 @@
+"""Experiment runners: one per figure of the paper's evaluation (Sec. 5).
+
+The paper's evaluation contains no numeric tables (its Table 1 is
+notation); the reproducibles are Figures 1, 5, 9, 10, 11, 12 and 13.
+Each ``run_figNN`` function regenerates the corresponding figure's data
+series and returns a :class:`FigureResult` carrying the rows, the paper's
+qualitative claim, and machine-checked acceptance criteria.
+
+Scales: by default every runner uses the reduced scenario
+(:meth:`repro.filters.PerfScenario.small` on
+:meth:`repro.cluster.MachineSpec.small_cluster`), sized so the whole suite
+runs in seconds; set ``REPRO_FULL=1`` to run the paper-scale workload
+(0.1° mesh, N=120, sweeps to 12,000 ranks — minutes per figure).
+"""
+
+from repro.experiments.config import ExperimentConfig, default_config
+from repro.experiments.registry import FIGURES, get_figure, run_all
+from repro.experiments.result import FigureResult
+from repro.experiments.report import format_result
+from repro.experiments.scorecard import format_scorecard, run_scorecard
+
+__all__ = [
+    "ExperimentConfig",
+    "FIGURES",
+    "FigureResult",
+    "default_config",
+    "format_result",
+    "format_scorecard",
+    "get_figure",
+    "run_all",
+    "run_scorecard",
+]

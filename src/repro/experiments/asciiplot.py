@@ -1,0 +1,184 @@
+"""Terminal plots: render figure series without any plotting dependency.
+
+The environment this repo targets has no matplotlib; these helpers draw
+the regenerated figures as Unicode line charts and bar charts directly in
+the terminal, good enough to eyeball every shape the paper plots (growth,
+knees, crossovers).
+
+``plot_figure`` knows how to lay out each experiment's
+:class:`~repro.experiments.result.FigureResult`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.result import FigureResult
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def _format_value(v: float) -> str:
+    if v == 0:
+        return "0"
+    if abs(v) < 1e-2 or abs(v) >= 1e4:
+        return f"{v:.2e}"
+    return f"{v:.3g}"
+
+
+def line_chart(
+    x: list[float],
+    series: dict[str, list[float]],
+    width: int = 60,
+    height: int = 14,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Multi-series scatter/line chart on a character canvas."""
+    if not x or not series:
+        raise ValueError("need at least one point and one series")
+    for name, ys in series.items():
+        if len(ys) != len(x):
+            raise ValueError(f"series {name!r} length mismatch")
+    markers = "ox+*#@"
+    all_y = [v for ys in series.values() for v in ys]
+    y_min, y_max = min(all_y), max(all_y)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = min(x), max(x)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for (name, ys), marker in zip(series.items(), markers):
+        for xv, yv in zip(x, ys):
+            col = round((xv - x_min) / (x_max - x_min) * (width - 1))
+            row = height - 1 - round((yv - y_min) / (y_max - y_min) * (height - 1))
+            canvas[row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = _format_value(y_max)
+    bottom_label = _format_value(y_min)
+    label_width = max(len(top_label), len(bottom_label), len(y_label))
+    for i, row in enumerate(canvas):
+        if i == 0:
+            prefix = top_label.rjust(label_width)
+        elif i == height - 1:
+            prefix = bottom_label.rjust(label_width)
+        elif i == height // 2 and y_label:
+            prefix = y_label.rjust(label_width)
+        else:
+            prefix = " " * label_width
+        lines.append(f"{prefix} |{''.join(row)}")
+    axis = " " * label_width + " +" + "-" * width
+    lines.append(axis)
+    x_axis = (
+        " " * label_width
+        + "  "
+        + _format_value(x_min)
+        + _format_value(x_max).rjust(width - len(_format_value(x_min)))
+    )
+    lines.append(x_axis)
+    legend = "   ".join(
+        f"{marker}={name}" for (name, _), marker in zip(series.items(), markers)
+    )
+    lines.append(" " * label_width + "  " + legend)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    labels: list[str],
+    values: list[float],
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """Horizontal bar chart."""
+    if not labels or len(labels) != len(values):
+        raise ValueError("labels and values must be equal-length and non-empty")
+    v_max = max(values)
+    if v_max <= 0:
+        v_max = 1.0
+    label_width = max(len(str(l)) for l in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        filled = value / v_max * width
+        whole = int(filled)
+        frac = filled - whole
+        bar = "█" * whole
+        if frac > 0:
+            bar += _BLOCKS[max(1, math.floor(frac * (len(_BLOCKS) - 1)))]
+        lines.append(
+            f"{str(label).rjust(label_width)} |{bar.ljust(width + 1)} "
+            f"{_format_value(value)}"
+        )
+    return "\n".join(lines)
+
+
+def plot_figure(result: FigureResult, width: int = 60) -> str:
+    """Figure-specific terminal rendering of a regenerated result."""
+    name = result.name
+    if name == "fig01":
+        return bar_chart(
+            [str(r["n_p"]) for r in result.rows],
+            [r["io_percent"] for r in result.rows],
+            width=width,
+            title="P-EnKF I/O share of runtime (%) vs processors",
+        )
+    if name == "fig05":
+        return line_chart(
+            [float(r["n_sdx"]) for r in result.rows],
+            {"read time (s)": [r["read_time"] for r in result.rows]},
+            width=width,
+            title="Block-reading time vs n_sdx",
+        )
+    if name == "fig09":
+        compute_rows = [r for r in result.rows if r["side"] == "compute"]
+        penkf = [r for r in compute_rows if r["filter"] == "p-enkf"]
+        senkf = [r for r in compute_rows if r["filter"] == "s-enkf"]
+        return line_chart(
+            [float(r["n_p"]) for r in penkf],
+            {
+                "p-enkf read+wait": [r["read"] + r["wait"] for r in penkf],
+                "s-enkf wait": [r["wait"] for r in senkf],
+                "p-enkf compute": [r["compute"] for r in penkf],
+            },
+            width=width,
+            title="Per-phase seconds (compute ranks) vs processors",
+        )
+    if name == "fig10":
+        return bar_chart(
+            [str(r["n_cg"]) for r in result.rows],
+            [r["read_time"] for r in result.rows],
+            width=width,
+            title="Ensemble reading time (s) vs concurrent groups",
+        )
+    if name == "fig11":
+        return line_chart(
+            [float(r["n_p"]) for r in result.rows],
+            {"overlap %": [r["overlap_percent"] for r in result.rows]},
+            width=width,
+            title="Overlapped time share (%) vs processors",
+        )
+    if name == "fig12":
+        return line_chart(
+            [float(r["c1"]) for r in result.rows],
+            {
+                "model T1": [r["model_t1"] for r in result.rows],
+                "measured best": [r["measured_best"] for r in result.rows],
+            },
+            width=width,
+            title="Exposed first-stage time vs C1 (model curve, measured best)",
+        )
+    if name == "fig13":
+        return line_chart(
+            [float(r["n_p"]) for r in result.rows],
+            {
+                "P-EnKF": [r["penkf_time"] for r in result.rows],
+                "S-EnKF": [r["senkf_time"] for r in result.rows],
+            },
+            width=width,
+            title="Total runtime (s) vs processors — strong scaling",
+        )
+    raise KeyError(f"no plot layout for {name!r}")

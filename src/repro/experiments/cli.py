@@ -1,0 +1,86 @@
+"""Command-line entry point: ``senkf-experiments [figure ...] [--full]``.
+
+Examples::
+
+    senkf-experiments fig13          # one figure, reduced scale
+    senkf-experiments all            # every figure
+    senkf-experiments fig9 --full    # paper-scale run (slow)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.config import default_config
+from repro.experiments.registry import FIGURES, get_figure
+from repro.experiments.report import format_result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="senkf-experiments",
+        description="Regenerate the S-EnKF paper's evaluation figures "
+                    "(PPoPP'19) on the simulated machine.",
+    )
+    parser.add_argument(
+        "figures",
+        nargs="*",
+        default=["all"],
+        help="figure ids (fig01 fig05 fig09 fig10 fig11 fig12 fig13), 'all', or 'scorecard'",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run at paper scale (0.1°, N=120, up to 12,000 ranks; slow)",
+    )
+    parser.add_argument(
+        "--plot",
+        action="store_true",
+        help="also draw each figure as a terminal chart",
+    )
+    parser.add_argument(
+        "--export",
+        metavar="DIR",
+        default=None,
+        help="write each figure's data as CSV + JSON into DIR",
+    )
+    args = parser.parse_args(argv)
+
+    config = default_config(full=args.full or None)
+    names = args.figures
+    if "scorecard" in names:
+        from repro.experiments.scorecard import format_scorecard, run_scorecard
+
+        rows, _ = run_scorecard(config)
+        print(format_scorecard(rows))
+        return 0 if all(r["outcome"] == "PASS" for r in rows) else 1
+    if "all" in names:
+        names = sorted(FIGURES)
+
+    all_passed = True
+    for name in names:
+        try:
+            runner = get_figure(name)
+        except KeyError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        result = runner(config)
+        print(format_result(result))
+        if args.export:
+            from repro.experiments.export import export_result
+
+            for path in export_result(result, args.export):
+                print(f"wrote {path}")
+        if args.plot:
+            from repro.experiments.asciiplot import plot_figure
+
+            print()
+            print(plot_figure(result))
+        print()
+        all_passed &= result.passed
+    return 0 if all_passed else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

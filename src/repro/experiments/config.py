@@ -1,0 +1,80 @@
+"""Experiment configuration: scales, sweeps and machine choice.
+
+``REPRO_FULL=1`` in the environment switches every runner to the paper
+scale.  The reduced scale is a 1/10-linear problem on a proportionally
+slower machine (same phase-time *ratios*, so the figure shapes are
+preserved — see EXPERIMENTS.md for the calibration).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.cluster.params import MachineSpec
+from repro.filters.base import PerfScenario
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Everything the figure runners need to know about scale."""
+
+    full: bool
+    spec: MachineSpec
+    scenario: PerfScenario
+    #: (n_sdx, n_sdy) pairs of the strong-scaling sweeps (Figs. 1, 9, 11, 13)
+    scaling_configs: tuple[tuple[int, int], ...]
+    #: n_sdx values of the block-reading sweep (Fig. 5)
+    fig5_n_sdx: tuple[int, ...]
+    #: the fixed n_sdy of the Fig. 5 sweep (the paper uses 10)
+    fig5_n_sdy: int
+    #: members read in the Fig. 5 sweep (the paper uses 100 of the 120)
+    fig5_members: int
+    #: concurrent-group counts of Fig. 10 (must divide N)
+    fig10_groups: tuple[int, ...]
+    #: the fixed compute budget of Fig. 12 (the paper uses C2 = 2000)
+    fig12_c2: int
+    #: earnings-rate threshold for Algorithm 2
+    epsilon: float = 1e-3
+
+    @property
+    def scale_note(self) -> str:
+        if self.full:
+            return (
+                "paper scale: 3600x1800 mesh, N=120, sweeps to 12,000 ranks"
+            )
+        return (
+            "reduced scale (set REPRO_FULL=1 for paper scale): 360x180 mesh, "
+            "N=24, sweeps to 1,200 ranks"
+        )
+
+
+def default_config(full: bool | None = None) -> ExperimentConfig:
+    """The standard configuration (env-controlled scale)."""
+    if full is None:
+        full = os.environ.get("REPRO_FULL", "0") not in ("", "0", "false")
+    if full:
+        return ExperimentConfig(
+            full=True,
+            spec=MachineSpec.tianhe2(),
+            scenario=PerfScenario.paper(),
+            scaling_configs=((100, 20), (200, 20), (300, 20), (400, 20),
+                             (450, 20), (600, 20)),
+            fig5_n_sdx=(100, 200, 300, 400, 450),
+            fig5_n_sdy=10,
+            fig5_members=100,
+            fig10_groups=(1, 2, 3, 4, 6, 8, 12, 24),
+            fig12_c2=2000,
+        )
+    return ExperimentConfig(
+        full=False,
+        spec=MachineSpec.small_cluster(),
+        scenario=PerfScenario.small(),
+        scaling_configs=((12, 10), (24, 10), (40, 12), (60, 12), (90, 10),
+                         (120, 10)),
+        fig5_n_sdx=(30, 45, 60, 90, 120, 180),
+        fig5_n_sdy=10,
+        fig5_members=20,
+        fig10_groups=(1, 2, 3, 4, 6, 8, 12, 24),
+        fig12_c2=240,
+    )

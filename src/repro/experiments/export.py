@@ -1,0 +1,75 @@
+"""Export regenerated figure data to CSV / JSON.
+
+The terminal output is for humans; these writers produce
+machine-consumable artefacts (one CSV of rows + one JSON with the full
+result including acceptance and notes per figure) so the data can be
+re-plotted with external tooling.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.experiments.result import FigureResult
+
+
+def export_csv(result: FigureResult, directory: str | Path) -> Path:
+    """Write one figure's rows as ``<name>.csv``; returns the path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{result.name}.csv"
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=result.columns)
+        writer.writeheader()
+        for row in result.rows:
+            writer.writerow(row)
+    return path
+
+
+def export_json(result: FigureResult, directory: str | Path) -> Path:
+    """Write the full result (rows + acceptance + notes) as ``<name>.json``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{result.name}.json"
+    payload = {
+        "name": result.name,
+        "title": result.title,
+        "claim": result.claim,
+        "columns": result.columns,
+        "rows": result.rows,
+        "acceptance": result.acceptance,
+        "notes": result.notes,
+        "passed": result.passed,
+    }
+    path.write_text(json.dumps(payload, indent=2, default=_coerce_numpy))
+    return path
+
+
+def _coerce_numpy(value):
+    """JSON fallback for numpy scalars that leak into result rows/checks."""
+    for attr in ("item",):
+        if hasattr(value, attr):
+            return value.item()
+    raise TypeError(f"not JSON serialisable: {type(value).__name__}")
+
+
+def export_result(result: FigureResult, directory: str | Path) -> list[Path]:
+    """Write both formats; returns the created paths."""
+    return [export_csv(result, directory), export_json(result, directory)]
+
+
+def load_json(path: str | Path) -> FigureResult:
+    """Round-trip loader for exported JSON results."""
+    payload = json.loads(Path(path).read_text())
+    result = FigureResult(
+        name=payload["name"],
+        title=payload["title"],
+        claim=payload["claim"],
+        columns=payload["columns"],
+        rows=payload["rows"],
+        acceptance=payload["acceptance"],
+        notes=payload["notes"],
+    )
+    return result

@@ -1,0 +1,46 @@
+"""Figure 1: percentage of time for I/O vs computation in P-EnKF.
+
+The paper's motivation figure: as the processor count grows, file reading
+comes to dominate P-EnKF's runtime (Sec. 1, "the time for file reading
+dominates the main part of the runtime with the number of processors
+increasing").
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import ExperimentConfig, default_config
+from repro.experiments.result import FigureResult
+from repro.filters.penkf import simulate_penkf
+
+
+def run_fig01(config: ExperimentConfig | None = None) -> FigureResult:
+    config = config or default_config()
+    result = FigureResult(
+        name="fig01",
+        title="Percentage of times for I/O and computation in P-EnKF",
+        claim=(
+            "the I/O share of P-EnKF's runtime grows with the processor "
+            "count and dominates at the largest counts"
+        ),
+        columns=["n_p", "io_percent", "compute_percent", "total_time"],
+        notes=[config.scale_note],
+    )
+    for n_sdx, n_sdy in config.scaling_configs:
+        report = simulate_penkf(config.spec, config.scenario, n_sdx, n_sdy)
+        io_frac = report.io_fraction()
+        result.rows.append(
+            {
+                "n_p": report.n_processors,
+                "io_percent": 100.0 * io_frac,
+                "compute_percent": 100.0 * (1.0 - io_frac),
+                "total_time": report.total_time,
+            }
+        )
+
+    io = result.series("io_percent")
+    result.acceptance["io_share_monotonically_increasing"] = all(
+        a < b for a, b in zip(io, io[1:])
+    )
+    result.acceptance["io_dominates_at_largest_count"] = io[-1] > 50.0
+    result.acceptance["compute_dominates_at_smallest_count"] = io[0] < 50.0
+    return result

@@ -1,0 +1,61 @@
+"""Figure 5: block-reading time grows ~linearly with ``n_sdx``.
+
+The paper fixes ``n_sdy = 10`` and sweeps ``n_sdx`` from 100 to 500 while
+block-reading 100 background members: "the time of this reading approach
+increases almost linearly with n_sdx enlarging" (Sec. 4.1.1), because the
+seek count is ``O(n_y · n_sdx)`` per file.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.machine import Machine
+from repro.experiments.config import ExperimentConfig, default_config
+from repro.experiments.result import FigureResult
+from repro.io.execute import simulate_read_plan
+from repro.io.strategies import block_read_plan
+
+
+def run_fig05(config: ExperimentConfig | None = None) -> FigureResult:
+    config = config or default_config()
+    result = FigureResult(
+        name="fig05",
+        title="Time for file reading using the block reading approach",
+        claim="block-reading time grows almost linearly with n_sdx",
+        columns=["n_sdx", "n_p", "read_time", "total_seeks"],
+        notes=[
+            config.scale_note,
+            f"n_sdy fixed at {config.fig5_n_sdy}; "
+            f"{config.fig5_members} members read",
+        ],
+    )
+    for n_sdx in config.fig5_n_sdx:
+        decomp = config.scenario.decomposition(n_sdx, config.fig5_n_sdy)
+        plan = block_read_plan(
+            decomp, config.scenario.layout, n_files=config.fig5_members
+        )
+        machine = Machine(config.spec)
+        _, makespan = simulate_read_plan(machine, plan)
+        result.rows.append(
+            {
+                "n_sdx": n_sdx,
+                "n_p": decomp.n_subdomains,
+                "read_time": makespan,
+                "total_seeks": plan.total_seeks,
+            }
+        )
+
+    x = np.asarray(result.series("n_sdx"), dtype=float)
+    t = np.asarray(result.series("read_time"), dtype=float)
+    slope, intercept = np.polyfit(x, t, 1)
+    fitted = slope * x + intercept
+    ss_res = float(np.sum((t - fitted) ** 2))
+    ss_tot = float(np.sum((t - t.mean()) ** 2))
+    r_squared = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+
+    result.acceptance["read_time_increases"] = bool(np.all(np.diff(t) > 0))
+    result.acceptance["linear_fit_r2_above_0.95"] = r_squared > 0.95
+    result.acceptance["positive_slope"] = slope > 0
+    result.notes.append(f"linear fit: R^2 = {r_squared:.4f}, slope = {slope:.3e}")
+    return result

@@ -1,0 +1,96 @@
+"""Figure 9: per-phase time breakdown of P-EnKF vs S-EnKF.
+
+The paper shows, per processor count, how the runtime splits into file
+reading / communication / local analysis / waiting for both filters:
+P-EnKF's read time grows with the processor count while S-EnKF's read and
+communication stay hidden behind computation and its wait time shrinks.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import ExperimentConfig, default_config
+from repro.experiments.result import FigureResult
+from repro.filters.penkf import simulate_penkf
+from repro.filters.senkf import simulate_senkf_autotuned
+from repro.sim.trace import PHASE_COMM, PHASE_COMPUTE, PHASE_READ, PHASE_WAIT
+
+
+def _phase_row(filter_name, n_p, side, means, total_time):
+    return {
+        "filter": filter_name,
+        "n_p": n_p,
+        "side": side,
+        "read": means.get(PHASE_READ, 0.0),
+        "comm": means.get(PHASE_COMM, 0.0),
+        "compute": means.get(PHASE_COMPUTE, 0.0),
+        "wait": means.get(PHASE_WAIT, 0.0),
+        "total_time": total_time,
+    }
+
+
+def run_fig09(config: ExperimentConfig | None = None) -> FigureResult:
+    config = config or default_config()
+    result = FigureResult(
+        name="fig09",
+        title="Time for different phases in P-EnKF and S-EnKF",
+        claim=(
+            "S-EnKF hides file reading and communication behind local "
+            "analysis; its wait time shrinks as processors increase, while "
+            "P-EnKF's read time grows"
+        ),
+        columns=["filter", "n_p", "side", "read", "comm", "compute", "wait",
+                 "total_time"],
+        notes=[config.scale_note],
+    )
+
+    p_reads, s_waits, s_exposed, p_exposed, n_ps = [], [], [], [], []
+    for n_sdx, n_sdy in config.scaling_configs:
+        n_p = n_sdx * n_sdy
+        p = simulate_penkf(config.spec, config.scenario, n_sdx, n_sdy)
+        s, _ = simulate_senkf_autotuned(
+            config.spec, config.scenario, n_p=n_p, epsilon=config.epsilon
+        )
+        result.rows.append(
+            _phase_row("p-enkf", n_p, "compute",
+                       p.mean_phase_times("compute"), p.total_time)
+        )
+        result.rows.append(
+            _phase_row("s-enkf", n_p, "compute",
+                       s.mean_phase_times("compute"), s.total_time)
+        )
+        result.rows.append(
+            _phase_row("s-enkf", n_p, "io",
+                       s.mean_phase_times("io"), s.total_time)
+        )
+        p_means = p.mean_phase_times("compute")
+        s_means = s.mean_phase_times("compute")
+        n_ps.append(n_p)
+        # P-EnKF "file reading" as the paper plots it = service + the
+        # queueing for disk slots (which is where contention shows up).
+        p_reads.append(
+            p_means.get(PHASE_READ, 0.0) + p_means.get(PHASE_WAIT, 0.0)
+        )
+        s_waits.append(s_means.get(PHASE_WAIT, 0.0) / s.total_time)
+        # "Exposed" data-obtaining time on the compute side: everything
+        # that is not local analysis.
+        s_exposed.append(
+            s_means.get(PHASE_READ, 0.0)
+            + s_means.get(PHASE_COMM, 0.0)
+            + s_means.get(PHASE_WAIT, 0.0)
+        )
+        p_exposed.append(
+            p_means.get(PHASE_READ, 0.0)
+            + p_means.get(PHASE_COMM, 0.0)
+            + p_means.get(PHASE_WAIT, 0.0)
+        )
+
+    result.acceptance["penkf_read_time_grows"] = p_reads[-1] > p_reads[0]
+    result.acceptance["senkf_exposed_io_much_smaller_than_penkf"] = all(
+        s < 0.5 * p for s, p in zip(s_exposed[2:], p_exposed[2:])
+    )
+    # "Although this part only takes a small portion (less than 8%) of the
+    # total computing time..." (Sec. 5.4) — the exposed first-stage wait
+    # stays a small share of S-EnKF's runtime (15% tolerance at the
+    # reduced scale's coarser granularity).
+    result.acceptance["senkf_wait_share_stays_small"] = max(s_waits) <= 0.15
+    return result

@@ -1,0 +1,74 @@
+"""Figure 10: reading time of the ensemble vs number of concurrent groups.
+
+"When n_cg < 4, the data reading time decreases monotonously ... as
+n_cg > 6, the data reading time changes slightly.  The main reason is
+that, when n_cg is large enough, the total I/O bandwidth is fully used."
+(Sec. 5.3.)  In the machine model the knee sits at the storage-node count:
+groups read different files, files are striped round-robin over the disks,
+and once every disk is busy additional groups can only queue.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.machine import Machine
+from repro.experiments.config import ExperimentConfig, default_config
+from repro.experiments.result import FigureResult
+from repro.io.execute import simulate_read_plan
+from repro.io.strategies import concurrent_access_plan
+
+FIG10_N_SDY = 4  #: bar readers per group (= per-disk service slots,
+#: so one file's bars are served in a single round)
+
+
+def run_fig10(config: ExperimentConfig | None = None) -> FigureResult:
+    config = config or default_config()
+    scenario = config.scenario
+    result = FigureResult(
+        name="fig10",
+        title="Time for reading background ensemble members with the "
+              "concurrent access approach",
+        claim=(
+            "reading time drops as concurrent groups are added, then "
+            "flattens once the file system's total I/O bandwidth is used"
+        ),
+        columns=["n_cg", "n_io_processors", "read_time"],
+        notes=[
+            config.scale_note,
+            f"{scenario.n_members} members; {FIG10_N_SDY} bar readers per "
+            f"group; {config.spec.n_storage_nodes} storage nodes",
+        ],
+    )
+    decomp = scenario.decomposition(n_sdx=1, n_sdy=FIG10_N_SDY)
+    for n_cg in config.fig10_groups:
+        if scenario.n_members % n_cg:
+            continue
+        plan = concurrent_access_plan(
+            decomp, scenario.layout, n_files=scenario.n_members, n_cg=n_cg
+        )
+        machine = Machine(config.spec)
+        _, makespan = simulate_read_plan(machine, plan)
+        result.rows.append(
+            {
+                "n_cg": n_cg,
+                "n_io_processors": n_cg * FIG10_N_SDY,
+                "read_time": makespan,
+            }
+        )
+
+    times = result.series("read_time")
+    groups = result.series("n_cg")
+    knee = config.spec.n_storage_nodes
+    before = [t for g, t in zip(groups, times) if g <= min(4, knee)]
+    beyond = [t for g, t in zip(groups, times) if g > knee]
+    result.acceptance["monotone_decrease_up_to_4_groups"] = all(
+        a > b for a, b in zip(before, before[1:])
+    )
+    # "As n_cg > 6, the data reading time changes slightly" (Sec. 5.3).
+    result.acceptance["slight_change_beyond_saturation"] = (
+        max(beyond) <= 1.25 * min(beyond) if beyond else False
+    )
+    result.acceptance["never_increases"] = all(
+        a >= b - 1e-12 for a, b in zip(times, times[1:])
+    )
+    result.acceptance["concurrency_helps_overall"] = times[-1] < times[0]
+    return result

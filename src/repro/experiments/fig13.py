@@ -1,0 +1,67 @@
+"""Figure 13: strong-scaling total runtime of P-EnKF vs S-EnKF.
+
+The headline result: P-EnKF scales to about two thirds of the sweep and
+then its runtime grows again; S-EnKF keeps (nearly ideal) strong scaling
+to the largest count and beats P-EnKF by ~3x there.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import ExperimentConfig, default_config
+from repro.experiments.result import FigureResult
+from repro.filters.penkf import simulate_penkf
+from repro.filters.senkf import simulate_senkf_autotuned
+
+
+def run_fig13(config: ExperimentConfig | None = None) -> FigureResult:
+    config = config or default_config()
+    result = FigureResult(
+        name="fig13",
+        title="Total runtime of P-EnKF and S-EnKF (strong scaling)",
+        claim=(
+            "P-EnKF stops scaling and regresses at large counts; S-EnKF "
+            "keeps scaling and sustains ~3x speedup at the top"
+        ),
+        columns=["n_p", "penkf_time", "senkf_time", "speedup",
+                 "senkf_c1", "senkf_c2"],
+        notes=[config.scale_note],
+    )
+    for n_sdx, n_sdy in config.scaling_configs:
+        n_p = n_sdx * n_sdy
+        p = simulate_penkf(config.spec, config.scenario, n_sdx, n_sdy)
+        s, tuned = simulate_senkf_autotuned(
+            config.spec, config.scenario, n_p=n_p, epsilon=config.epsilon
+        )
+        result.rows.append(
+            {
+                "n_p": n_p,
+                "penkf_time": p.total_time,
+                "senkf_time": s.total_time,
+                "speedup": p.total_time / s.total_time,
+                "senkf_c1": tuned.c1,
+                "senkf_c2": tuned.c2,
+            }
+        )
+
+    n_ps = result.series("n_p")
+    p_times = result.series("penkf_time")
+    s_times = result.series("senkf_time")
+    speedups = result.series("speedup")
+
+    p_min_idx = p_times.index(min(p_times))
+    result.acceptance["penkf_has_interior_minimum"] = (
+        0 < p_min_idx < len(p_times) - 1
+    )
+    result.acceptance["penkf_regresses_at_top"] = p_times[-1] > min(p_times)
+    # "There is only a very slight loss of scalability in the strong
+    # scaling tests" (Sec. 5.4) — allow 2% between consecutive points.
+    result.acceptance["senkf_scales_with_at_most_slight_loss"] = all(
+        b <= 1.02 * a for a, b in zip(s_times, s_times[1:])
+    )
+    result.acceptance["senkf_speedup_at_top_at_least_2.5x"] = speedups[-1] >= 2.5
+    efficiency = (s_times[0] * n_ps[0]) / (s_times[-1] * n_ps[-1])
+    result.acceptance["senkf_scaling_efficiency_above_0.6"] = efficiency >= 0.6
+    result.notes.append(
+        f"S-EnKF strong-scaling efficiency over the sweep: {efficiency:.2f}"
+    )
+    return result

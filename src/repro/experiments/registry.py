@@ -1,0 +1,42 @@
+"""Registry mapping figure ids to their runners."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.fig01 import run_fig01
+from repro.experiments.fig05 import run_fig05
+from repro.experiments.fig09 import run_fig09
+from repro.experiments.fig10 import run_fig10
+from repro.experiments.fig11 import run_fig11
+from repro.experiments.fig12 import run_fig12
+from repro.experiments.fig13 import run_fig13
+from repro.experiments.result import FigureResult
+
+FIGURES: dict[str, Callable[[ExperimentConfig | None], FigureResult]] = {
+    "fig01": run_fig01,
+    "fig05": run_fig05,
+    "fig09": run_fig09,
+    "fig10": run_fig10,
+    "fig11": run_fig11,
+    "fig12": run_fig12,
+    "fig13": run_fig13,
+}
+
+
+def get_figure(name: str) -> Callable[[ExperimentConfig | None], FigureResult]:
+    """Look up a runner by id (accepts "fig1" or "fig01" spellings)."""
+    key = name.lower().replace("figure", "fig").strip()
+    if key.startswith("fig") and key[3:].isdigit():
+        key = f"fig{int(key[3:]):02d}"
+    if key not in FIGURES:
+        raise KeyError(
+            f"unknown figure {name!r}; available: {', '.join(sorted(FIGURES))}"
+        )
+    return FIGURES[key]
+
+
+def run_all(config: ExperimentConfig | None = None) -> dict[str, FigureResult]:
+    """Run every figure; returns id -> result."""
+    return {name: runner(config) for name, runner in sorted(FIGURES.items())}

@@ -1,0 +1,44 @@
+"""Plain-text rendering of figure results (the "same rows the paper plots")."""
+
+from __future__ import annotations
+
+from repro.experiments.result import FigureResult
+
+
+def _fmt(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != 0 and (abs(value) < 1e-3 or abs(value) >= 1e5):
+            return f"{value:.3e}"
+        return f"{value:.4f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_result(result: FigureResult) -> str:
+    """Render one figure's rows, acceptance checks and notes as text."""
+    lines = [
+        f"== {result.name}: {result.title} ==",
+        f"claim: {result.claim}",
+        "",
+    ]
+    widths = {
+        col: max(len(col), *(len(_fmt(row[col])) for row in result.rows))
+        if result.rows
+        else len(col)
+        for col in result.columns
+    }
+    header = "  ".join(col.rjust(widths[col]) for col in result.columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in result.rows:
+        lines.append(
+            "  ".join(_fmt(row[col]).rjust(widths[col]) for col in result.columns)
+        )
+    lines.append("")
+    for check, ok in result.acceptance.items():
+        lines.append(f"[{'PASS' if ok else 'FAIL'}] {check}")
+    for note in result.notes:
+        lines.append(f"note: {note}")
+    lines.append(f"figure outcome: {'PASS' if result.passed else 'FAIL'}")
+    return "\n".join(lines)

@@ -1,0 +1,47 @@
+"""Result container shared by all experiment runners."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class FigureResult:
+    """The regenerated data behind one paper figure.
+
+    Attributes
+    ----------
+    name / title:
+        Figure id ("fig13") and a human title.
+    claim:
+        The paper's qualitative claim this figure supports.
+    columns:
+        Ordered column names of ``rows``.
+    rows:
+        The data series (list of dicts keyed by ``columns``).
+    acceptance:
+        Machine-checked criteria (name -> bool); the reproduction is
+        considered successful for this figure when all are True.
+    notes:
+        Free-form remarks (scale used, substitutions, deviations).
+    """
+
+    name: str
+    title: str
+    claim: str
+    columns: list[str]
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    acceptance: dict[str, bool] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """True when every acceptance criterion holds."""
+        return all(self.acceptance.values()) if self.acceptance else False
+
+    def series(self, column: str) -> list:
+        """One column of the rows, in order."""
+        if column not in self.columns:
+            raise KeyError(f"unknown column {column!r}")
+        return [row[column] for row in self.rows]

@@ -1,0 +1,53 @@
+"""The reproduction scorecard: every figure's acceptance in one table.
+
+The paper has no numeric tables to reproduce, so the scorecard serves as
+the summary artefact: one row per evaluation figure, its claim, and
+whether every machine-checked criterion holds on this run.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import ExperimentConfig, default_config
+from repro.experiments.registry import FIGURES
+from repro.experiments.result import FigureResult
+
+
+def run_scorecard(
+    config: ExperimentConfig | None = None,
+) -> tuple[list[dict], dict[str, FigureResult]]:
+    """Run every figure; return (scorecard rows, full results)."""
+    config = config or default_config()
+    rows = []
+    results: dict[str, FigureResult] = {}
+    for name in sorted(FIGURES):
+        result = FIGURES[name](config)
+        results[name] = result
+        rows.append(
+            {
+                "figure": name,
+                "checks_passed": sum(result.acceptance.values()),
+                "checks_total": len(result.acceptance),
+                "outcome": "PASS" if result.passed else "FAIL",
+                "claim": result.claim,
+            }
+        )
+    return rows, results
+
+
+def format_scorecard(rows: list[dict]) -> str:
+    """Render the scorecard as a text table."""
+    lines = ["== S-EnKF reproduction scorecard ==", ""]
+    lines.append(f"{'figure':8s} {'checks':>8s} {'outcome':>8s}  claim")
+    lines.append("-" * 76)
+    for row in rows:
+        checks = f"{row['checks_passed']}/{row['checks_total']}"
+        claim = row["claim"]
+        if len(claim) > 52:
+            claim = claim[:49] + "..."
+        lines.append(
+            f"{row['figure']:8s} {checks:>8s} {row['outcome']:>8s}  {claim}"
+        )
+    passed = sum(1 for r in rows if r["outcome"] == "PASS")
+    lines.append("")
+    lines.append(f"figures reproduced: {passed}/{len(rows)}")
+    return "\n".join(lines)

@@ -1,0 +1,161 @@
+"""Shared filter infrastructure: performance scenarios and run reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from functools import cached_property
+
+from repro.cluster.params import MachineSpec
+from repro.core.domain import Decomposition
+from repro.core.grid import Grid
+from repro.costmodel.calibrate import calibrate_from_machine
+from repro.costmodel.model import CostParams
+from repro.io.layout import FileLayout
+from repro.sim import Timeline
+from repro.sim.trace import PHASE_COMM, PHASE_COMPUTE, PHASE_READ, PHASE_WAIT
+from repro.util.validation import check_nonnegative, check_positive
+
+
+@dataclass(frozen=True)
+class PerfScenario:
+    """Problem description for performance runs (no actual data needed).
+
+    ``h_bytes`` is Table 1's per-grid-point data volume — it bundles the
+    vertical levels (the paper's fields have 30) and the element size.
+    """
+
+    n_x: int
+    n_y: int
+    n_members: int
+    h_bytes: int
+    xi: int
+    eta: int
+
+    def __post_init__(self) -> None:
+        check_positive("n_x", self.n_x)
+        check_positive("n_y", self.n_y)
+        check_positive("n_members", self.n_members)
+        check_positive("h_bytes", self.h_bytes)
+        check_nonnegative("xi", self.xi)
+        check_nonnegative("eta", self.eta)
+
+    @classmethod
+    def paper(cls) -> "PerfScenario":
+        """The evaluation workload: 0.1° mesh (3600×1800), 120 members,
+        30 vertical levels of float64 per point."""
+        return cls(n_x=3600, n_y=1800, n_members=120, h_bytes=30 * 8, xi=8, eta=4)
+
+    @classmethod
+    def small(cls) -> "PerfScenario":
+        """A 1/10-linear-scale workload for fast benches; combined with
+        ``MachineSpec.small_cluster`` it preserves the paper's phase ratios."""
+        return cls(n_x=360, n_y=180, n_members=24, h_bytes=30 * 8, xi=4, eta=2)
+
+    def with_(self, **kwargs) -> "PerfScenario":
+        return replace(self, **kwargs)
+
+    # -- derived objects --------------------------------------------------------
+    @cached_property
+    def grid(self) -> Grid:
+        return Grid(n_x=self.n_x, n_y=self.n_y)
+
+    @cached_property
+    def layout(self) -> FileLayout:
+        return FileLayout(grid=self.grid, h_bytes=self.h_bytes)
+
+    def decomposition(self, n_sdx: int, n_sdy: int) -> Decomposition:
+        return Decomposition(
+            self.grid, n_sdx=n_sdx, n_sdy=n_sdy, xi=self.xi, eta=self.eta
+        )
+
+    def cost_params(self, spec: MachineSpec, **kwargs) -> CostParams:
+        """Cost-model constants for this problem on a given machine."""
+        return calibrate_from_machine(
+            spec,
+            n_x=self.n_x,
+            n_y=self.n_y,
+            n_members=self.n_members,
+            h=float(self.h_bytes),
+            xi=self.xi,
+            eta=self.eta,
+            **kwargs,
+        )
+
+    @property
+    def file_bytes(self) -> int:
+        return self.n_x * self.n_y * self.h_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.file_bytes * self.n_members
+
+
+@dataclass
+class SimReport:
+    """Outcome of one simulated assimilation run."""
+
+    filter_name: str
+    timeline: Timeline
+    total_time: float
+    compute_ranks: list[int]
+    io_ranks: list[int]
+    n_sdx: int
+    n_sdy: int
+    n_layers: int = 1
+    n_cg: int = 0
+
+    @property
+    def n_processors(self) -> int:
+        return len(self.compute_ranks) + len(self.io_ranks)
+
+    # -- phase accounting ---------------------------------------------------------
+    def mean_phase_times(self, side: str = "compute") -> dict[str, float]:
+        """Average per-rank seconds in each phase (one bar group of Fig. 9)."""
+        ranks = self.compute_ranks if side == "compute" else self.io_ranks
+        if not ranks:
+            return {}
+        return self.timeline.mean_phase_totals(ranks=ranks)
+
+    def phase_fraction(self, phase: str, side: str = "compute") -> float:
+        """Fraction of the per-rank time budget spent in a phase."""
+        means = self.mean_phase_times(side)
+        total = sum(means.values())
+        return means.get(phase, 0.0) / total if total > 0 else 0.0
+
+    def io_fraction(self) -> float:
+        """Fig. 1's quantity: share of (read + comm + wait) in compute ranks'
+        total accounted time."""
+        means = self.mean_phase_times("compute")
+        io = (
+            means.get(PHASE_READ, 0.0)
+            + means.get(PHASE_COMM, 0.0)
+            + means.get(PHASE_WAIT, 0.0)
+        )
+        total = sum(means.values())
+        return io / total if total > 0 else 0.0
+
+    def overlap_fraction(self) -> float:
+        """Fig. 11's quantity: overlapped (read+comm+wait vs compute) time
+        over the total runtime."""
+        if self.total_time <= 0:
+            return 0.0
+        overlapped = self.timeline.overlapped_time(
+            compute_ranks=self.compute_ranks,
+            io_ranks=self.io_ranks if self.io_ranks else None,
+        )
+        return overlapped / self.total_time
+
+    def summary(self) -> dict[str, float]:
+        """Flat summary for report tables."""
+        compute = self.mean_phase_times("compute")
+        io = self.mean_phase_times("io")
+        out = {
+            "total_time": self.total_time,
+            "n_processors": float(self.n_processors),
+            "io_fraction": self.io_fraction(),
+            "overlap_fraction": self.overlap_fraction(),
+        }
+        for phase in (PHASE_READ, PHASE_COMM, PHASE_COMPUTE, PHASE_WAIT):
+            out[f"compute_{phase}"] = compute.get(phase, 0.0)
+            out[f"io_{phase}"] = io.get(phase, 0.0)
+        return out

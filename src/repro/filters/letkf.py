@@ -1,0 +1,78 @@
+"""LETKF: domain-localized deterministic filter (the NICAM-LETKF family).
+
+Several of the paper's reference systems ([15], [19], [33]) are LETKF
+implementations — the same domain decomposition as P-EnKF/S-EnKF but with
+the deterministic ensemble-transform update instead of perturbed
+observations and modified Cholesky.  This class completes the filter
+family: identical decomposition and (simulated) data-movement behaviour,
+different local mathematics.
+
+Data movement is the same as P-EnKF's (block reading) unless paired with
+S-EnKF's staging — the update scheme and the I/O strategy are orthogonal
+axes, which is exactly the paper's co-design point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.params import MachineSpec
+from repro.core.domain import Decomposition
+from repro.core.etkf import local_analysis_etkf
+from repro.filters.base import PerfScenario, SimReport
+from repro.filters.penkf import simulate_penkf
+from repro.util.validation import check_positive
+
+
+class LETKF:
+    """Local ensemble transform Kalman filter on the shared decomposition.
+
+    Parameters
+    ----------
+    inflation:
+        Multiplicative anomaly inflation applied inside each local
+        transform (the conventional place for LETKF inflation).
+    """
+
+    name = "letkf"
+
+    def __init__(self, inflation: float = 1.0):
+        check_positive("inflation", inflation)
+        self.inflation = float(inflation)
+
+    def assimilate(
+        self,
+        decomp: Decomposition,
+        states: np.ndarray,
+        network,
+        y: np.ndarray,
+        rng=None,  # accepted for interface parity; the update is deterministic
+    ) -> np.ndarray:
+        """Analyse the global ensemble via per-sub-domain ETKF transforms."""
+        states = np.asarray(states, dtype=float)
+        if states.shape[0] != decomp.grid.n:
+            raise ValueError(
+                f"ensemble has {states.shape[0]} components, grid has "
+                f"{decomp.grid.n}"
+            )
+        analysed = np.empty_like(states)
+        for sd in decomp:
+            analysed[sd.interior_flat] = local_analysis_etkf(
+                sd,
+                states[sd.expansion_flat],
+                network,
+                y,
+                inflation=self.inflation,
+            )
+        return analysed
+
+    @staticmethod
+    def simulate(
+        spec: MachineSpec, scenario: PerfScenario, n_sdx: int, n_sdy: int
+    ) -> SimReport:
+        """LETKF implementations in the literature use the block-reading
+        workflow; the simulated orchestration is P-EnKF's with the filter
+        relabelled."""
+        report = simulate_penkf(spec, scenario, n_sdx, n_sdy)
+        report.filter_name = "letkf"
+        return report

@@ -1,0 +1,248 @@
+"""S-EnKF: the paper's contribution, assembled.
+
+Simulated orchestration (Sec. 4.1–4.2, Figs. 6–8):
+
+* ``C2 = n_sdx · n_sdy`` **compute ranks** own sub-domains; each runs a
+  *helper thread* (a second DES process sharing the rank) that receives
+  stage data from the I/O side while the *main thread* analyses the
+  previous layer — the flow split of Fig. 8.
+* ``C1 = n_cg · n_sdy`` **I/O ranks** form ``n_cg`` concurrent groups.
+  Group ``g`` covers files ``{f ≡ g (mod n_cg)}``; within a group, rank
+  ``j`` bar-reads latitude band ``j``.  At stage ``l`` an I/O rank reads
+  the *small bar* (the layer's rows ± η) of each of its files — one seek
+  each — and sends every compute rank of its band one aggregated block
+  message for the stage.
+* Each sub-domain's interior is split into ``L`` latitude layers updated
+  one after another; only the first stage's read + communication is
+  exposed, everything later hides behind computation.
+
+Inline numerics: the multi-stage schedule corresponds to analysing each
+layer as its own (sub-)sub-domain — implemented by overriding the analysis
+pieces of the shared engine with the L-layer split.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.machine import Machine
+from repro.cluster.params import MachineSpec
+from repro.core.domain import SubDomain
+from repro.filters.base import PerfScenario, SimReport
+from repro.filters.distributed import DistributedEnKF
+from repro.mpisim import Communicator
+from repro.sim import Store, Timeline
+from repro.sim.trace import PHASE_COMM, PHASE_COMPUTE, PHASE_READ, PHASE_WAIT
+from repro.tuning.autotune import AutotuneResult, autotune
+from repro.util.validation import check_divides, check_positive
+
+
+class SEnKF(DistributedEnKF):
+    """Multi-stage S-EnKF: layered local analyses + overlapped simulation."""
+
+    name = "s-enkf"
+
+    def __init__(
+        self,
+        radius_km: float,
+        n_layers: int = 1,
+        inflation: float = 1.0,
+        ridge: float = 1e-8,
+        sparse_solver: bool = False,
+    ):
+        super().__init__(radius_km, inflation=inflation, ridge=ridge,
+                         sparse_solver=sparse_solver)
+        check_positive("n_layers", n_layers)
+        self.n_layers = int(n_layers)
+
+    def _analysis_pieces(self, sd: SubDomain):
+        """Each layer is analysed as its own sub-domain (same ξ/η halos)."""
+        if self.n_layers == 1:
+            yield sd
+            return
+        for layer in sd.layers(self.n_layers):
+            yield SubDomain(
+                grid=sd.grid,
+                i=sd.i,
+                j=sd.j,
+                ix0=sd.ix0,
+                ix1=sd.ix1,
+                iy0=layer.iy0,
+                iy1=layer.iy1,
+                xi=sd.xi,
+                eta=sd.eta,
+            )
+
+    @staticmethod
+    def simulate(
+        spec: MachineSpec,
+        scenario: PerfScenario,
+        n_sdx: int,
+        n_sdy: int,
+        n_layers: int,
+        n_cg: int,
+    ) -> SimReport:
+        return simulate_senkf(spec, scenario, n_sdx, n_sdy, n_layers, n_cg)
+
+
+def simulate_senkf(
+    spec: MachineSpec,
+    scenario: PerfScenario,
+    n_sdx: int,
+    n_sdy: int,
+    n_layers: int,
+    n_cg: int,
+    prefetch_depth: int | None = None,
+) -> SimReport:
+    """Simulate one S-EnKF assimilation with explicit tuning parameters.
+
+    ``prefetch_depth`` bounds how many stages the I/O side may run ahead
+    of the analyses (the staging-buffer budget per compute rank):
+    ``None`` (default) models unbounded staging memory; ``1`` is classic
+    double buffering — the I/O ranks read stage ``l+1`` while stage ``l``
+    is analysed and stall beyond that.  Flow control is modelled by one
+    acknowledgement per band and stage (compute rank ``(0, j)`` acks its
+    band's I/O ranks when it finishes a stage — the band's ranks advance
+    in lockstep, so one ack per band is representative).
+    """
+    check_positive("n_layers", n_layers)
+    check_positive("n_cg", n_cg)
+    check_divides("N (members)", scenario.n_members, "n_cg", n_cg)
+    if prefetch_depth is not None and prefetch_depth < 1:
+        raise ValueError(f"prefetch_depth must be >= 1, got {prefetch_depth}")
+
+    machine = Machine(spec)
+    env = machine.env
+    decomp = scenario.decomposition(n_sdx, n_sdy)
+    layout = scenario.layout
+    n_compute = decomp.n_subdomains
+    n_io = n_cg * n_sdy
+    comm = Communicator(machine, size=n_compute + n_io)
+    timeline = Timeline()
+
+    def io_rank_id(g: int, j: int) -> int:
+        return n_compute + g * n_sdy + j
+
+    # Stage geometry is identical across longitudes: take column 0's layers.
+    band_layers = {
+        j: decomp.subdomain(0, j).layers(n_layers) for j in range(n_sdy)
+    }
+    files_per_group = scenario.n_members // n_cg
+    # Per-stage compute: c × layer points (Eq. 9).
+    layer_points = decomp.block_cols * (decomp.block_rows // n_layers)
+    compute_cost = spec.c_point * layer_points
+
+    ACK_TAG = -100  #: flow-control acks (distinct from stage-data tags >= 0)
+
+    def io_process(ctx, g: int, j: int):
+        rank = ctx.rank
+        files = range(g, scenario.n_members, n_cg)
+        acks_received = 0
+        for l, layer in enumerate(band_layers[j]):
+            if prefetch_depth is not None and l >= prefetch_depth:
+                # Stall until the band has consumed stage l - depth.
+                while acks_received < l - prefetch_depth + 1:
+                    t0 = env.now
+                    yield from ctx.recv(source=decomp.rank_of(0, j), tag=ACK_TAG)
+                    acks_received += 1
+                    timeline.add(rank, PHASE_WAIT, t0, env.now)
+            rows = layer.n_read_rows
+            bar_bytes = layout.nbytes(rows * decomp.grid.n_x)
+            for f in files:
+                t0 = env.now
+                outcome = yield from machine.pfs.read(f, seeks=1, nbytes=bar_bytes)
+                timeline.add(rank, PHASE_WAIT, t0, outcome.granted_at)
+                timeline.add(
+                    rank, PHASE_READ, outcome.granted_at, outcome.completed_at
+                )
+            # One aggregated block message per compute rank of this band.
+            t0 = env.now
+            for i in range(n_sdx):
+                sd = decomp.subdomain(i, j)
+                elems = len(sd.exp_x_indices) * rows * files_per_group
+                yield from ctx.send(
+                    decomp.rank_of(i, j), layout.nbytes(elems), tag=l
+                )
+            timeline.add(rank, PHASE_COMM, t0, env.now)
+
+    def helper_thread(ctx, stage_ready: Store):
+        """The helper thread of Fig. 8: drains stage data, signals main."""
+        for l in range(n_layers):
+            for g in range(n_cg):
+                _, j = decomp.ij_of(ctx.rank)
+                yield from ctx.recv(source=io_rank_id(g, j), tag=l)
+            yield stage_ready.put(l)
+
+    def compute_process(ctx):
+        rank = ctx.rank
+        i, j = decomp.ij_of(rank)
+        stage_ready = Store(env)
+        env.process(helper_thread(ctx, stage_ready), name=f"helper[{rank}]")
+        for l in range(n_layers):
+            t0 = env.now
+            yield stage_ready.get()
+            timeline.add(rank, PHASE_WAIT, t0, env.now)
+            t0 = env.now
+            yield env.timeout(compute_cost)
+            timeline.add(rank, PHASE_COMPUTE, t0, env.now)
+            if prefetch_depth is not None and i == 0 and l < n_layers - 1:
+                # Band representative releases one staging-buffer credit
+                # to each of its I/O sources (zero-byte control message).
+                for g in range(n_cg):
+                    ctx.isend(io_rank_id(g, j), nbytes=0, tag=ACK_TAG)
+
+    for rank in range(n_compute):
+        comm.spawn(compute_process, ranks=[rank], name="senkf-compute")
+    for g in range(n_cg):
+        for j in range(n_sdy):
+
+            def make(g=g, j=j):
+                def runner(ctx):
+                    yield from io_process(ctx, g, j)
+
+                return runner
+
+            comm.spawn(make(), ranks=[io_rank_id(g, j)], name="senkf-io")
+    env.run()
+
+    return SimReport(
+        filter_name="s-enkf",
+        timeline=timeline,
+        total_time=env.now,
+        compute_ranks=list(range(n_compute)),
+        io_ranks=[n_compute + k for k in range(n_io)],
+        n_sdx=n_sdx,
+        n_sdy=n_sdy,
+        n_layers=n_layers,
+        n_cg=n_cg,
+    )
+
+
+def simulate_senkf_autotuned(
+    spec: MachineSpec,
+    scenario: PerfScenario,
+    n_p: int,
+    epsilon: float = 1e-4,
+    objective: str = "pipelined",
+) -> tuple[SimReport, AutotuneResult]:
+    """Auto-tune (Algorithm 2) for an ``n_p``-processor budget, then simulate.
+
+    This is how the paper runs S-EnKF in the evaluation: "the total number
+    of processors is the summation of C1 and C2, which are determined by
+    Algorithm 2" (Sec. 5.1); the reported processor count is the budget
+    ``n_p``, of which S-EnKF may use fewer.  The default objective is the
+    overlap-feasible pipelined total (== the paper's Eq. 10 in its
+    operating regime; see :func:`repro.costmodel.model.t_total_pipelined`).
+    """
+    params = scenario.cost_params(spec)
+    result = autotune(params, n_p=n_p, epsilon=epsilon, objective=objective)
+    if result is None:
+        raise ValueError(f"no feasible S-EnKF configuration for n_p={n_p}")
+    choice = result.choice
+    report = simulate_senkf(
+        spec,
+        scenario,
+        n_sdx=choice.n_sdx,
+        n_sdy=choice.n_sdy,
+        n_layers=choice.n_layers,
+        n_cg=choice.n_cg,
+    )
+    return report, result

@@ -1,0 +1,102 @@
+"""File layout: mapping grid regions to byte extents.
+
+A member file stores the flat state in latitude-row-major order, ``h``
+bytes per grid point (``h`` bundles vertical levels and variables, per
+Table 1).  Extents are expressed in *elements* (grid points); byte offsets
+are ``element * h``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.grid import Grid
+from repro.util.validation import check_positive
+
+
+def contiguous_runs(indices: np.ndarray) -> list[tuple[int, int]]:
+    """Split a set of integer indices into sorted (start, length) runs.
+
+    >>> contiguous_runs(np.array([22, 23, 0, 1, 2]))
+    [(0, 3), (22, 2)]
+    """
+    idx = np.unique(np.asarray(indices, dtype=int))
+    if idx.size == 0:
+        return []
+    breaks = np.nonzero(np.diff(idx) != 1)[0]
+    starts = np.concatenate([[0], breaks + 1])
+    ends = np.concatenate([breaks, [idx.size - 1]])
+    return [(int(idx[s]), int(idx[e] - idx[s] + 1)) for s, e in zip(starts, ends)]
+
+
+@dataclass(frozen=True)
+class FileLayout:
+    """Layout of one ensemble-member file on disk."""
+
+    grid: Grid
+    h_bytes: int  #: bytes per grid point (levels × variables × dtype size)
+
+    def __post_init__(self) -> None:
+        check_positive("h_bytes", self.h_bytes)
+
+    @property
+    def file_elems(self) -> int:
+        return self.grid.n
+
+    @property
+    def file_bytes(self) -> int:
+        return self.grid.n * self.h_bytes
+
+    def nbytes(self, n_elems: int) -> int:
+        """Bytes occupied by ``n_elems`` grid points."""
+        return int(n_elems) * self.h_bytes
+
+    # -- region -> extents ------------------------------------------------------
+    def full_file_extent(self) -> list[tuple[int, int]]:
+        """The whole file as a single extent."""
+        return [(0, self.file_elems)]
+
+    def bar_extents(self, iy0: int, iy1: int) -> list[tuple[int, int]]:
+        """A band of latitude rows [iy0, iy1): one contiguous extent.
+
+        This is the payoff of bar reading — "each I/O processor accesses
+        the contiguous data in the disk with only one disk addressing
+        operation" (Sec. 4.1.2).
+        """
+        self._check_rows(iy0, iy1)
+        return [(iy0 * self.grid.n_x, (iy1 - iy0) * self.grid.n_x)]
+
+    def block_extents(
+        self, x_indices: np.ndarray, iy0: int, iy1: int
+    ) -> list[tuple[int, int]]:
+        """A block: selected longitude columns over rows [iy0, iy1).
+
+        Each row contributes one extent per contiguous column run (two at
+        the periodic seam), which is why block reading costs
+        ``O(rows × runs)`` disk-addressing operations.
+        """
+        self._check_rows(iy0, iy1)
+        runs = contiguous_runs(np.asarray(x_indices))
+        extents = []
+        for iy in range(iy0, iy1):
+            row0 = iy * self.grid.n_x
+            extents.extend((row0 + start, length) for start, length in runs)
+        return extents
+
+    def _check_rows(self, iy0: int, iy1: int) -> None:
+        if not (0 <= iy0 < iy1 <= self.grid.n_y):
+            raise ValueError(
+                f"row range [{iy0}, {iy1}) invalid for n_y={self.grid.n_y}"
+            )
+
+    # -- extents -> element indices (inline execution / equivalence tests) -------
+    @staticmethod
+    def extent_indices(extents: list[tuple[int, int]]) -> np.ndarray:
+        """Flat element indices covered by a list of extents (in order)."""
+        if not extents:
+            return np.empty(0, dtype=int)
+        return np.concatenate(
+            [np.arange(start, start + length) for start, length in extents]
+        )

@@ -1,0 +1,143 @@
+"""Writing the analysis back: the output half of a reanalysis cycle.
+
+The paper only discusses *reading* the background, but an operational
+system must also persist the analysis ensemble ``X^a``.  The same layout
+economics apply in reverse:
+
+* **block writing** — every compute rank writes its own sub-domain block
+  of every member file: no communication, but one seek per block row into
+  whichever disk holds the file (the write twin of Fig. 3's defect);
+* **bar-gather writing** — the S-EnKF-style co-design: compute ranks send
+  their blocks to the bar's I/O rank, which assembles and writes one
+  contiguous bar per file (single seek), with ``n_cg`` concurrent groups
+  writing different files simultaneously.
+
+Interior blocks (not expansions) are written — each point has exactly one
+owner, so bars tile the file exactly.  Plans reuse the read-plan data
+structures; ``ReadOp``/``SendOp`` describe extents and transfers
+regardless of direction, and the simulated executor charges the same disk
+service model (writes and reads cost alike at this fidelity).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.machine import Machine
+from repro.core.domain import Decomposition
+from repro.io.layout import FileLayout
+from repro.io.plan import ReadOp, ReadPlan, SendOp
+from repro.sim import Timeline
+from repro.sim.trace import PHASE_READ, PHASE_WAIT
+from repro.util.validation import check_divides, check_positive
+
+
+def block_write_plan(
+    decomp: Decomposition, layout: FileLayout, n_files: int
+) -> ReadPlan:
+    """Every compute rank writes its interior block of every member file."""
+    check_positive("n_files", n_files)
+    plan = ReadPlan(strategy="block-write", layout=layout, n_files=n_files)
+    for sd in decomp:
+        rank = decomp.rank_of(sd.i, sd.j)
+        rp = plan.rank_plan(rank)
+        extents = tuple(
+            layout.block_extents(np.arange(sd.ix0, sd.ix1), sd.iy0, sd.iy1)
+        )
+        for f in range(n_files):
+            rp.reads.append(ReadOp(file_id=f, extents=extents))
+    return plan
+
+
+def bar_gather_write_plan(
+    decomp: Decomposition,
+    layout: FileLayout,
+    n_files: int,
+    n_cg: int = 1,
+) -> ReadPlan:
+    """Compute ranks send blocks to bar writers; writers stream whole bars.
+
+    Mirror of :func:`repro.io.strategies.concurrent_access_plan`: I/O rank
+    ``(g, j)`` receives the band-``j`` interior blocks of its group's
+    files, assembles them in memory, and writes each file's bar as one
+    contiguous extent.
+    """
+    check_positive("n_files", n_files)
+    check_divides("n_files", n_files, "n_cg", n_cg)
+    plan = ReadPlan(strategy=f"bar-write[{n_cg}]", layout=layout, n_files=n_files)
+    io_base = decomp.n_subdomains
+    for g in range(n_cg):
+        files = range(g, n_files, n_cg)
+        for j in range(decomp.n_sdy):
+            io_rank = io_base + g * decomp.n_sdy + j
+            rp = plan.rank_plan(io_rank)
+            iy0, iy1 = decomp.bar_rows(j)  # interior rows: bars tile exactly
+            extents = tuple(layout.bar_extents(iy0, iy1))
+            for f in files:
+                rp.reads.append(ReadOp(file_id=f, extents=extents))
+                for i in range(decomp.n_sdx):
+                    src = decomp.rank_of(i, j)
+                    sd = decomp.subdomain(i, j)
+                    plan.rank_plan(src).sends.append(
+                        SendOp(
+                            source=src,
+                            dest=io_rank,
+                            n_elems=sd.size,
+                            tag=f,
+                        )
+                    )
+    return plan
+
+
+def simulate_write_plan(
+    machine: Machine, plan: ReadPlan
+) -> tuple[Timeline, float]:
+    """Run a write plan's disk ops on the DES (writes cost like reads).
+
+    Communication legs of gather-write plans are charged on the sending
+    compute ranks using the machine's message cost, concurrently with the
+    writers draining their queues — modelled here as each writer's ops
+    being preceded by the arrival of its inputs (senders transfer first).
+    """
+    timeline = Timeline()
+    env = machine.env
+    start = env.now
+
+    # Sends: each source rank serialises its own transfers.
+    senders: dict[int, list[SendOp]] = {}
+    for rank, rp in plan.per_rank.items():
+        if rp.sends:
+            senders[rank] = rp.sends
+
+    def sender(rank: int, sends: list[SendOp]):
+        for op in sends:
+            yield env.timeout(machine.message_time(op.nbytes(plan.layout)))
+
+    send_procs = {
+        rank: env.process(sender(rank, sends), name=f"writer-send[{rank}]")
+        for rank, sends in senders.items()
+    }
+
+    def writer(rank: int, rp):
+        # A gather-writer cannot write a file's bar before its inputs
+        # arrived; approximate by waiting for all senders feeding it.
+        feeders = [
+            send_procs[src]
+            for src, sends in senders.items()
+            if any(s.dest == rank for s in sends)
+        ]
+        if feeders:
+            yield env.all_of(feeders)
+        for op in rp.reads:
+            t0 = env.now
+            outcome = yield from machine.pfs.read(
+                op.file_id, seeks=op.seeks, nbytes=op.nbytes(plan.layout)
+            )
+            timeline.add(rank, PHASE_WAIT, t0, outcome.granted_at)
+            timeline.add(rank, PHASE_READ, outcome.granted_at, outcome.completed_at)
+
+    for rank, rp in plan.per_rank.items():
+        if rp.reads:
+            env.process(writer(rank, rp), name=f"writer[{rank}]")
+    env.run()
+    return timeline, env.now - start

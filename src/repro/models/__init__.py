@@ -1,0 +1,32 @@
+"""Synthetic geophysical substrates.
+
+The paper assimilates 0.1° ocean-model output (120 members from a
+"long-time ocean model integration").  We have no access to that data, so
+this package supplies the closest synthetic equivalents (DESIGN.md §2):
+
+* :mod:`repro.models.grf` — spatially correlated Gaussian random fields
+  (spectral synthesis), for background ensembles with realistic
+  correlation structure;
+* :mod:`repro.models.advection` — a 2-D advection–diffusion "ocean" with a
+  zonal jet, integrated long enough to decorrelate members, for twin
+  experiments where a real dynamical model matters;
+* :mod:`repro.models.lorenz96` — the standard 1-D chaotic test bed;
+* :mod:`repro.models.twin` — the twin-experiment harness (truth run,
+  synthetic observations, forecast/analysis cycling).
+"""
+
+from repro.models.grf import gaussian_random_field, correlated_ensemble
+from repro.models.advection import AdvectionDiffusionModel
+from repro.models.lorenz96 import Lorenz96
+from repro.models.shallow_water import ShallowWaterModel
+from repro.models.twin import TwinExperiment, TwinResult
+
+__all__ = [
+    "AdvectionDiffusionModel",
+    "Lorenz96",
+    "ShallowWaterModel",
+    "TwinExperiment",
+    "TwinResult",
+    "correlated_ensemble",
+    "gaussian_random_field",
+]

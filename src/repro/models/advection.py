@@ -1,0 +1,91 @@
+"""A 2-D advection–diffusion "ocean" on the latitude–longitude mesh.
+
+The tracer field ``q`` is advected by a steady zonal jet ``u(y)`` (fast at
+mid-latitudes, slow near the poles — a cartoon of the circumpolar current)
+and diffused weakly:
+
+.. math:: \\partial_t q + u(y)\\,\\partial_x q = \\kappa \\nabla^2 q
+
+Discretisation: first-order upwind advection + explicit centred diffusion,
+periodic in longitude, no-flux at the latitude boundaries.  The scheme is
+stable under the CFL/diffusion conditions enforced in the constructor, and
+integrating an initial random field for a "long time" produces the kind of
+flow-stretched, anisotropically correlated background members the paper's
+data assimilation consumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.grid import Grid
+from repro.util.validation import check_nonnegative, check_positive
+
+
+class AdvectionDiffusionModel:
+    """Deterministic forward model ``q ↦ q(t + dt·steps)``."""
+
+    def __init__(
+        self,
+        grid: Grid,
+        u_max: float = 1.0,
+        kappa: float = 0.05,
+        dt: float = 0.2,
+    ):
+        check_positive("u_max", u_max)
+        check_nonnegative("kappa", kappa)
+        check_positive("dt", dt)
+        self.grid = grid
+        self.u_max = float(u_max)
+        self.kappa = float(kappa)
+        self.dt = float(dt)
+
+        # Zonal jet: u(y) = u_max * sin(pi * y / (n_y - 1)) (0 at poles).
+        y = np.arange(grid.n_y)
+        denominator = max(grid.n_y - 1, 1)
+        self.u = self.u_max * np.sin(np.pi * y / denominator)
+
+        # Stability: CFL for upwind advection + explicit diffusion limit
+        # (grid spacing is 1 in index units).
+        cfl = self.u.max() * dt
+        if cfl > 1.0:
+            raise ValueError(f"advective CFL {cfl:.3f} > 1: reduce dt or u_max")
+        if 4 * self.kappa * dt > 1.0:
+            raise ValueError(
+                f"diffusion number {4 * self.kappa * dt:.3f} > 1: reduce dt or kappa"
+            )
+
+    def step_field(self, field: np.ndarray) -> np.ndarray:
+        """Advance a (n_y, n_x) field by one time step."""
+        if field.shape != self.grid.shape:
+            raise ValueError(
+                f"field shape {field.shape} != grid shape {self.grid.shape}"
+            )
+        u = self.u[:, None]
+        # Upwind advection: u >= 0 everywhere (jet blows east).
+        upwind = field - np.roll(field, 1, axis=1)
+        adv = -u * upwind
+
+        # Diffusion with periodic x, no-flux y (edge rows see mirrored ghosts).
+        lap_x = np.roll(field, 1, axis=1) - 2 * field + np.roll(field, -1, axis=1)
+        padded = np.vstack([field[0], field, field[-1]])
+        lap_y = padded[:-2] - 2 * field + padded[2:]
+        return field + self.dt * (adv + self.kappa * (lap_x + lap_y))
+
+    def step(self, state: np.ndarray, n_steps: int = 1) -> np.ndarray:
+        """Advance a flat state vector by ``n_steps`` time steps."""
+        if n_steps < 0:
+            raise ValueError(f"n_steps must be >= 0, got {n_steps}")
+        field = self.grid.as_field(np.asarray(state, dtype=float)).copy()
+        for _ in range(n_steps):
+            field = self.step_field(field)
+        return self.grid.as_state(field)
+
+    def step_ensemble(self, states: np.ndarray, n_steps: int = 1) -> np.ndarray:
+        """Advance every column of an (n, N) ensemble matrix."""
+        states = np.asarray(states, dtype=float)
+        if states.ndim != 2:
+            raise ValueError(f"expected (n, N), got {states.shape}")
+        return np.column_stack(
+            [self.step(states[:, k], n_steps) for k in range(states.shape[1])]
+        )

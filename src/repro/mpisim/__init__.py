@@ -1,0 +1,40 @@
+"""Simulated MPI: ranks, matched point-to-point messaging, collectives.
+
+Each MPI rank is a DES process; messages cost ``a + b * bytes`` of sender
+time (Table 1's startup/transfer constants) and are matched at the receiver
+by ``(source, tag)`` with wildcards, like real MPI.  Collectives are built
+from point-to-point messages with the same tree shapes the paper's cost
+model assumes (binomial trees — the ``log`` factors in Eqs. 7–8).
+
+The layer is SPMD-flavoured: you write one generator per rank (or one
+parameterised by rank) and ``spawn`` it::
+
+    comm = Communicator(machine, size=4)
+
+    def main(ctx):
+        if ctx.rank == 0:
+            yield from ctx.send(dest=1, nbytes=1 << 20, payload="hello")
+        elif ctx.rank == 1:
+            msg = yield from ctx.recv(source=0)
+
+    comm.spawn(main)
+    machine.run()
+"""
+
+from repro.mpisim.comm import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Communicator,
+    Message,
+    RankContext,
+    SubCommunicator,
+)
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Communicator",
+    "Message",
+    "RankContext",
+    "SubCommunicator",
+]

@@ -1,0 +1,289 @@
+"""Collective operations built from point-to-point messages.
+
+The tree shapes are the ones the paper's cost model assumes: broadcast and
+reduction use binomial trees (``log2 p`` rounds of ``a + b*n``), while the
+serial scatter/gather model the single-reader distribution that the paper
+criticises in L-EnKF (root touches every destination one after another).
+
+All functions are generators meant to be ``yield from``-ed inside every
+participating rank's process, SPMD style.  Each collective invocation on a
+communicator must use a distinct ``tag`` stream if collectives can be
+concurrently in flight; the defaults (negative tags) are fine for the
+phase-structured workloads in this repo.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence
+
+from repro.mpisim.comm import Communicator, RankContext
+
+
+def _vrank(rank: int, root: int, size: int) -> int:
+    """Virtual rank with ``root`` mapped to 0."""
+    return (rank - root) % size
+
+
+def _rrank(vrank: int, root: int, size: int) -> int:
+    """Inverse of :func:`_vrank`."""
+    return (vrank + root) % size
+
+
+def bcast(
+    ctx: RankContext, root: int, nbytes: float, payload: Any = None, tag: int = -1
+):
+    """Binomial-tree broadcast of one buffer from ``root`` to all ranks."""
+    comm: Communicator = ctx.comm
+    comm._check_rank("root", root)
+    size = comm.size
+    if size == 1:
+        return payload
+    v = _vrank(ctx.rank, root, size)
+
+    # Receive from parent (unless root).
+    mask = 1
+    while mask < size:
+        if v & mask:
+            parent = _rrank(v & ~mask, root, size)
+            msg = yield from ctx.recv(source=parent, tag=tag)
+            payload = msg.payload
+            break
+        mask <<= 1
+    else:
+        mask = 1
+        while mask < size:
+            mask <<= 1
+
+    # Send to children, highest bit first (classic binomial order).
+    mask >>= 1
+    while mask > 0:
+        if v + mask < size and not (v & mask):
+            child = _rrank(v + mask, root, size)
+            yield from ctx.send(child, nbytes, tag=tag, payload=payload)
+        mask >>= 1
+    return payload
+
+
+def scatter_serial(
+    ctx: RankContext,
+    root: int,
+    nbytes_per_rank: float | Sequence[float],
+    payloads: Optional[Sequence[Any]] = None,
+    tag: int = -2,
+):
+    """Root sends each destination its own block, one send after another.
+
+    This is the L-EnKF distribution pattern (single reader "distributing the
+    data to other processors serially", Sec. 6); its cost is linear in the
+    communicator size, which is the scalability defect S-EnKF removes.
+    Returns this rank's block (payloads[rank] if given).
+    """
+    comm: Communicator = ctx.comm
+    comm._check_rank("root", root)
+    size = comm.size
+
+    def block_bytes(dest: int) -> float:
+        if isinstance(nbytes_per_rank, (int, float)):
+            return float(nbytes_per_rank)
+        return float(nbytes_per_rank[dest])
+
+    if ctx.rank == root:
+        for dest in range(size):
+            if dest == root:
+                continue
+            item = payloads[dest] if payloads is not None else None
+            yield from ctx.send(dest, block_bytes(dest), tag=tag, payload=item)
+        return payloads[root] if payloads is not None else None
+    msg = yield from ctx.recv(source=root, tag=tag)
+    return msg.payload
+
+
+def gather_serial(
+    ctx: RankContext, root: int, nbytes: float, payload: Any = None, tag: int = -3
+):
+    """All ranks send their block to root; root collects them in rank order.
+
+    Returns the list of payloads (rank-indexed) on root, ``None`` elsewhere.
+    """
+    comm: Communicator = ctx.comm
+    comm._check_rank("root", root)
+    size = comm.size
+    if ctx.rank != root:
+        yield from ctx.send(root, nbytes, tag=tag, payload=payload)
+        return None
+    out: list[Any] = [None] * size
+    out[root] = payload
+    for src in range(size):
+        if src == root:
+            continue
+        msg = yield from ctx.recv(source=src, tag=tag)
+        out[src] = msg.payload
+    return out
+
+
+def allreduce(
+    ctx: RankContext,
+    nbytes: float,
+    value: float = 0.0,
+    op: Optional[Callable[[Any, Any], Any]] = None,
+    tag: int = -4,
+):
+    """Recursive-doubling allreduce (with the standard non-power-of-2 fold).
+
+    ``op`` defaults to addition.  Every rank returns the reduced value after
+    ``ceil(log2 p)`` exchange rounds of ``a + b*nbytes`` each.
+    """
+    if op is None:
+        op = lambda x, y: x + y  # noqa: E731 - tiny default combiner
+    comm: Communicator = ctx.comm
+    size = comm.size
+    if size == 1:
+        return value
+    rank = ctx.rank
+
+    # Largest power of two <= size.
+    pof2 = 1
+    while pof2 * 2 <= size:
+        pof2 *= 2
+    rem = size - pof2
+
+    # Pre-fold: ranks >= pof2 send their value down to (rank - pof2).
+    if rank >= pof2:
+        yield from ctx.send(rank - pof2, nbytes, tag=tag, payload=value)
+        newrank = -1
+    elif rank < rem:
+        msg = yield from ctx.recv(source=rank + pof2, tag=tag)
+        value = op(value, msg.payload)
+        newrank = rank
+    else:
+        newrank = rank
+
+    # Recursive doubling among the power-of-two group.
+    if newrank != -1:
+        mask = 1
+        while mask < pof2:
+            partner = newrank ^ mask
+            send_proc = ctx.isend(partner, nbytes, tag=tag + 1, payload=value)
+            msg = yield from ctx.recv(source=partner, tag=tag + 1)
+            yield send_proc
+            value = op(value, msg.payload)
+            mask <<= 1
+
+    # Post-fold: send results back to the folded ranks.
+    if rank < rem:
+        yield from ctx.send(rank + pof2, nbytes, tag=tag + 2, payload=value)
+    elif rank >= pof2:
+        msg = yield from ctx.recv(source=rank - pof2, tag=tag + 2)
+        value = msg.payload
+    return value
+
+
+def reduce(
+    ctx: RankContext,
+    root: int,
+    nbytes: float,
+    value: Any = 0.0,
+    op: Optional[Callable[[Any, Any], Any]] = None,
+    tag: int = -5,
+):
+    """Binomial-tree reduction to ``root``.
+
+    Mirror image of :func:`bcast`: leaves send first, internal nodes
+    combine children before forwarding — ``ceil(log2 p)`` rounds.  Returns
+    the reduced value on ``root``, ``None`` elsewhere.
+    """
+    if op is None:
+        op = lambda x, y: x + y  # noqa: E731 - tiny default combiner
+    comm: Communicator = ctx.comm
+    comm._check_rank("root", root)
+    size = comm.size
+    if size == 1:
+        return value
+    v = _vrank(ctx.rank, root, size)
+
+    mask = 1
+    while mask < size:
+        if v & mask:
+            parent = _rrank(v & ~mask, root, size)
+            yield from ctx.send(parent, nbytes, tag=tag, payload=value)
+            return None
+        partner = v | mask
+        if partner < size:
+            msg = yield from ctx.recv(source=_rrank(partner, root, size), tag=tag)
+            value = op(value, msg.payload)
+        mask <<= 1
+    return value
+
+
+def gather_binomial(
+    ctx: RankContext, root: int, nbytes: float, payload: Any = None, tag: int = -6
+):
+    """Binomial-tree gather: internal nodes forward concatenated subtrees.
+
+    Returns the rank-indexed payload list on ``root``, ``None`` elsewhere.
+    Cheaper in rounds than :func:`gather_serial` (log p vs p), at the cost
+    of forwarding aggregated data up the tree.
+    """
+    comm: Communicator = ctx.comm
+    comm._check_rank("root", root)
+    size = comm.size
+    v = _vrank(ctx.rank, root, size)
+    # Collected (vrank, payload) pairs from this rank's subtree.
+    bucket: list[tuple[int, Any]] = [(v, payload)]
+    subtree_bytes = float(nbytes)
+
+    mask = 1
+    while mask < size:
+        if v & mask:
+            parent = _rrank(v & ~mask, root, size)
+            yield from ctx.send(parent, subtree_bytes, tag=tag, payload=bucket)
+            return None
+        partner = v | mask
+        if partner < size:
+            msg = yield from ctx.recv(source=_rrank(partner, root, size), tag=tag)
+            bucket.extend(msg.payload)
+            subtree_bytes += msg.nbytes
+        mask <<= 1
+    out: list[Any] = [None] * size
+    for vr, item in bucket:
+        out[_rrank(vr, root, size)] = item
+    return out
+
+
+def alltoall(
+    ctx: RankContext,
+    nbytes_per_pair: float,
+    payloads: Optional[Sequence[Any]] = None,
+    tag: int = -7,
+):
+    """Pairwise-exchange all-to-all (p-1 rounds of simultaneous send/recv).
+
+    ``payloads[d]`` is this rank's block for destination ``d``; returns the
+    rank-indexed list of received blocks (own block passed through).
+    """
+    comm: Communicator = ctx.comm
+    size = comm.size
+    rank = ctx.rank
+    if payloads is not None and len(payloads) != size:
+        raise ValueError(
+            f"payloads must have one entry per rank ({size}), got {len(payloads)}"
+        )
+    out: list[Any] = [None] * size
+    out[rank] = payloads[rank] if payloads is not None else None
+    power_of_two = size & (size - 1) == 0
+    for round_ in range(1, size):
+        if power_of_two:
+            # XOR schedule: symmetric partners each round.
+            dest = src = rank ^ round_
+        else:
+            # Ring schedule: send ahead, receive from behind — a
+            # consistent global pairing for any size.
+            dest = (rank + round_) % size
+            src = (rank - round_) % size
+        item = payloads[dest] if payloads is not None else None
+        send_proc = ctx.isend(dest, nbytes_per_pair, tag=tag - round_,
+                              payload=item)
+        msg = yield from ctx.recv(source=src, tag=tag - round_)
+        yield send_proc
+        out[src] = msg.payload
+    return out

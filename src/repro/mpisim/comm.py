@@ -1,0 +1,360 @@
+"""Communicator, mailboxes and point-to-point messaging."""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.cluster.machine import Machine
+from repro.sim import Environment, Event, Process
+from repro.sim.errors import SimulationError
+
+#: Wildcards for receive matching.
+ANY_SOURCE: Optional[int] = None
+ANY_TAG: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class Message:
+    """A delivered message (metadata + optional payload)."""
+
+    source: int
+    dest: int
+    tag: int
+    nbytes: float
+    payload: Any = None
+    sent_at: float = 0.0
+    delivered_at: float = 0.0
+
+
+@dataclass
+class _Waiter:
+    """A pending receive: an event plus its (source, tag) filter."""
+
+    event: Event
+    source: Optional[int]
+    tag: Optional[int]
+
+    def matches(self, msg: Message) -> bool:
+        return (self.source is None or self.source == msg.source) and (
+            self.tag is None or self.tag == msg.tag
+        )
+
+
+class _Mailbox:
+    """Unmatched messages and waiting receivers for one rank.
+
+    Messages are indexed by exact ``(source, tag)`` so the common case —
+    a receive with both specified — matches in O(1) even when a sender
+    has run far ahead and queued hundreds of messages (S-EnKF's I/O ranks
+    do exactly that).  Wildcard receives fall back to a seq-ordered scan
+    across the keyed queues, preserving global FIFO semantics.
+    """
+
+    __slots__ = ("_queues", "_waiters", "_seq")
+
+    def __init__(self) -> None:
+        self._queues: dict[tuple[int, int], "deque[tuple[int, Message]]"] = {}
+        self._waiters: list[_Waiter] = []
+        self._seq = 0
+
+    def deposit(self, msg: Message) -> None:
+        for i, waiter in enumerate(self._waiters):
+            if waiter.matches(msg):
+                del self._waiters[i]
+                waiter.event.succeed(msg)
+                return
+        key = (msg.source, msg.tag)
+        self._queues.setdefault(key, deque()).append((self._seq, msg))
+        self._seq += 1
+
+    def _pop_exact(self, key: tuple[int, int]) -> Message | None:
+        queue = self._queues.get(key)
+        if not queue:
+            return None
+        _, msg = queue.popleft()
+        if not queue:
+            del self._queues[key]
+        return msg
+
+    def _pop_wildcard(self, waiter: _Waiter) -> Message | None:
+        best_key = None
+        best_seq = None
+        for key, queue in self._queues.items():
+            source, tag = key
+            if waiter.source is not None and waiter.source != source:
+                continue
+            if waiter.tag is not None and waiter.tag != tag:
+                continue
+            seq = queue[0][0]
+            if best_seq is None or seq < best_seq:
+                best_seq = seq
+                best_key = key
+        if best_key is None:
+            return None
+        return self._pop_exact(best_key)
+
+    def register(self, waiter: _Waiter) -> None:
+        if waiter.source is not None and waiter.tag is not None:
+            msg = self._pop_exact((waiter.source, waiter.tag))
+        else:
+            msg = self._pop_wildcard(waiter)
+        if msg is not None:
+            waiter.event.succeed(msg)
+            return
+        self._waiters.append(waiter)
+
+
+class Communicator:
+    """A group of ``size`` simulated ranks on a :class:`Machine`."""
+
+    def __init__(self, machine: Machine, size: int):
+        if size < 1:
+            raise ValueError(f"communicator size must be >= 1, got {size}")
+        self.machine = machine
+        self.size = int(size)
+        self._mailboxes = [_Mailbox() for _ in range(self.size)]
+        self._barrier_count = 0
+        self._barrier_event: Optional[Event] = None
+
+    @property
+    def env(self) -> Environment:
+        return self.machine.env
+
+    def _check_rank(self, name: str, rank: int) -> None:
+        if not 0 <= rank < self.size:
+            raise ValueError(f"{name}={rank} out of range [0, {self.size})")
+
+    def rank(self, rank: int) -> "RankContext":
+        """Handle used inside rank ``rank``'s process."""
+        self._check_rank("rank", rank)
+        return RankContext(self, rank)
+
+    def spawn(
+        self,
+        fn: Callable[["RankContext"], Generator],
+        ranks: Iterable[int] | None = None,
+        name: str | None = None,
+    ) -> list[Process]:
+        """Start ``fn(ctx)`` as a process on each rank (default: all)."""
+        targets = range(self.size) if ranks is None else ranks
+        procs = []
+        for r in targets:
+            ctx = self.rank(r)
+            label = f"{name or fn.__name__}[{r}]"
+            procs.append(self.env.process(fn(ctx), name=label))
+        return procs
+
+    def split(self, assignments: dict[int, tuple[int, int]]) -> "SubCommunicator":
+        """MPI_Comm_split-style sub-communicators.
+
+        ``assignments`` maps each world rank to ``(color, key)``: ranks
+        sharing a color form one group, ordered by key (ties by world
+        rank).  Returns a :class:`SubCommunicator` from which each rank's
+        group view is obtained — the natural way to express the paper's
+        ``n_cg`` concurrent I/O groups.
+        """
+        if set(assignments) != set(range(self.size)):
+            raise ValueError("assignments must cover every rank exactly once")
+        groups: dict[int, list[int]] = {}
+        for world_rank, (color, key) in assignments.items():
+            groups.setdefault(color, []).append(world_rank)
+        ordered = {
+            color: sorted(members, key=lambda r: (assignments[r][1], r))
+            for color, members in groups.items()
+        }
+        return SubCommunicator(self, assignments, ordered)
+
+    # -- internal barrier machinery (centralised, log-cost) -----------------
+    def _barrier_arrive(self) -> Event:
+        if self._barrier_event is None:
+            self._barrier_event = self.env.event()
+        done = self._barrier_event
+        self._barrier_count += 1
+        if self._barrier_count == self.size:
+            # Dissemination barrier completes in ceil(log2 p) latency rounds.
+            rounds = max(1, math.ceil(math.log2(self.size))) if self.size > 1 else 0
+            delay = rounds * self.machine.spec.alpha
+            self._barrier_count = 0
+            self._barrier_event = None
+
+            def _release(env, event, delay):
+                yield env.timeout(delay)
+                event.succeed()
+
+            self.env.process(_release(self.env, done, delay), name="barrier-release")
+        return done
+
+
+class RankContext:
+    """Per-rank API: the object a rank's generator communicates through."""
+
+    def __init__(self, comm: Communicator, rank: int):
+        self.comm = comm
+        self.rank = rank
+
+    @property
+    def env(self) -> Environment:
+        return self.comm.env
+
+    @property
+    def size(self) -> int:
+        return self.comm.size
+
+    # -- point-to-point ------------------------------------------------------
+    def send(self, dest: int, nbytes: float, tag: int = 0, payload: Any = None):
+        """Blocking send: occupies the sender for ``a + b * nbytes``.
+
+        The message becomes visible to the receiver when the transfer
+        completes (eager protocol; the paper's model has no rendezvous).
+        """
+        self.comm._check_rank("dest", dest)
+        if dest == self.rank:
+            raise SimulationError("send to self would deadlock a blocking pair")
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        sent_at = self.env.now
+        yield self.env.timeout(self.comm.machine.message_time(nbytes))
+        msg = Message(
+            source=self.rank,
+            dest=dest,
+            tag=tag,
+            nbytes=float(nbytes),
+            payload=payload,
+            sent_at=sent_at,
+            delivered_at=self.env.now,
+        )
+        self.comm._mailboxes[dest].deposit(msg)
+
+    def isend(self, dest: int, nbytes: float, tag: int = 0, payload: Any = None) -> Process:
+        """Non-blocking send; returns the transfer as a waitable process."""
+        return self.env.process(
+            self.send(dest, nbytes, tag=tag, payload=payload),
+            name=f"isend[{self.rank}->{dest}]",
+        )
+
+    def irecv(
+        self, source: Optional[int] = ANY_SOURCE, tag: Optional[int] = ANY_TAG
+    ) -> Event:
+        """Non-blocking receive: an event that fires with the :class:`Message`."""
+        if source is not None:
+            self.comm._check_rank("source", source)
+        waiter = _Waiter(event=self.env.event(), source=source, tag=tag)
+        self.comm._mailboxes[self.rank].register(waiter)
+        return waiter.event
+
+    def recv(self, source: Optional[int] = ANY_SOURCE, tag: Optional[int] = ANY_TAG):
+        """Blocking receive; returns the matched :class:`Message`."""
+        msg = yield self.irecv(source=source, tag=tag)
+        return msg
+
+    # -- collectives (delegated) ----------------------------------------------
+    def barrier(self):
+        """Block until all ranks of the communicator arrive."""
+        yield self.comm._barrier_arrive()
+
+    def bcast(self, root: int, nbytes: float, payload: Any = None, tag: int = -1):
+        """Binomial-tree broadcast; returns the payload on every rank."""
+        from repro.mpisim.collectives import bcast
+
+        result = yield from bcast(self, root, nbytes, payload, tag)
+        return result
+
+    def scatter_serial(self, root: int, nbytes_per_rank, payloads=None, tag: int = -2):
+        """Root sends each rank its block one after another (L-EnKF style)."""
+        from repro.mpisim.collectives import scatter_serial
+
+        result = yield from scatter_serial(self, root, nbytes_per_rank, payloads, tag)
+        return result
+
+    def gather_serial(self, root: int, nbytes: float, payload: Any = None, tag: int = -3):
+        """Every rank sends to root; root receives serially."""
+        from repro.mpisim.collectives import gather_serial
+
+        result = yield from gather_serial(self, root, nbytes, payload, tag)
+        return result
+
+    def allreduce(self, nbytes: float, value: float = 0.0, op=None, tag: int = -4):
+        """Recursive-doubling allreduce; returns the reduced value."""
+        from repro.mpisim.collectives import allreduce
+
+        result = yield from allreduce(self, nbytes, value, op, tag)
+        return result
+
+    def reduce(self, root: int, nbytes: float, value: Any = 0.0, op=None,
+               tag: int = -5):
+        """Binomial-tree reduce; root gets the combined value."""
+        from repro.mpisim.collectives import reduce as _reduce
+
+        result = yield from _reduce(self, root, nbytes, value, op, tag)
+        return result
+
+    def gather_binomial(self, root: int, nbytes: float, payload: Any = None,
+                        tag: int = -6):
+        """Binomial-tree gather; root gets the rank-indexed list."""
+        from repro.mpisim.collectives import gather_binomial
+
+        result = yield from gather_binomial(self, root, nbytes, payload, tag)
+        return result
+
+    def alltoall(self, nbytes_per_pair: float, payloads=None, tag: int = -7):
+        """Pairwise-exchange all-to-all; returns received blocks."""
+        from repro.mpisim.collectives import alltoall
+
+        result = yield from alltoall(self, nbytes_per_pair, payloads, tag)
+        return result
+
+    def waitall(self, requests):
+        """Block until every request (e.g. isend process) completes."""
+        yield self.env.all_of(list(requests))
+
+
+class SubCommunicator:
+    """Group views produced by :meth:`Communicator.split`.
+
+    For each world rank, :meth:`group_of` gives the ordered member list of
+    its group and :meth:`local_rank_of` its position within it.
+    :meth:`translate` maps a group-local rank back to the world rank, so
+    group collectives can be built from world-communicator point-to-point
+    calls.
+    """
+
+    def __init__(
+        self,
+        parent: Communicator,
+        assignments: dict[int, tuple[int, int]],
+        groups: dict[int, list[int]],
+    ):
+        self.parent = parent
+        self._assignments = assignments
+        self._groups = groups
+
+    @property
+    def colors(self) -> list[int]:
+        return sorted(self._groups)
+
+    def color_of(self, world_rank: int) -> int:
+        self.parent._check_rank("world_rank", world_rank)
+        return self._assignments[world_rank][0]
+
+    def group_of(self, world_rank: int) -> list[int]:
+        """Ordered world ranks of ``world_rank``'s group."""
+        return list(self._groups[self.color_of(world_rank)])
+
+    def group_size_of(self, world_rank: int) -> int:
+        return len(self._groups[self.color_of(world_rank)])
+
+    def local_rank_of(self, world_rank: int) -> int:
+        """Position of ``world_rank`` within its group."""
+        return self.group_of(world_rank).index(world_rank)
+
+    def translate(self, world_rank: int, local_rank: int) -> int:
+        """World rank of ``local_rank`` within ``world_rank``'s group."""
+        group = self.group_of(world_rank)
+        if not 0 <= local_rank < len(group):
+            raise ValueError(
+                f"local_rank={local_rank} out of range [0, {len(group)})"
+            )
+        return group[local_rank]

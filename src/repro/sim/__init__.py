@@ -1,0 +1,48 @@
+"""Discrete-event simulation (DES) kernel.
+
+This package is the substrate on which the repo simulates a distributed
+machine: MPI ranks, disks and networks are all modelled as processes and
+resources advancing a simulated clock.  The design follows the classic
+process-interaction style (generator coroutines yielding events), with a
+deterministic event order so that every simulated run is exactly
+reproducible.
+
+Public surface:
+
+- :class:`Environment` — the event loop and clock.
+- :class:`Event`, :class:`Timeout`, :class:`Process` — awaitable primitives.
+- :class:`AllOf` / :class:`AnyOf` — condition events.
+- :class:`Resource` — capacity-bounded FIFO resource (disk slots, NIC lanes).
+- :class:`Store` — producer/consumer buffer (mailboxes).
+- :class:`Timeline` / :class:`PhaseRecord` — phase-interval tracing used to
+  regenerate the paper's per-phase breakdowns (Figs. 9 and 11).
+"""
+
+from repro.sim.errors import Interrupt, SimulationError
+from repro.sim.core import AllOf, AnyOf, Environment, Event, Process, Timeout
+from repro.sim.resources import Resource, Store
+from repro.sim.trace import (
+    PhaseRecord,
+    Timeline,
+    intersect_total,
+    merge_intervals,
+    union_total,
+)
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "PhaseRecord",
+    "Process",
+    "Resource",
+    "SimulationError",
+    "Store",
+    "Timeline",
+    "Timeout",
+    "intersect_total",
+    "merge_intervals",
+    "union_total",
+]

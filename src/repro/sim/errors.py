@@ -1,0 +1,21 @@
+"""Exception types raised by the simulation kernel."""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the DES kernel."""
+
+
+class Interrupt(SimulationError):
+    """Raised inside a process that another process interrupted.
+
+    The interrupting party supplies ``cause``, available as ``exc.cause``.
+    """
+
+    def __init__(self, cause: object = None):
+        super().__init__(cause)
+        self.cause = cause
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Interrupt(cause={self.cause!r})"

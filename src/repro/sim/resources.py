@@ -1,0 +1,162 @@
+"""Capacity-bounded resources and producer/consumer stores.
+
+:class:`Resource` models anything with a bounded number of concurrent users
+— disk service slots, NIC injection lanes, a core.  Requests are granted
+FIFO.  :class:`Store` is an unbounded-or-bounded buffer of Python objects
+used for mailboxes in the simulated MPI layer.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque
+
+from repro.sim.core import Environment, Event
+from repro.sim.errors import SimulationError
+
+
+class Request(Event):
+    """Pending acquisition of one resource slot.
+
+    Usable as a context manager so the slot is always released::
+
+        with resource.request() as req:
+            yield req
+            yield env.timeout(service_time)
+    """
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+        resource._on_request(self)
+
+    def release(self) -> None:
+        """Give the slot back (idempotent for ungranted requests is an error)."""
+        self.resource._on_release(self)
+
+    def cancel(self) -> None:
+        """Withdraw a not-yet-granted request from the queue."""
+        self.resource._on_cancel(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self.triggered and self.ok:
+            self.release()
+        elif not self.triggered:
+            self.cancel()
+
+
+class Resource:
+    """FIFO resource with ``capacity`` concurrent slots."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = int(capacity)
+        self._users: set[Request] = set()
+        self._waiting: Deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiting)
+
+    def request(self) -> Request:
+        """Ask for one slot; the returned event fires when granted."""
+        return Request(self)
+
+    # -- internal hooks -----------------------------------------------------
+    def _on_request(self, req: Request) -> None:
+        if len(self._users) < self.capacity:
+            self._users.add(req)
+            req.succeed(req)
+        else:
+            self._waiting.append(req)
+
+    def _on_release(self, req: Request) -> None:
+        if req not in self._users:
+            raise SimulationError("releasing a request that holds no slot")
+        self._users.remove(req)
+        self._grant_next()
+
+    def _on_cancel(self, req: Request) -> None:
+        try:
+            self._waiting.remove(req)
+        except ValueError:
+            raise SimulationError("cancelling a request that is not waiting")
+
+    def _grant_next(self) -> None:
+        while self._waiting and len(self._users) < self.capacity:
+            nxt = self._waiting.popleft()
+            self._users.add(nxt)
+            nxt.succeed(nxt)
+
+
+class _StorePut(Event):
+    __slots__ = ("item",)
+
+    def __init__(self, env: Environment, item: Any):
+        super().__init__(env)
+        self.item = item
+
+
+class _StoreGet(Event):
+    __slots__ = ()
+
+
+class Store:
+    """FIFO buffer of Python objects with optional bounded capacity.
+
+    ``put(item)`` and ``get()`` both return events; ``get`` events yield the
+    stored item.  Used for mailboxes (unbounded) and bounded staging buffers.
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be > 0, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._putters: Deque[_StorePut] = deque()
+        self._getters: Deque[_StoreGet] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> _StorePut:
+        """Offer ``item``; fires once accepted into the buffer."""
+        ev = _StorePut(self.env, item)
+        self._putters.append(ev)
+        self._dispatch()
+        return ev
+
+    def get(self) -> _StoreGet:
+        """Take the oldest item; fires with the item as its value."""
+        ev = _StoreGet(self.env)
+        self._getters.append(ev)
+        self._dispatch()
+        return ev
+
+    def _dispatch(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._putters and len(self.items) < self.capacity:
+                put = self._putters.popleft()
+                self.items.append(put.item)
+                put.succeed()
+                progressed = True
+            if self._getters and self.items:
+                get = self._getters.popleft()
+                get.succeed(self.items.popleft())
+                progressed = True

@@ -1,0 +1,182 @@
+"""Phase-interval tracing and interval arithmetic.
+
+Each simulated rank records ``PhaseRecord(rank, phase, start, end)``
+intervals ("read", "comm", "compute", "wait").  The paper's evaluation
+figures are all derived from such records:
+
+* Fig. 9 — stacked per-phase times for P-EnKF / S-EnKF;
+* Fig. 11 — the *overlapped time*: "the time (for waiting, disk I/O and
+  communication) which is overlapped with the time for local computation",
+  as a percentage of the total runtime.
+
+The interval helpers (:func:`merge_intervals`, :func:`union_total`,
+:func:`intersect_total`) implement the measure-theoretic operations needed
+for that accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+#: Canonical phase names used across the repo.
+PHASE_READ = "read"
+PHASE_COMM = "comm"
+PHASE_COMPUTE = "compute"
+PHASE_WAIT = "wait"
+
+ALL_PHASES = (PHASE_READ, PHASE_COMM, PHASE_COMPUTE, PHASE_WAIT)
+
+
+@dataclass(frozen=True)
+class PhaseRecord:
+    """One contiguous interval a rank spent in a phase."""
+
+    rank: int
+    phase: str
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(
+                f"phase interval ends before it starts: {self.start}..{self.end}"
+            )
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+def merge_intervals(
+    intervals: Iterable[tuple[float, float]],
+) -> list[tuple[float, float]]:
+    """Union a set of intervals into disjoint, sorted intervals."""
+    merged: list[tuple[float, float]] = []
+    for start, end in sorted(intervals):
+        if end <= start:
+            continue
+        if merged and start <= merged[-1][1]:
+            prev_start, prev_end = merged[-1]
+            merged[-1] = (prev_start, max(prev_end, end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def union_total(intervals: Iterable[tuple[float, float]]) -> float:
+    """Total measure of the union of ``intervals``."""
+    return sum(end - start for start, end in merge_intervals(intervals))
+
+
+def intersect_total(
+    a: Sequence[tuple[float, float]], b: Sequence[tuple[float, float]]
+) -> float:
+    """Total measure of the intersection of two interval sets."""
+    a = merge_intervals(a)
+    b = merge_intervals(b)
+    i = j = 0
+    total = 0.0
+    while i < len(a) and j < len(b):
+        lo = max(a[i][0], b[j][0])
+        hi = min(a[i][1], b[j][1])
+        if hi > lo:
+            total += hi - lo
+        if a[i][1] <= b[j][1]:
+            i += 1
+        else:
+            j += 1
+    return total
+
+
+class Timeline:
+    """Container of :class:`PhaseRecord` with the aggregations the figures need."""
+
+    def __init__(self) -> None:
+        self.records: list[PhaseRecord] = []
+
+    def add(self, rank: int, phase: str, start: float, end: float) -> None:
+        """Record one phase interval (zero-length intervals are dropped)."""
+        if end > start:
+            self.records.append(PhaseRecord(rank, phase, start, end))
+
+    def extend(self, other: "Timeline") -> None:
+        self.records.extend(other.records)
+
+    # -- aggregations --------------------------------------------------------
+    def ranks(self) -> list[int]:
+        return sorted({r.rank for r in self.records})
+
+    def phases(self) -> list[str]:
+        seen = {r.phase for r in self.records}
+        ordered = [p for p in ALL_PHASES if p in seen]
+        return ordered + sorted(seen - set(ordered))
+
+    def intervals(
+        self, phase: str | None = None, ranks: Iterable[int] | None = None
+    ) -> list[tuple[float, float]]:
+        """All (start, end) pairs matching the filters."""
+        rank_set = set(ranks) if ranks is not None else None
+        return [
+            (r.start, r.end)
+            for r in self.records
+            if (phase is None or r.phase == phase)
+            and (rank_set is None or r.rank in rank_set)
+        ]
+
+    def total(self, phase: str, rank: int | None = None) -> float:
+        """Summed duration of a phase (per rank, or across all ranks)."""
+        return sum(
+            r.duration
+            for r in self.records
+            if r.phase == phase and (rank is None or r.rank == rank)
+        )
+
+    def makespan(self) -> float:
+        """End of the last interval minus start of the first."""
+        if not self.records:
+            return 0.0
+        return max(r.end for r in self.records) - min(r.start for r in self.records)
+
+    def per_rank_totals(self) -> dict[int, dict[str, float]]:
+        """phase -> duration map for each rank."""
+        out: dict[int, dict[str, float]] = {}
+        for r in self.records:
+            out.setdefault(r.rank, {}).setdefault(r.phase, 0.0)
+            out[r.rank][r.phase] += r.duration
+        return out
+
+    def mean_phase_totals(self, ranks: Iterable[int] | None = None) -> dict[str, float]:
+        """Average per-rank time in each phase (the bars of Fig. 9)."""
+        per_rank = self.per_rank_totals()
+        if ranks is not None:
+            per_rank = {k: v for k, v in per_rank.items() if k in set(ranks)}
+        if not per_rank:
+            return {}
+        phases = {p for v in per_rank.values() for p in v}
+        return {
+            p: sum(v.get(p, 0.0) for v in per_rank.values()) / len(per_rank)
+            for p in phases
+        }
+
+    def overlapped_time(
+        self,
+        compute_ranks: Iterable[int],
+        io_ranks: Iterable[int] | None = None,
+        hidden_phases: Sequence[str] = (PHASE_READ, PHASE_COMM, PHASE_WAIT),
+    ) -> float:
+        """Paper Fig. 11 accounting: time in ``hidden_phases`` (on the I/O side
+        plus the compute ranks' own comm/wait) that co-occurs with local
+        computation on the compute ranks."""
+        compute_ranks = list(compute_ranks)
+        compute_busy = merge_intervals(
+            self.intervals(PHASE_COMPUTE, ranks=compute_ranks)
+        )
+        hidden: list[tuple[float, float]] = []
+        rank_filter = None if io_ranks is None else list(io_ranks)
+        for phase in hidden_phases:
+            hidden.extend(self.intervals(phase, ranks=rank_filter))
+            if rank_filter is not None:
+                # comm/wait on the compute side also counts as hideable work.
+                hidden.extend(self.intervals(phase, ranks=compute_ranks))
+        return intersect_total(compute_busy, merge_intervals(hidden))

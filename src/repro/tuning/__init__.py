@@ -1,0 +1,29 @@
+"""Auto-tuning (Sec. 4.4): Algorithms 1 and 2.
+
+Algorithm 1 (:func:`solve_optimization_model`) minimises
+``T1 = T_read + T_comm`` over the divisor-constrained decision space given
+processor budgets ``C1 = n_cg · n_sdy`` (I/O) and ``C2 = n_sdx · n_sdy``
+(compute).
+
+Algorithm 2 (:func:`autotune`) sweeps ``C2``, uses the earnings rate
+
+.. math:: r_m = \\frac{t_1^m - t_1^{m+1}}{c_1^{m+1} - c_1^m} < \\varepsilon
+
+to pick the most *economic* ``C1`` for each ``C2`` (stop paying processors
+once the marginal runtime gain per extra processor drops below ε), then
+returns the decision tuple minimising ``T_total`` subject to
+``C1 + C2 ≤ n_p``.
+"""
+
+from repro.tuning.optmodel import TuningChoice, feasible_c1_values, feasible_c2_values, solve_optimization_model
+from repro.tuning.autotune import AutotuneResult, autotune, economic_choice
+
+__all__ = [
+    "AutotuneResult",
+    "TuningChoice",
+    "autotune",
+    "economic_choice",
+    "feasible_c1_values",
+    "feasible_c2_values",
+    "solve_optimization_model",
+]

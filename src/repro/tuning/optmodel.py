@@ -1,0 +1,118 @@
+"""Algorithm 1: solver for the optimisation model (11)–(12).
+
+Minimise ``T1 = T_read + T_comm`` over ``(n_sdx, n_sdy, L, n_cg)`` subject
+to the budgets ``n_cg · n_sdy = C1`` and ``n_sdx · n_sdy = C2`` and the
+divisibility constraints the implementation needs
+(``n_sdy | n_y``, ``n_sdx | n_x``, ``n_cg | N``, ``L | n_y/n_sdy``).
+
+The search space is tiny (common divisors), so we traverse it completely —
+exactly the structure of the paper's Algorithm 1, with the loop over ``j``
+(= ``n_sdy``) restricted to common divisors of ``C1``, ``C2`` and ``n_y``,
+and the loop over ``l`` (= ``L``) restricted to divisors of ``n_y / j``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.costmodel.model import CostParams, t1 as eval_t1, t_total_pipelined
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class TuningChoice:
+    """One feasible decision tuple and its modelled times."""
+
+    n_sdx: int
+    n_sdy: int
+    n_layers: int
+    n_cg: int
+    t1: float
+    #: value of the objective the tuple was selected under (== t1 for the
+    #: paper-verbatim objective; the pipelined total otherwise)
+    score: float = float("nan")
+
+    @property
+    def c1(self) -> int:
+        """Processors spent on file reading."""
+        return self.n_cg * self.n_sdy
+
+    @property
+    def c2(self) -> int:
+        """Processors spent on local analysis."""
+        return self.n_sdx * self.n_sdy
+
+
+@lru_cache(maxsize=4096)
+def _divisors(n: int) -> tuple[int, ...]:
+    out = [d for d in range(1, int(n**0.5) + 1) if n % d == 0]
+    out += [n // d for d in reversed(out) if n // d != d]
+    return tuple(out)
+
+
+def solve_optimization_model(
+    params: CostParams, c1: int, c2: int, objective: str = "paper"
+) -> TuningChoice | None:
+    """Algorithm 1: best (n_sdx, n_sdy, L, n_cg) for fixed budgets C1, C2.
+
+    ``objective="paper"`` minimises the paper's ``T1 = T_read + T_comm``
+    (Eq. 11); ``objective="pipelined"`` minimises the overlap-feasible
+    total :func:`~repro.costmodel.model.t_total_pipelined` instead, which
+    coincides with the paper's choice whenever computation bounds each
+    stage.  Returns ``None`` when no feasible tuple exists (the paper's
+    ``T̂1 = 0`` sentinel).
+    """
+    check_positive("c1", c1)
+    check_positive("c2", c2)
+    if objective not in ("paper", "pipelined"):
+        raise ValueError(f"unknown objective {objective!r}")
+    best: TuningChoice | None = None
+    for j in _divisors(c1):  # j = n_sdy candidate
+        if c2 % j or params.n_y % j:
+            continue
+        k = c1 // j  # n_cg
+        i = c2 // j  # n_sdx
+        if params.n_x % i or params.n_members % k:
+            continue
+        block_rows = params.n_y // j
+        for l in _divisors(block_rows):  # L candidate
+            t1_value = eval_t1(params, n_sdx=i, n_sdy=j, n_layers=l, n_cg=k)
+            if objective == "paper":
+                score = t1_value
+            else:
+                score = t_total_pipelined(
+                    params, n_sdx=i, n_sdy=j, n_layers=l, n_cg=k
+                )
+            if best is None or score < best.score:
+                best = TuningChoice(
+                    n_sdx=i, n_sdy=j, n_layers=l, n_cg=k, t1=t1_value, score=score
+                )
+    return best
+
+
+def feasible_c2_values(params: CostParams, n_p: int) -> list[int]:
+    """Compute budgets realisable as n_sdx·n_sdy with the divisibility rules."""
+    check_positive("n_p", n_p)
+    values = {
+        sx * sy
+        for sx in _divisors(params.n_x)
+        for sy in _divisors(params.n_y)
+        if sx * sy <= n_p
+    }
+    return sorted(values)
+
+
+def feasible_c1_values(params: CostParams, c2: int, limit: int) -> list[int]:
+    """I/O budgets realisable as n_cg·n_sdy compatible with some C2 split."""
+    check_positive("limit", limit)
+    sy_candidates = [
+        sy for sy in _divisors(params.n_y) if c2 % sy == 0 and params.n_x % (c2 // sy) == 0
+    ]
+    values = {
+        cg * sy
+        for sy in sy_candidates
+        for cg in _divisors(params.n_members)
+        if cg * sy <= limit
+    }
+    return sorted(values)

@@ -1,0 +1,28 @@
+"""Shared utilities: validation, seeded RNG streams, timers and logging.
+
+These helpers are deliberately dependency-free (numpy only) so every other
+subpackage can import them without cycles.
+"""
+
+from repro.util.validation import (
+    check_divides,
+    check_in_range,
+    check_positive,
+    check_nonnegative,
+    check_shape,
+    check_type,
+)
+from repro.util.seeding import SeedSequenceFactory, spawn_rng
+from repro.util.timing import WallTimer
+
+__all__ = [
+    "check_divides",
+    "check_in_range",
+    "check_positive",
+    "check_nonnegative",
+    "check_shape",
+    "check_type",
+    "SeedSequenceFactory",
+    "spawn_rng",
+    "WallTimer",
+]

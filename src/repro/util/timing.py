@@ -1,0 +1,26 @@
+"""Small wall-clock timing helper used by examples and the experiment CLI."""
+
+from __future__ import annotations
+
+import time
+
+
+class WallTimer:
+    """Context manager measuring elapsed wall time in seconds.
+
+    >>> with WallTimer() as t:
+    ...     pass
+    >>> t.elapsed >= 0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.start = 0.0
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "WallTimer":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self.start

@@ -1,0 +1,86 @@
+"""Argument validation helpers.
+
+All validators raise ``ValueError``/``TypeError`` with a message that names
+the offending parameter, so call sites stay one-liners::
+
+    check_positive("ensemble_size", ensemble_size)
+    check_divides("n_x", n_x, "n_sdx", n_sdx)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def check_type(name: str, value: Any, expected: type | tuple[type, ...]) -> None:
+    """Raise ``TypeError`` unless ``value`` is an instance of ``expected``."""
+    if not isinstance(value, expected):
+        if isinstance(expected, tuple):
+            names = ", ".join(t.__name__ for t in expected)
+        else:
+            names = expected.__name__
+        raise TypeError(
+            f"{name} must be of type {names}, got {type(value).__name__}"
+        )
+
+
+def check_positive(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def check_nonnegative(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value >= 0``."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+
+
+def check_in_range(
+    name: str,
+    value: float,
+    low: float | None = None,
+    high: float | None = None,
+    low_inclusive: bool = True,
+    high_inclusive: bool = True,
+) -> None:
+    """Raise ``ValueError`` unless ``value`` lies inside the given interval."""
+    if low is not None:
+        ok = value >= low if low_inclusive else value > low
+        if not ok:
+            op = ">=" if low_inclusive else ">"
+            raise ValueError(f"{name} must be {op} {low}, got {value!r}")
+    if high is not None:
+        ok = value <= high if high_inclusive else value < high
+        if not ok:
+            op = "<=" if high_inclusive else "<"
+            raise ValueError(f"{name} must be {op} {high}, got {value!r}")
+
+
+def check_divides(
+    dividend_name: str, dividend: int, divisor_name: str, divisor: int
+) -> None:
+    """Raise ``ValueError`` unless ``divisor`` evenly divides ``dividend``.
+
+    Mirrors the paper's standing assumption that ``n_x`` (resp. ``n_y``) is a
+    multiple of ``n_sdx`` (resp. ``n_sdy``).
+    """
+    check_positive(divisor_name, divisor)
+    if dividend % divisor != 0:
+        raise ValueError(
+            f"{divisor_name}={divisor} must divide {dividend_name}={dividend}"
+        )
+
+
+def check_shape(name: str, array: Any, shape: Sequence[int | None]) -> None:
+    """Raise ``ValueError`` unless ``array.shape`` matches ``shape``.
+
+    ``None`` entries in ``shape`` are wildcards.
+    """
+    actual = tuple(getattr(array, "shape", ()))
+    if len(actual) != len(shape) or any(
+        want is not None and got != want for got, want in zip(actual, shape)
+    ):
+        raise ValueError(
+            f"{name} must have shape {tuple(shape)}, got {actual}"
+        )

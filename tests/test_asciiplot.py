@@ -1,0 +1,135 @@
+"""Tests for the terminal plotting helpers."""
+
+import pytest
+
+from repro.experiments.asciiplot import bar_chart, line_chart, plot_figure
+from repro.experiments.result import FigureResult
+
+
+class TestLineChart:
+    def test_contains_markers_and_legend(self):
+        out = line_chart([1, 2, 3], {"a": [1.0, 2.0, 3.0]}, width=20, height=6)
+        assert "o" in out
+        assert "o=a" in out
+
+    def test_multiple_series_distinct_markers(self):
+        out = line_chart(
+            [1, 2], {"first": [1.0, 2.0], "second": [2.0, 1.0]},
+            width=20, height=6,
+        )
+        assert "o=first" in out and "x=second" in out
+        assert "o" in out and "x" in out
+
+    def test_axis_labels_present(self):
+        out = line_chart([10, 50], {"s": [0.5, 2.5]}, width=20, height=6)
+        assert "10" in out and "50" in out
+        assert "2.5" in out and "0.5" in out
+
+    def test_constant_series_ok(self):
+        out = line_chart([1, 2], {"s": [3.0, 3.0]}, width=10, height=4)
+        assert "o" in out
+
+    def test_title_included(self):
+        out = line_chart([1], {"s": [1.0]}, title="My Title")
+        assert out.startswith("My Title")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart([], {})
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart([1, 2], {"s": [1.0]})
+
+    def test_extremes_mapped_to_edges(self):
+        out = line_chart([0, 100], {"s": [0.0, 10.0]}, width=30, height=8)
+        body = [l for l in out.splitlines() if "|" in l]
+        # max value on the top row, min on the bottom row.
+        assert "o" in body[0]
+        assert "o" in body[-1]
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        out = bar_chart(["a", "b"], [1.0, 2.0], width=20)
+        lines = out.splitlines()
+        assert lines[1].count("█") > lines[0].count("█")
+
+    def test_values_printed(self):
+        out = bar_chart(["x"], [3.25], width=10)
+        assert "3.25" in out
+
+    def test_zero_values_ok(self):
+        out = bar_chart(["a", "b"], [0.0, 0.0], width=10)
+        assert "a" in out and "b" in out
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            bar_chart([], [])
+
+
+class TestPlotFigure:
+    def make_result(self, name, columns, rows):
+        return FigureResult(
+            name=name, title="t", claim="c", columns=columns, rows=rows
+        )
+
+    def test_fig01_layout(self):
+        result = self.make_result(
+            "fig01",
+            ["n_p", "io_percent", "compute_percent", "total_time"],
+            [
+                {"n_p": 10, "io_percent": 20.0, "compute_percent": 80.0,
+                 "total_time": 1.0},
+                {"n_p": 20, "io_percent": 60.0, "compute_percent": 40.0,
+                 "total_time": 1.2},
+            ],
+        )
+        out = plot_figure(result)
+        assert "I/O share" in out
+
+    def test_fig13_layout(self):
+        result = self.make_result(
+            "fig13",
+            ["n_p", "penkf_time", "senkf_time", "speedup", "senkf_c1",
+             "senkf_c2"],
+            [
+                {"n_p": 10, "penkf_time": 2.0, "senkf_time": 1.5,
+                 "speedup": 1.3, "senkf_c1": 2, "senkf_c2": 8},
+                {"n_p": 20, "penkf_time": 2.5, "senkf_time": 0.9,
+                 "speedup": 2.8, "senkf_c1": 4, "senkf_c2": 16},
+            ],
+        )
+        out = plot_figure(result)
+        assert "P-EnKF" in out and "S-EnKF" in out
+
+    def test_unknown_figure_rejected(self):
+        result = self.make_result("fig99", ["a"], [{"a": 1}])
+        with pytest.raises(KeyError):
+            plot_figure(result)
+
+    @pytest.mark.parametrize("name", ["fig05", "fig10", "fig11"])
+    def test_simple_layouts_from_real_runners(self, name):
+        """Render the real (micro-config) results without error."""
+        from repro.cluster import MachineSpec
+        from repro.experiments import ExperimentConfig, FIGURES
+        from repro.filters import PerfScenario
+
+        config = ExperimentConfig(
+            full=False,
+            spec=MachineSpec.small_cluster(),
+            scenario=PerfScenario(n_x=96, n_y=48, n_members=8, h_bytes=240,
+                                  xi=2, eta=1),
+            scaling_configs=((4, 4), (8, 4)),
+            fig5_n_sdx=(4, 8, 16),
+            fig5_n_sdy=4,
+            fig5_members=8,
+            fig10_groups=(1, 2, 4),
+            fig12_c2=16,
+        )
+        result = FIGURES[name](config)
+        out = plot_figure(result)
+        # One rendered line per data row (bar charts) or a full canvas.
+        assert len(out.splitlines()) > len(result.rows)

@@ -1,0 +1,189 @@
+"""Tests for the machine model: disks, PFS placement, machine facade."""
+
+import pytest
+
+from repro.cluster import Disk, Machine, MachineSpec, ParallelFileSystem
+from repro.sim import Environment
+
+
+def make_disk(env, seek=0.01, theta=1e-6, concurrency=2):
+    return Disk(env, disk_id=0, seek_time=seek, theta=theta, concurrency=concurrency)
+
+
+class TestMachineSpec:
+    def test_defaults_valid(self):
+        spec = MachineSpec()
+        assert spec.alpha > 0 and spec.theta > 0
+
+    def test_tianhe2_preset(self):
+        spec = MachineSpec.tianhe2()
+        assert spec.n_storage_nodes == 6
+        assert spec.cores_per_node == 24
+
+    def test_small_cluster_slower_than_tianhe2(self):
+        assert MachineSpec.small_cluster().theta > MachineSpec.tianhe2().theta
+
+    def test_with_replaces_field(self):
+        spec = MachineSpec().with_(theta=5e-9)
+        assert spec.theta == 5e-9
+
+    def test_invalid_field_rejected(self):
+        with pytest.raises(ValueError):
+            MachineSpec(theta=-1.0)
+
+    def test_frozen(self):
+        spec = MachineSpec()
+        with pytest.raises(Exception):
+            spec.theta = 1.0  # type: ignore[misc]
+
+
+class TestDisk:
+    def test_service_time_formula(self):
+        env = Environment()
+        d = make_disk(env, seek=0.01, theta=1e-6)
+        assert d.service_time(seeks=3, nbytes=1000) == pytest.approx(0.03 + 1e-3)
+
+    def test_service_time_rejects_negative(self):
+        env = Environment()
+        d = make_disk(env)
+        with pytest.raises(ValueError):
+            d.service_time(-1, 10)
+
+    def test_single_read_timing(self):
+        env = Environment()
+        d = make_disk(env, seek=0.01, theta=1e-6, concurrency=1)
+        results = []
+
+        def proc(env):
+            outcome = yield from d.read(seeks=1, nbytes=1000)
+            results.append(outcome)
+
+        env.process(proc(env))
+        env.run()
+        (o,) = results
+        assert o.wait == 0.0
+        assert o.service == pytest.approx(0.011)
+        assert o.completed_at == pytest.approx(0.011)
+
+    def test_concurrency_limit_queues_requests(self):
+        env = Environment()
+        d = make_disk(env, seek=0.01, theta=1e-6, concurrency=2)
+        outcomes = []
+
+        def proc(env, i):
+            outcome = yield from d.read(seeks=0, nbytes=1_000_000)  # 1 s each
+            outcomes.append((i, outcome))
+
+        for i in range(4):
+            env.process(proc(env, i))
+        env.run()
+        waits = sorted(o.wait for _, o in outcomes)
+        # Two served immediately, two wait one service time.
+        assert waits == pytest.approx([0.0, 0.0, 1.0, 1.0])
+        assert env.now == pytest.approx(2.0)
+
+    def test_counters_accumulate(self):
+        env = Environment()
+        d = make_disk(env)
+
+        def proc(env):
+            yield from d.read(seeks=2, nbytes=100)
+            yield from d.read(seeks=3, nbytes=200)
+
+        env.process(proc(env))
+        env.run()
+        assert d.total_requests == 2
+        assert d.total_seeks == 5
+        assert d.total_bytes == 300
+
+
+class TestParallelFileSystem:
+    def test_hashed_placement_deterministic_and_uniform(self):
+        env = Environment()
+        pfs = ParallelFileSystem(env, MachineSpec(n_storage_nodes=6))
+        ids = [pfs.disk_of(f).disk_id for f in range(120)]
+        assert ids == [pfs.disk_of(f).disk_id for f in range(120)]
+        # Every disk holds a reasonable share of the 120 files.
+        from collections import Counter
+        loads = Counter(ids)
+        assert set(loads) == set(range(6))
+        # Hash placement is statistically (not perfectly) balanced.
+        assert max(loads.values()) <= 3 * min(loads.values())
+
+    def test_placement_not_aliased_with_strides(self):
+        """Files taken with stride k (a concurrent group's share) must not
+        collapse onto a small subset of disks."""
+        env = Environment()
+        pfs = ParallelFileSystem(env, MachineSpec(n_storage_nodes=6))
+        for stride in (2, 3, 4, 6):
+            disks = {pfs.disk_of(f).disk_id for f in range(0, 120, stride)}
+            assert len(disks) >= 4
+
+    def test_negative_file_id_rejected(self):
+        env = Environment()
+        pfs = ParallelFileSystem(env, MachineSpec())
+        with pytest.raises(ValueError):
+            pfs.disk_of(-1)
+
+    def test_different_files_read_in_parallel(self):
+        """Files on different disks don't contend; same disk serialises."""
+        spec = MachineSpec(
+            n_storage_nodes=2, disk_concurrency=1, seek_time=1e-9, theta=1e-6
+        )
+        env = Environment()
+        pfs = ParallelFileSystem(env, spec)
+
+        def reader(env, file_id):
+            yield from pfs.read(file_id, seeks=0, nbytes=1_000_000)
+
+        # Files 0 and 1 on different disks: parallel => total ~1 s.
+        env.process(reader(env, 0))
+        env.process(reader(env, 1))
+        env.run()
+        assert env.now == pytest.approx(1.0, rel=1e-6)
+
+        # Files 0 and 2 share disk 0: serial => total ~2 s more.
+        env2 = Environment()
+        pfs2 = ParallelFileSystem(env2, spec)
+
+        def reader2(env, file_id):
+            yield from pfs2.read(file_id, seeks=0, nbytes=1_000_000)
+
+        env2.process(reader2(env2, 0))
+        env2.process(reader2(env2, 2))
+        env2.run()
+        assert env2.now == pytest.approx(2.0, rel=1e-6)
+
+    def test_totals_aggregates(self):
+        env = Environment()
+        pfs = ParallelFileSystem(env, MachineSpec(n_storage_nodes=2))
+
+        def proc(env):
+            yield from pfs.read(0, seeks=1, nbytes=10)
+            yield from pfs.read(1, seeks=2, nbytes=20)
+
+        env.process(proc(env))
+        env.run()
+        assert pfs.totals() == {"requests": 2, "seeks": 3, "bytes": 30.0}
+
+
+class TestMachine:
+    def test_message_time(self):
+        m = Machine(MachineSpec(alpha=1e-6, beta=1e-9))
+        assert m.message_time(1000) == pytest.approx(1e-6 + 1e-6)
+
+    def test_message_time_rejects_negative(self):
+        m = Machine()
+        with pytest.raises(ValueError):
+            m.message_time(-5)
+
+    def test_n_nodes_rounds_up(self):
+        m = Machine(MachineSpec(cores_per_node=24))
+        assert m.n_nodes(24) == 1
+        assert m.n_nodes(25) == 2
+        assert m.n_nodes(12000) == 500
+
+    def test_default_spec(self):
+        m = Machine()
+        assert isinstance(m.spec, MachineSpec)
+        assert m.now == 0.0

@@ -1,0 +1,211 @@
+"""Tests for the domain decomposition and expansions."""
+
+import numpy as np
+import pytest
+
+from repro.core import Decomposition, Grid
+
+
+def make_decomp(n_x=24, n_y=12, n_sdx=4, n_sdy=3, xi=2, eta=1, periodic=True):
+    grid = Grid(n_x=n_x, n_y=n_y, periodic_x=periodic)
+    return Decomposition(grid, n_sdx=n_sdx, n_sdy=n_sdy, xi=xi, eta=eta)
+
+
+class TestDecompositionBasics:
+    def test_block_sizes(self):
+        d = make_decomp()
+        assert d.block_cols == 6
+        assert d.block_rows == 4
+        assert d.points_per_subdomain == 24
+        assert d.n_subdomains == 12
+
+    def test_divisibility_enforced(self):
+        grid = Grid(n_x=24, n_y=12)
+        with pytest.raises(ValueError):
+            Decomposition(grid, n_sdx=5, n_sdy=3, xi=1, eta=1)
+        with pytest.raises(ValueError):
+            Decomposition(grid, n_sdx=4, n_sdy=5, xi=1, eta=1)
+
+    def test_negative_halo_rejected(self):
+        grid = Grid(n_x=24, n_y=12)
+        with pytest.raises(ValueError):
+            Decomposition(grid, n_sdx=4, n_sdy=3, xi=-1, eta=0)
+
+    def test_interiors_partition_the_mesh(self):
+        d = make_decomp()
+        seen = np.concatenate([sd.interior_flat for sd in d])
+        assert len(seen) == d.grid.n
+        assert np.array_equal(np.sort(seen), np.arange(d.grid.n))
+
+    def test_subdomain_cached(self):
+        d = make_decomp()
+        assert d.subdomain(1, 2) is d.subdomain(1, 2)
+
+    def test_subdomain_bad_index(self):
+        d = make_decomp()
+        with pytest.raises(ValueError):
+            d.subdomain(4, 0)
+        with pytest.raises(ValueError):
+            d.subdomain(0, 3)
+
+
+class TestRankMapping:
+    def test_rank_of_latitude_band_major(self):
+        d = make_decomp()
+        assert d.rank_of(0, 0) == 0
+        assert d.rank_of(3, 0) == 3
+        assert d.rank_of(0, 1) == 4
+        assert d.rank_of(2, 2) == 10
+
+    def test_ij_roundtrip(self):
+        d = make_decomp()
+        for rank in range(d.n_subdomains):
+            i, j = d.ij_of(rank)
+            assert d.rank_of(i, j) == rank
+
+    def test_ij_out_of_range(self):
+        d = make_decomp()
+        with pytest.raises(ValueError):
+            d.ij_of(12)
+
+    def test_owner_of_point(self):
+        d = make_decomp()
+        assert d.owner_of_point(0, 0) == 0
+        assert d.owner_of_point(23, 11) == 11
+        assert d.owner_of_point(7, 5) == d.rank_of(1, 1)
+
+    def test_owner_of_point_out_of_range(self):
+        d = make_decomp()
+        with pytest.raises(ValueError):
+            d.owner_of_point(24, 0)
+
+    def test_bar_serves_contiguous_ranks(self):
+        """I/O processor of bar j serves ranks [j*n_sdx, (j+1)*n_sdx)."""
+        d = make_decomp()
+        for j in range(d.n_sdy):
+            ranks = [d.rank_of(i, j) for i in range(d.n_sdx)]
+            assert ranks == list(range(j * d.n_sdx, (j + 1) * d.n_sdx))
+
+
+class TestExpansion:
+    def test_expansion_contains_interior(self):
+        d = make_decomp()
+        for sd in d:
+            assert set(sd.interior_flat).issubset(set(sd.expansion_flat))
+
+    def test_expansion_size_interior_subdomain(self):
+        d = make_decomp()
+        sd = d.subdomain(1, 1)  # away from poles
+        assert sd.exp_size == (6 + 2 * 2) * (4 + 2 * 1)
+
+    def test_expansion_clamped_at_poles(self):
+        d = make_decomp()
+        south = d.subdomain(1, 0)
+        assert south.exp_y_indices[0] == 0
+        assert len(south.exp_y_indices) == 4 + 1  # only the north halo
+        north = d.subdomain(1, 2)
+        assert north.exp_y_indices[-1] == 11
+        assert len(north.exp_y_indices) == 4 + 1
+
+    def test_expansion_wraps_longitude(self):
+        d = make_decomp()
+        west = d.subdomain(0, 1)
+        assert 22 in west.exp_x_indices and 23 in west.exp_x_indices
+
+    def test_expansion_no_wrap_nonperiodic(self):
+        d = make_decomp(periodic=False)
+        west = d.subdomain(0, 1)
+        assert list(west.exp_x_indices) == list(range(0, 8))
+
+    def test_interior_positions_in_expansion(self):
+        d = make_decomp()
+        for sd in [d.subdomain(0, 0), d.subdomain(3, 2), d.subdomain(1, 1)]:
+            pos = sd.interior_positions_in_expansion
+            assert np.array_equal(sd.expansion_flat[pos], sd.interior_flat)
+
+    def test_expansion_coords_match_flat(self):
+        d = make_decomp()
+        sd = d.subdomain(2, 1)
+        ix, iy = sd.expansion_coords
+        assert np.array_equal(iy * d.grid.n_x + ix, sd.expansion_flat)
+
+    def test_local_boxes_covered_by_expansion(self):
+        """Every interior point's local box lies inside the expansion."""
+        from repro.core import local_box
+
+        d = make_decomp()
+        for sd in [d.subdomain(0, 0), d.subdomain(3, 2)]:
+            exp = set(sd.expansion_flat)
+            for flat in sd.interior_flat:
+                ix, iy = int(flat % 24), int(flat // 24)
+                box = local_box(d.grid, ix, iy, xi=d.xi, eta=d.eta)
+                assert set(box.flat_indices(d.grid)).issubset(exp)
+
+
+class TestLayers:
+    def test_layers_partition_interior_rows(self):
+        d = make_decomp()
+        sd = d.subdomain(1, 1)
+        layers = sd.layers(2)
+        assert [(l.iy0, l.iy1) for l in layers] == [(4, 6), (6, 8)]
+
+    def test_layers_divisibility_enforced(self):
+        d = make_decomp()
+        with pytest.raises(ValueError):
+            d.subdomain(0, 0).layers(3)  # 4 rows not divisible by 3
+
+    def test_layer_read_rows_include_halo(self):
+        d = make_decomp()
+        sd = d.subdomain(1, 1)  # interior rows 4..8, eta=1
+        layers = sd.layers(2)
+        assert (layers[0].read_iy0, layers[0].read_iy1) == (3, 7)
+        assert (layers[1].read_iy0, layers[1].read_iy1) == (5, 9)
+
+    def test_layer_read_rows_clamped_at_pole(self):
+        d = make_decomp()
+        sd = d.subdomain(0, 0)  # interior rows 0..4
+        layers = sd.layers(4)
+        assert layers[0].read_iy0 == 0
+
+    def test_layer_interiors_partition_subdomain(self):
+        d = make_decomp()
+        sd = d.subdomain(2, 1)
+        got = np.concatenate([sd.layer_interior_flat(l) for l in sd.layers(4)])
+        assert np.array_equal(np.sort(got), np.sort(sd.interior_flat))
+
+    def test_layer_expansions_cover_expansion(self):
+        d = make_decomp()
+        sd = d.subdomain(2, 1)
+        pts = set()
+        for l in sd.layers(2):
+            pts.update(sd.layer_expansion_flat(l))
+        assert pts == set(sd.expansion_flat)
+
+    def test_single_layer_equals_whole_expansion(self):
+        d = make_decomp()
+        sd = d.subdomain(2, 1)
+        (layer,) = sd.layers(1)
+        assert np.array_equal(
+            np.sort(sd.layer_expansion_flat(layer)), np.sort(sd.expansion_flat)
+        )
+
+
+class TestBars:
+    def test_bar_rows(self):
+        d = make_decomp()
+        assert d.bar_rows(0) == (0, 4)
+        assert d.bar_rows(2) == (8, 12)
+
+    def test_bar_read_rows_with_halo(self):
+        d = make_decomp()
+        assert d.bar_read_rows(1) == (3, 9)
+
+    def test_bar_read_rows_clamped(self):
+        d = make_decomp()
+        assert d.bar_read_rows(0) == (0, 5)
+        assert d.bar_read_rows(2) == (7, 12)
+
+    def test_bar_index_out_of_range(self):
+        d = make_decomp()
+        with pytest.raises(ValueError):
+            d.bar_rows(3)

@@ -1,0 +1,183 @@
+"""Tests for Ensemble, ObservationNetwork and perturbed observations."""
+
+import numpy as np
+import pytest
+
+from repro.core import Ensemble, Grid, ObservationNetwork, perturb_observations
+
+
+class TestEnsemble:
+    def test_shapes(self):
+        e = Ensemble(np.zeros((10, 4)))
+        assert e.n == 10 and e.size == 4
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            Ensemble(np.zeros(10))
+
+    def test_member_view(self):
+        states = np.arange(12.0).reshape(3, 4)
+        e = Ensemble(states)
+        assert np.array_equal(e.member(1), [1.0, 5.0, 9.0])
+
+    def test_member_out_of_range(self):
+        e = Ensemble(np.zeros((3, 4)))
+        with pytest.raises(ValueError):
+            e.member(4)
+
+    def test_mean_and_anomalies(self):
+        states = np.array([[1.0, 3.0], [2.0, 6.0]])
+        e = Ensemble(states)
+        assert np.allclose(e.mean(), [2.0, 4.0])
+        anom = e.anomalies()
+        assert np.allclose(anom, [[-1.0, 1.0], [-2.0, 2.0]])
+        assert np.allclose(anom.sum(axis=1), 0.0)
+
+    def test_restrict(self):
+        e = Ensemble(np.arange(12.0).reshape(6, 2))
+        sub = e.restrict(np.array([0, 5]))
+        assert sub.n == 2
+        assert np.array_equal(sub.states[1], [10.0, 11.0])
+
+    def test_from_members(self):
+        e = Ensemble.from_members([[1.0, 2.0], [3.0, 4.0]])
+        assert e.n == 2 and e.size == 2
+        assert np.array_equal(e.member(0), [1.0, 2.0])
+        assert np.array_equal(e.member(1), [3.0, 4.0])
+
+    def test_from_members_empty(self):
+        with pytest.raises(ValueError):
+            Ensemble.from_members([])
+
+    def test_copy_is_independent(self):
+        e = Ensemble(np.zeros((3, 2)))
+        c = e.copy()
+        c.states[0, 0] = 9.0
+        assert e.states[0, 0] == 0.0
+
+
+class TestObservationNetwork:
+    def grid(self):
+        return Grid(n_x=20, n_y=10)
+
+    def test_operator_selects_locations(self):
+        g = self.grid()
+        net = ObservationNetwork(g, ix=[2, 5], iy=[1, 3], obs_error_std=0.5)
+        state = np.arange(float(g.n))
+        y = net.operator @ state
+        assert np.array_equal(y, [22.0, 65.0])
+
+    def test_m_and_flat_locations(self):
+        g = self.grid()
+        net = ObservationNetwork(g, ix=[0, 19], iy=[0, 9])
+        assert net.m == 2
+        assert list(net.flat_locations) == [0, 199]
+
+    def test_out_of_range_rejected(self):
+        g = self.grid()
+        with pytest.raises(ValueError):
+            ObservationNetwork(g, ix=[20], iy=[0])
+        with pytest.raises(ValueError):
+            ObservationNetwork(g, ix=[0], iy=[10])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ObservationNetwork(self.grid(), ix=[], iy=[])
+
+    def test_bad_std_rejected(self):
+        with pytest.raises(ValueError):
+            ObservationNetwork(self.grid(), ix=[0], iy=[0], obs_error_std=0.0)
+
+    def test_r_matrix_diagonal(self):
+        net = ObservationNetwork(self.grid(), ix=[0, 1], iy=[0, 0], obs_error_std=2.0)
+        r = net.r_matrix().toarray()
+        assert np.allclose(r, 4.0 * np.eye(2))
+        assert np.allclose(net.r_inv_diag(), 0.25)
+
+    def test_observe_noiseless(self):
+        g = self.grid()
+        net = ObservationNetwork(g, ix=[3], iy=[2])
+        state = np.arange(float(g.n))
+        assert net.observe(state, noisy=False)[0] == 43.0
+
+    def test_observe_noise_statistics(self):
+        g = self.grid()
+        net = ObservationNetwork(g, ix=[3], iy=[2], obs_error_std=1.5)
+        state = np.zeros(g.n)
+        rng = np.random.default_rng(0)
+        samples = np.array([net.observe(state, rng=rng)[0] for _ in range(4000)])
+        assert abs(samples.mean()) < 0.1
+        assert samples.std() == pytest.approx(1.5, rel=0.1)
+
+    def test_random_network_distinct_locations(self):
+        g = self.grid()
+        net = ObservationNetwork.random(g, m=50, rng=np.random.default_rng(1))
+        assert net.m == 50
+        assert len(set(net.flat_locations)) == 50
+
+    def test_random_network_too_many(self):
+        with pytest.raises(ValueError):
+            ObservationNetwork.random(self.grid(), m=201)
+
+    def test_regular_network(self):
+        g = self.grid()
+        net = ObservationNetwork.regular(g, every_x=5, every_y=5)
+        assert net.m == 4 * 2
+        assert 0 in net.flat_locations
+
+    def test_restrict_to_box_selects_inside(self):
+        g = self.grid()
+        net = ObservationNetwork(g, ix=[2, 8, 15], iy=[1, 2, 5])
+        pos, h_local = net.restrict_to_box(
+            x_indices=np.arange(0, 10), y_indices=np.arange(0, 4)
+        )
+        assert list(pos) == [0, 1]
+        assert h_local.shape == (2, 40)
+        # Local column of obs 0: row 1, col 2 of the 10-wide box.
+        state_local = np.arange(40.0)
+        assert (h_local @ state_local)[0] == 12.0
+
+    def test_restrict_to_box_empty(self):
+        g = self.grid()
+        net = ObservationNetwork(g, ix=[15], iy=[9])
+        pos, h_local = net.restrict_to_box(np.arange(0, 5), np.arange(0, 5))
+        assert pos.size == 0
+        assert h_local.shape == (0, 25)
+
+    def test_restrict_handles_wrapped_columns(self):
+        """Expansion column lists are wrapped; matching must follow values."""
+        g = self.grid()
+        net = ObservationNetwork(g, ix=[19], iy=[0])
+        pos, h_local = net.restrict_to_box(
+            x_indices=np.array([18, 19, 0, 1]), y_indices=np.array([0, 1])
+        )
+        assert list(pos) == [0]
+        state_local = np.arange(8.0)
+        assert (h_local @ state_local)[0] == 1.0  # column position of ix=19
+
+
+class TestPerturbObservations:
+    def test_shape(self):
+        ys = perturb_observations(np.zeros(5), 1.0, ensemble_size=8, rng=0)
+        assert ys.shape == (5, 8)
+
+    def test_centering_makes_row_means_exact(self):
+        y = np.array([3.0, -1.0])
+        ys = perturb_observations(y, 2.0, ensemble_size=10, rng=1, center=True)
+        assert np.allclose(ys.mean(axis=1), y)
+
+    def test_uncentered_has_sampling_noise(self):
+        y = np.zeros(1)
+        ys = perturb_observations(y, 2.0, ensemble_size=10, rng=1, center=False)
+        assert abs(ys.mean()) > 1e-6
+
+    def test_perturbation_std(self):
+        ys = perturb_observations(np.zeros(2000), 3.0, ensemble_size=2, rng=2,
+                                  center=False)
+        assert ys.std() == pytest.approx(3.0, rel=0.1)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            perturb_observations(np.zeros(3), 0.0, 4)
+        with pytest.raises(ValueError):
+            perturb_observations(np.zeros(3), 1.0, 0)

@@ -1,0 +1,109 @@
+"""Tests for Grid and index conventions."""
+
+import numpy as np
+import pytest
+
+from repro.core import Grid
+
+
+class TestGridBasics:
+    def test_n_and_shape(self):
+        g = Grid(n_x=10, n_y=4)
+        assert g.n == 40
+        assert g.shape == (4, 10)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            Grid(n_x=0, n_y=4)
+        with pytest.raises(ValueError):
+            Grid(n_x=4, n_y=-1)
+
+    def test_flat_index_latitude_major(self):
+        g = Grid(n_x=10, n_y=4)
+        assert g.flat_index(0, 0) == 0
+        assert g.flat_index(9, 0) == 9
+        assert g.flat_index(0, 1) == 10
+        assert g.flat_index(3, 2) == 23
+
+    def test_flat_index_vectorised(self):
+        g = Grid(n_x=10, n_y=4)
+        out = g.flat_index(np.array([0, 3]), np.array([1, 2]))
+        assert list(out) == [10, 23]
+
+    def test_flat_index_out_of_range(self):
+        g = Grid(n_x=10, n_y=4)
+        with pytest.raises(ValueError):
+            g.flat_index(10, 0)
+        with pytest.raises(ValueError):
+            g.flat_index(0, 4)
+
+    def test_coords_roundtrip(self):
+        g = Grid(n_x=7, n_y=5)
+        flats = np.arange(g.n)
+        ix, iy = g.coords(flats)
+        assert np.array_equal(g.flat_index(ix, iy), flats)
+
+    def test_coords_out_of_range(self):
+        g = Grid(n_x=7, n_y=5)
+        with pytest.raises(ValueError):
+            g.coords(g.n)
+
+
+class TestWrapClamp:
+    def test_wrap_x_periodic(self):
+        g = Grid(n_x=10, n_y=4, periodic_x=True)
+        assert g.wrap_x(-1) == 9
+        assert g.wrap_x(10) == 0
+        assert g.wrap_x(23) == 3
+
+    def test_wrap_x_nonperiodic_rejects(self):
+        g = Grid(n_x=10, n_y=4, periodic_x=False)
+        with pytest.raises(ValueError):
+            g.wrap_x(-1)
+
+    def test_clamp_y(self):
+        g = Grid(n_x=10, n_y=4)
+        assert g.clamp_y(-3) == 0
+        assert g.clamp_y(7) == 3
+        assert g.clamp_y(2) == 2
+
+
+class TestGeometry:
+    def test_distance_simple(self):
+        g = Grid(n_x=100, n_y=50, dx_km=2.0, dy_km=3.0, periodic_x=False)
+        assert g.distance_km(0, 0, 3, 4) == pytest.approx(np.hypot(6.0, 12.0))
+
+    def test_distance_periodic_wrap(self):
+        g = Grid(n_x=100, n_y=50, dx_km=1.0, dy_km=1.0, periodic_x=True)
+        # 99 -> 0 is one step around the seam, not 99 steps.
+        assert g.distance_km(99, 0, 0, 0) == pytest.approx(1.0)
+
+    def test_distance_symmetric(self):
+        g = Grid(n_x=40, n_y=20, dx_km=2.5, dy_km=5.0)
+        assert g.distance_km(1, 2, 30, 15) == pytest.approx(
+            g.distance_km(30, 15, 1, 2)
+        )
+
+
+class TestFieldReshape:
+    def test_roundtrip(self):
+        g = Grid(n_x=6, n_y=3)
+        state = np.arange(18.0)
+        field = g.as_field(state)
+        assert field.shape == (3, 6)
+        assert field[1, 0] == 6.0  # row 1 starts at flat index 6
+        assert np.array_equal(g.as_state(field), state)
+
+    def test_ensemble_roundtrip(self):
+        g = Grid(n_x=6, n_y=3)
+        ens = np.arange(36.0).reshape(18, 2)
+        field = g.as_field(ens)
+        assert field.shape == (3, 6, 2)
+        assert np.array_equal(g.as_state(field), ens)
+
+    def test_wrong_sizes_rejected(self):
+        g = Grid(n_x=6, n_y=3)
+        with pytest.raises(ValueError):
+            g.as_field(np.zeros(17))
+        with pytest.raises(ValueError):
+            g.as_state(np.zeros((6, 3)))

@@ -1,0 +1,117 @@
+"""Tests for localization: halos, local boxes, Gaspari-Cohn."""
+
+import numpy as np
+import pytest
+
+from repro.core import Grid, gaspari_cohn, local_box, radius_to_halo
+
+
+class TestRadiusToHalo:
+    def test_paper_figure2_example(self):
+        """Fig. 2(a): r = 10 km with anisotropic spacing gives ξ=4, η=2."""
+        assert radius_to_halo(10.0, 2.5, 5.0) == (4, 2)
+
+    def test_isotropic(self):
+        assert radius_to_halo(10.0, 5.0, 5.0) == (2, 2)
+
+    def test_ceil_behaviour(self):
+        assert radius_to_halo(10.0, 3.0, 3.0) == (4, 4)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            radius_to_halo(0.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            radius_to_halo(1.0, -1.0, 1.0)
+
+
+class TestLocalBox:
+    def test_interior_box_full_size(self):
+        g = Grid(n_x=100, n_y=50)
+        box = local_box(g, ix=50, iy=25, xi=4, eta=2)
+        assert len(box.x_indices) == 9
+        assert len(box.y_indices) == 5
+        assert box.size == 45
+
+    def test_periodic_wrap_in_x(self):
+        g = Grid(n_x=100, n_y=50, periodic_x=True)
+        box = local_box(g, ix=0, iy=25, xi=2, eta=1)
+        assert set(box.x_indices) == {98, 99, 0, 1, 2}
+
+    def test_nonperiodic_truncates_x(self):
+        g = Grid(n_x=100, n_y=50, periodic_x=False)
+        box = local_box(g, ix=0, iy=25, xi=2, eta=1)
+        assert set(box.x_indices) == {0, 1, 2}
+
+    def test_clamped_at_south_pole(self):
+        g = Grid(n_x=100, n_y=50)
+        box = local_box(g, ix=50, iy=0, xi=1, eta=3)
+        assert set(box.y_indices) == {0, 1, 2, 3}
+
+    def test_clamped_at_north_pole(self):
+        g = Grid(n_x=100, n_y=50)
+        box = local_box(g, ix=50, iy=49, xi=1, eta=3)
+        assert set(box.y_indices) == {46, 47, 48, 49}
+
+    def test_tiny_mesh_no_duplicate_columns(self):
+        g = Grid(n_x=4, n_y=4, periodic_x=True)
+        box = local_box(g, ix=1, iy=1, xi=5, eta=0)
+        assert sorted(box.x_indices) == [0, 1, 2, 3]
+
+    def test_flat_indices_unique_and_in_range(self):
+        g = Grid(n_x=20, n_y=10)
+        box = local_box(g, ix=0, iy=0, xi=3, eta=2)
+        flat = box.flat_indices(g)
+        assert len(np.unique(flat)) == box.size
+        assert flat.min() >= 0 and flat.max() < g.n
+
+    def test_center_always_inside(self):
+        g = Grid(n_x=20, n_y=10)
+        for ix, iy in [(0, 0), (19, 9), (5, 5)]:
+            box = local_box(g, ix=ix, iy=iy, xi=2, eta=2)
+            assert g.flat_index(ix, iy) in set(box.flat_indices(g))
+
+    def test_out_of_range_center_rejected(self):
+        g = Grid(n_x=20, n_y=10)
+        with pytest.raises(ValueError):
+            local_box(g, ix=20, iy=0, xi=1, eta=1)
+        with pytest.raises(ValueError):
+            local_box(g, ix=0, iy=-1, xi=1, eta=1)
+
+    def test_negative_halo_rejected(self):
+        g = Grid(n_x=20, n_y=10)
+        with pytest.raises(ValueError):
+            local_box(g, ix=0, iy=0, xi=-1, eta=1)
+
+
+class TestGaspariCohn:
+    def test_value_at_zero_is_one(self):
+        assert gaspari_cohn(np.array([0.0]), support=10.0)[0] == pytest.approx(1.0)
+
+    def test_zero_beyond_support(self):
+        out = gaspari_cohn(np.array([10.0, 11.0, 100.0]), support=10.0)
+        assert np.allclose(out, 0.0, atol=1e-12)
+
+    def test_monotone_decreasing(self):
+        d = np.linspace(0, 10, 50)
+        out = gaspari_cohn(d, support=10.0)
+        assert np.all(np.diff(out) <= 1e-12)
+
+    def test_continuous_at_half_support(self):
+        eps = 1e-9
+        support = 8.0
+        below = gaspari_cohn(np.array([4.0 - eps]), support)[0]
+        above = gaspari_cohn(np.array([4.0 + eps]), support)[0]
+        assert below == pytest.approx(above, abs=1e-6)
+
+    def test_bounded_zero_one(self):
+        d = np.linspace(0, 20, 200)
+        out = gaspari_cohn(d, support=10.0)
+        assert np.all(out >= -1e-12) and np.all(out <= 1.0 + 1e-12)
+
+    def test_invalid_support(self):
+        with pytest.raises(ValueError):
+            gaspari_cohn(np.array([1.0]), support=0.0)
+
+    def test_matrix_input_preserves_shape(self):
+        d = np.ones((3, 4))
+        assert gaspari_cohn(d, support=10.0).shape == (3, 4)

@@ -1,0 +1,175 @@
+"""Tests for the cost model (Eqs. 7-10) and calibration."""
+
+import math
+
+import pytest
+
+from repro.cluster import MachineSpec
+from repro.costmodel import (
+    CostParams,
+    calibrate_from_machine,
+    t1,
+    t_comm,
+    t_comp,
+    t_read,
+    t_total,
+)
+
+
+def params(**kw):
+    defaults = dict(
+        n_x=360, n_y=180, n_members=24, h=240.0, xi=4, eta=2,
+        a=1e-6, b=1e-10, c=1e-4, theta=1e-9,
+    )
+    defaults.update(kw)
+    return CostParams(**defaults)
+
+
+class TestCostParams:
+    def test_valid(self):
+        p = params()
+        assert p.n_x == 360
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            params(n_x=0)
+        with pytest.raises(ValueError):
+            params(theta=-1)
+
+    def test_small_bar_rows(self):
+        p = params()
+        assert p.small_bar_rows(n_sdy=10, n_layers=3) == pytest.approx(
+            180 / 30 + 4
+        )
+
+    def test_block_cols(self):
+        p = params()
+        assert p.block_cols(n_sdx=36) == pytest.approx(10 + 8)
+
+    def test_validate_choice_divisibility(self):
+        p = params()
+        p.validate_choice(n_sdx=36, n_sdy=10, n_layers=3, n_cg=4)
+        with pytest.raises(ValueError):
+            p.validate_choice(n_sdx=7, n_sdy=10, n_layers=3, n_cg=4)
+        with pytest.raises(ValueError):
+            p.validate_choice(n_sdx=36, n_sdy=10, n_layers=5, n_cg=4)
+        with pytest.raises(ValueError):
+            p.validate_choice(n_sdx=36, n_sdy=10, n_layers=3, n_cg=5)
+
+
+class TestFormulas:
+    def test_t_read_formula(self):
+        p = params()
+        n_sdy, L, n_cg = 10, 3, 4
+        expected = (
+            (180 / 30 + 4) * 360 * 240.0 * (24 / 4) * 1e-9
+        ) * math.log2(4 * 10 + 1)
+        assert t_read(p, n_sdy, L, n_cg) == pytest.approx(expected)
+
+    def test_t_comm_formula(self):
+        p = params()
+        n_sdx, n_sdy, L, n_cg = 36, 10, 3, 4
+        block_bytes = (180 / 30 + 4) * (10 + 8) * (24 / 4) * 240.0
+        expected = 36 * math.log2(5) * (1e-6 + 1e-10 * block_bytes)
+        assert t_comm(p, n_sdx, n_sdy, L, n_cg) == pytest.approx(expected)
+
+    def test_t_comp_formula(self):
+        p = params()
+        assert t_comp(p, n_sdx=36, n_sdy=10, n_layers=3) == pytest.approx(
+            1e-4 * (180 / 30) * 10
+        )
+
+    def test_t1_is_read_plus_comm(self):
+        p = params()
+        args = dict(n_sdx=36, n_sdy=10, n_layers=3, n_cg=4)
+        assert t1(p, **args) == pytest.approx(
+            t_read(p, 10, 3, 4) + t_comm(p, **args)
+        )
+
+    def test_t_total_composition(self):
+        p = params()
+        args = dict(n_sdx=36, n_sdy=10, n_layers=3, n_cg=4)
+        assert t_total(p, **args) == pytest.approx(
+            t1(p, **args) + 3 * t_comp(p, 36, 10, 3)
+        )
+
+    def test_positive_at_single_io_processor(self):
+        """The guarded log keeps T_read > 0 at C1 = 1 (see module doc)."""
+        p = params()
+        assert t_read(p, n_sdy=1, n_layers=1, n_cg=1) > 0
+
+    def test_t_read_decreases_with_more_groups(self):
+        """More concurrent groups => fewer files per group => faster; the
+        log contention factor must not reverse the trend at small n_cg."""
+        p = params()
+        values = [t_read(p, n_sdy=10, n_layers=3, n_cg=g) for g in (1, 2, 4, 8)]
+        assert values == sorted(values, reverse=True)
+
+    def test_t_comp_halves_with_double_processors(self):
+        p = params()
+        a = t_comp(p, n_sdx=18, n_sdy=10, n_layers=3)
+        b = t_comp(p, n_sdx=36, n_sdy=10, n_layers=3)
+        assert a == pytest.approx(2 * b)
+
+    def test_more_layers_reduce_exposed_t1(self):
+        """Larger L => smaller first-stage bars => less exposed read+comm."""
+        p = params()
+        v1 = t1(p, n_sdx=36, n_sdy=10, n_layers=1, n_cg=4)
+        v6 = t1(p, n_sdx=36, n_sdy=10, n_layers=6, n_cg=4)
+        assert v6 < v1
+
+    def test_l_times_tcomp_constant_in_l(self):
+        """The paper's observation: with C2 fixed, L·T_comp is constant."""
+        p = params()
+        totals = [
+            L * t_comp(p, n_sdx=36, n_sdy=10, n_layers=L) for L in (1, 2, 3, 6)
+        ]
+        assert all(v == pytest.approx(totals[0]) for v in totals)
+
+
+class TestCalibration:
+    def test_nominal_theta(self):
+        spec = MachineSpec(theta=5e-9)
+        p = calibrate_from_machine(spec, 360, 180, 24, 240.0, 4, 2)
+        assert p.theta == 5e-9
+        assert p.a == spec.alpha
+        assert p.c == spec.c_point
+
+    def test_measured_theta_includes_seek_amortisation(self):
+        spec = MachineSpec(theta=5e-9, seek_time=1.0)
+        p = calibrate_from_machine(
+            spec, 360, 180, 24, 240.0, 4, 2, measure_theta=True,
+            probe_bytes=1e6,
+        )
+        # 1 seek of 1 s over 1e6 bytes adds 1e-6 s/B on top of theta.
+        assert p.theta == pytest.approx(5e-9 + 1e-6, rel=1e-6)
+
+
+class TestPipelinedTotal:
+    def test_equals_paper_formula_when_compute_bound(self):
+        """t_total_pipelined == Eq. (10) whenever computation bounds each
+        stage — the regime equivalence the autotuner relies on."""
+        from repro.costmodel.model import t_total_pipelined
+
+        p = params(c=1.0)  # enormous per-point cost => compute-bound
+        args = dict(n_sdx=36, n_sdy=10, n_layers=3, n_cg=4)
+        assert t_total_pipelined(p, **args) == pytest.approx(
+            t_total(p, **args)
+        )
+
+    def test_upper_bounds_paper_formula(self):
+        from repro.costmodel.model import t_total_pipelined
+
+        for c in (1e-8, 1e-5, 1e-2):
+            p = params(c=c)
+            args = dict(n_sdx=36, n_sdy=10, n_layers=6, n_cg=4)
+            assert t_total_pipelined(p, **args) >= t_total(p, **args) - 1e-15
+
+    def test_penalises_comm_bound_configs(self):
+        """An extreme n_sdx (1-column blocks) makes per-stage comm dominate;
+        the pipelined total must be strictly above Eq. (10)."""
+        from repro.costmodel.model import t_total_pipelined
+
+        p = params(c=1e-9, a=1e-3)  # negligible compute, expensive messages
+        args = dict(n_sdx=360, n_sdy=10, n_layers=6, n_cg=4)
+        assert t_total_pipelined(p, **args) > 1.5 * t_total(p, **args)

@@ -1,0 +1,83 @@
+"""Tests for the baseline cost estimates vs the simulator."""
+
+import pytest
+
+from repro.cluster import MachineSpec
+from repro.costmodel.baselines import lenkf_estimate, penkf_estimate
+from repro.filters import PerfScenario, simulate_lenkf, simulate_penkf
+
+
+def scenario():
+    return PerfScenario(n_x=96, n_y=48, n_members=8, h_bytes=240, xi=2, eta=1)
+
+
+def spec():
+    return MachineSpec.small_cluster()
+
+
+class TestPEnKFEstimate:
+    def test_components_positive(self):
+        est = penkf_estimate(spec(), scenario(), n_sdx=8, n_sdy=4)
+        assert est.read > 0 and est.compute > 0 and est.comm == 0.0
+        assert est.total == pytest.approx(est.read + est.compute)
+
+    def test_read_grows_with_n_sdx(self):
+        s = scenario()
+        a = penkf_estimate(spec(), s, n_sdx=4, n_sdy=4).read
+        b = penkf_estimate(spec(), s, n_sdx=16, n_sdy=4).read
+        assert b > a
+
+    def test_compute_shrinks_with_ranks(self):
+        s = scenario()
+        a = penkf_estimate(spec(), s, n_sdx=4, n_sdy=4).compute
+        b = penkf_estimate(spec(), s, n_sdx=16, n_sdy=4).compute
+        assert b == pytest.approx(a / 4)
+
+    def test_estimate_is_a_lower_bound_within_factor_of_sim(self):
+        """Throughput bound <= measured <= ~3x bound + compute."""
+        s = scenario()
+        m = spec()
+        for n_sdx, n_sdy in [(8, 4), (16, 4), (24, 4)]:
+            est = penkf_estimate(m, s, n_sdx, n_sdy)
+            sim = simulate_penkf(m, s, n_sdx, n_sdy)
+            assert sim.total_time >= 0.9 * est.total
+            assert sim.total_time <= 3.0 * est.read + 1.5 * est.compute + 0.1
+
+    def test_predicts_fig13_regression_shape(self):
+        """The estimate itself shows the interior minimum of Fig. 13
+        (on the calibrated reduced scenario, where the crossover lives)."""
+        s = PerfScenario.small()
+        m = spec()
+        totals = [
+            penkf_estimate(m, s, n_sdx, 10).total
+            for n_sdx in (12, 24, 45, 60, 90, 120, 180)
+        ]
+        best = totals.index(min(totals))
+        assert 0 < best < len(totals) - 1
+
+
+class TestLEnKFEstimate:
+    def test_components_positive(self):
+        est = lenkf_estimate(spec(), scenario(), n_sdx=8, n_sdy=4)
+        assert est.read > 0 and est.comm > 0 and est.compute > 0
+
+    def test_comm_linear_in_ranks(self):
+        s = scenario()
+        a = lenkf_estimate(spec(), s, n_sdx=4, n_sdy=4)
+        b = lenkf_estimate(spec(), s, n_sdx=16, n_sdy=4)
+        # 4x the ranks, ~1/4 the block size: comm dominated by alpha term
+        # grows; with beta term it grows sublinearly but must grow.
+        assert b.comm > a.comm * 0.9
+
+    def test_read_independent_of_ranks(self):
+        s = scenario()
+        a = lenkf_estimate(spec(), s, n_sdx=4, n_sdy=4).read
+        b = lenkf_estimate(spec(), s, n_sdx=16, n_sdy=4).read
+        assert a == pytest.approx(b)
+
+    def test_tracks_simulation_within_factor(self):
+        s = scenario()
+        m = spec()
+        est = lenkf_estimate(m, s, n_sdx=8, n_sdy=4)
+        sim = simulate_lenkf(m, s, n_sdx=8, n_sdy=4)
+        assert 0.5 * est.total <= sim.total_time <= 2.0 * est.total

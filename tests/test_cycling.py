@@ -1,0 +1,67 @@
+"""Tests for the simulated reanalysis campaigns."""
+
+import pytest
+
+from repro.cluster import MachineSpec
+from repro.filters import CycleCosts, PerfScenario, ReanalysisCampaign
+
+
+def campaign(**kw):
+    scenario = PerfScenario(n_x=48, n_y=24, n_members=8, h_bytes=240,
+                            xi=2, eta=1)
+    spec = MachineSpec.small_cluster()
+    costs = CycleCosts(model_step_cost=1e-6, steps_per_cycle=kw.pop("steps", 5))
+    return ReanalysisCampaign(spec, scenario, costs=costs, **kw)
+
+
+class TestCycleCosts:
+    def test_forecast_scales_inverse_with_processors(self):
+        costs = CycleCosts(model_step_cost=1e-6, steps_per_cycle=10)
+        s = PerfScenario.small()
+        assert costs.forecast_time(s, 200) == pytest.approx(
+            costs.forecast_time(s, 100) / 2
+        )
+
+    def test_output_time_positive(self):
+        costs = CycleCosts()
+        assert costs.output_time(MachineSpec.small_cluster(),
+                                 PerfScenario.small()) > 0
+
+    def test_invalid_costs(self):
+        with pytest.raises(ValueError):
+            CycleCosts(model_step_cost=-1.0)
+        with pytest.raises(ValueError):
+            CycleCosts(steps_per_cycle=0)
+
+
+class TestCampaign:
+    def test_penkf_report_structure(self):
+        rep = campaign().run_penkf(n_sdx=4, n_sdy=3, n_cycles=10)
+        assert rep.filter_name == "p-enkf"
+        assert rep.n_cycles == 10
+        assert rep.cycle_time == pytest.approx(
+            rep.forecast_time + rep.output_time + rep.assimilation_time
+        )
+        assert rep.total_time == pytest.approx(10 * rep.cycle_time)
+        assert 0 < rep.assimilation_share < 1
+
+    def test_senkf_report_has_tuning_info(self):
+        rep = campaign().run_senkf(n_p=12, n_cycles=5)
+        assert rep.filter_name == "s-enkf"
+        assert rep.extra["c1"] + rep.extra["c2"] <= 12
+
+    def test_invalid_cycles(self):
+        with pytest.raises(ValueError):
+            campaign().run_penkf(n_sdx=4, n_sdy=3, n_cycles=0)
+
+    def test_campaign_speedup_positive(self):
+        p, s, speedup = campaign().speedup(n_sdx=4, n_sdy=3, n_cycles=8)
+        assert speedup > 0
+        assert p.n_p == 12 and s.n_p == 12
+
+    def test_campaign_speedup_bounded_by_assimilation_speedup(self):
+        """Amdahl: the campaign gains at most the assimilation-phase gain."""
+        p, s, speedup = campaign().speedup(n_sdx=8, n_sdy=3, n_cycles=8)
+        assim_speedup = p.assimilation_time / s.assimilation_time
+        if assim_speedup > 1:
+            assert speedup <= assim_speedup + 1e-9

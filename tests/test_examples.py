@@ -1,0 +1,50 @@
+"""Smoke tests: the shipped examples must run end-to-end.
+
+The two long-running examples (scaling_study sweeps to 1,200 simulated
+ranks; ocean_reanalysis cycles two filters 15 times) are exercised by the
+benchmark/figure suites; here we run the fast ones by importing their
+``main``.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> None:
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["quickstart", "autotuning_demo", "reading_strategies",
+     "shallow_water_assim"],
+)
+def test_fast_examples_run(name, capsys):
+    run_example(name)
+    out = capsys.readouterr().out
+    assert len(out) > 100  # every example prints a report
+
+
+def test_examples_directory_complete():
+    present = {p.stem for p in EXAMPLES_DIR.glob("*.py")}
+    assert {
+        "quickstart",
+        "ocean_reanalysis",
+        "scaling_study",
+        "autotuning_demo",
+        "reading_strategies",
+        "shallow_water_assim",
+    } <= present

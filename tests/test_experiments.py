@@ -1,0 +1,192 @@
+"""Tests for the experiment runners, registry, report and CLI plumbing.
+
+Shape-level acceptance at the calibrated reduced scale is exercised by the
+benchmark harness (benchmarks/bench_fig*.py); here we verify the runners'
+mechanics on a *micro* configuration that finishes in well under a second
+each, plus the robust shape properties that hold at any scale (Fig. 5
+linearity, Fig. 10 monotonicity).
+"""
+
+import pytest
+
+from repro.cluster import MachineSpec
+from repro.experiments import (
+    ExperimentConfig,
+    FIGURES,
+    FigureResult,
+    default_config,
+    format_result,
+    get_figure,
+)
+from repro.experiments.fig05 import run_fig05
+from repro.experiments.fig10 import run_fig10
+from repro.experiments.fig13 import run_fig13
+from repro.filters import PerfScenario
+
+
+@pytest.fixture(scope="module")
+def micro_config():
+    """A miniature configuration: exercises every code path in <1 s/figure."""
+    return ExperimentConfig(
+        full=False,
+        spec=MachineSpec.small_cluster(),
+        scenario=PerfScenario(n_x=96, n_y=48, n_members=8, h_bytes=240,
+                              xi=2, eta=1),
+        scaling_configs=((4, 4), (8, 4), (12, 4), (16, 4)),
+        fig5_n_sdx=(4, 8, 16, 32),
+        fig5_n_sdy=4,
+        fig5_members=8,
+        fig10_groups=(1, 2, 4, 8),
+        fig12_c2=16,
+        epsilon=1e-3,
+    )
+
+
+class TestRegistry:
+    def test_all_seven_figures_registered(self):
+        assert sorted(FIGURES) == [
+            "fig01", "fig05", "fig09", "fig10", "fig11", "fig12", "fig13",
+        ]
+
+    @pytest.mark.parametrize("alias", ["fig1", "fig01", "Figure1", "FIG13"])
+    def test_get_figure_aliases(self, alias):
+        assert callable(get_figure(alias))
+
+    def test_unknown_figure(self):
+        with pytest.raises(KeyError):
+            get_figure("fig99")
+
+
+class TestDefaultConfig:
+    def test_reduced_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        cfg = default_config()
+        assert not cfg.full
+        assert cfg.scenario.n_x == 360
+
+    def test_env_switches_full(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        cfg = default_config()
+        assert cfg.full
+        assert cfg.scenario.n_x == 3600
+
+    def test_explicit_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert default_config(full=False).full is False
+
+    def test_sweeps_are_divisor_valid(self):
+        for cfg in (default_config(full=False), default_config(full=True)):
+            for n_sdx, n_sdy in cfg.scaling_configs:
+                assert cfg.scenario.n_x % n_sdx == 0
+                assert cfg.scenario.n_y % n_sdy == 0
+            for n_sdx in cfg.fig5_n_sdx:
+                assert cfg.scenario.n_x % n_sdx == 0
+            for n_cg in cfg.fig10_groups:
+                assert cfg.scenario.n_members % n_cg == 0
+
+
+class TestRunnersStructure:
+    @pytest.mark.parametrize("name", sorted(FIGURES))
+    def test_runner_produces_complete_rows(self, name, micro_config):
+        result = FIGURES[name](micro_config)
+        assert isinstance(result, FigureResult)
+        assert result.rows, f"{name} produced no rows"
+        for row in result.rows:
+            assert set(row) == set(result.columns)
+        assert result.acceptance, f"{name} has no acceptance criteria"
+
+    def test_runs_are_reproducible(self, micro_config):
+        a = run_fig05(micro_config)
+        b = run_fig05(micro_config)
+        assert a.rows == b.rows
+
+
+class TestRobustShapes:
+    def test_fig05_linear_even_at_micro_scale(self, micro_config):
+        result = run_fig05(micro_config)
+        assert result.acceptance["read_time_increases"]
+        assert result.acceptance["positive_slope"]
+
+    def test_fig10_never_increases_at_micro_scale(self, micro_config):
+        result = run_fig10(micro_config)
+        assert result.acceptance["never_increases"]
+        assert result.acceptance["concurrency_helps_overall"]
+
+    def test_fig13_speedup_positive(self, micro_config):
+        result = run_fig13(micro_config)
+        assert all(row["speedup"] > 0 for row in result.rows)
+        assert all(row["senkf_c1"] + row["senkf_c2"] <= row["n_p"]
+                   for row in result.rows)
+
+
+class TestReport:
+    def test_format_contains_rows_and_checks(self, micro_config):
+        result = run_fig05(micro_config)
+        text = format_result(result)
+        assert "fig05" in text
+        assert "read_time" in text
+        assert "PASS" in text or "FAIL" in text
+        assert "figure outcome" in text
+
+    def test_series_extraction(self, micro_config):
+        result = run_fig05(micro_config)
+        assert len(result.series("read_time")) == len(result.rows)
+        with pytest.raises(KeyError):
+            result.series("nonexistent")
+
+
+class TestCli:
+    def test_cli_single_figure(self, micro_config, capsys, monkeypatch):
+        # Route the CLI through the micro config for speed.
+        import repro.experiments.cli as cli
+
+        monkeypatch.setattr(cli, "default_config", lambda full=None: micro_config)
+        code = cli.main(["fig05"])
+        out = capsys.readouterr().out
+        assert "fig05" in out
+        assert code in (0, 1)
+
+    def test_cli_unknown_figure(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["fig99"]) == 2
+
+
+class TestReportFormatting:
+    def test_fmt_values(self):
+        from repro.experiments.report import _fmt
+
+        assert _fmt(True) == "yes"
+        assert _fmt(False) == "no"
+        assert _fmt(3) == "3"
+        assert _fmt(0.5) == "0.5"
+        assert _fmt(1.23456e-5) == "1.235e-05"
+        assert _fmt(123456.0) == "1.235e+05"
+        assert _fmt("text") == "text"
+
+    def test_format_result_empty_rows(self):
+        from repro.experiments import FigureResult, format_result
+
+        result = FigureResult(name="figX", title="t", claim="c",
+                              columns=["a", "b"])
+        text = format_result(result)
+        assert "figX" in text
+        assert "FAIL" in text  # no acceptance -> not passed
+
+    def test_run_all_covers_registry(self, micro_config):
+        from repro.experiments import FIGURES, run_all
+
+        results = run_all(micro_config)
+        assert sorted(results) == sorted(FIGURES)
+        assert all(r.rows for r in results.values())
+
+
+class TestScorecard:
+    def test_scorecard_runs_all_figures(self, micro_config):
+        from repro.experiments import format_scorecard, run_scorecard
+
+        rows, results = run_scorecard(micro_config)
+        assert len(rows) == 7
+        assert {r["figure"] for r in rows} == set(results)
+        text = format_scorecard(rows)
+        assert "figures reproduced:" in text

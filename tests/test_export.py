@@ -1,0 +1,84 @@
+"""Tests for CSV/JSON export of figure results."""
+
+import csv
+import json
+
+import pytest
+
+from repro.experiments.export import (
+    export_csv,
+    export_json,
+    export_result,
+    load_json,
+)
+from repro.experiments.result import FigureResult
+
+
+@pytest.fixture()
+def result():
+    return FigureResult(
+        name="fig99",
+        title="Test figure",
+        claim="testing",
+        columns=["n_p", "time"],
+        rows=[{"n_p": 10, "time": 1.5}, {"n_p": 20, "time": 0.9}],
+        acceptance={"check": True},
+        notes=["a note"],
+    )
+
+
+class TestExport:
+    def test_csv_roundtrip(self, result, tmp_path):
+        path = export_csv(result, tmp_path)
+        assert path.name == "fig99.csv"
+        with open(path) as fh:
+            rows = list(csv.DictReader(fh))
+        assert rows[0]["n_p"] == "10"
+        assert float(rows[1]["time"]) == 0.9
+
+    def test_json_roundtrip(self, result, tmp_path):
+        path = export_json(result, tmp_path)
+        loaded = load_json(path)
+        assert loaded.name == result.name
+        assert loaded.rows == result.rows
+        assert loaded.acceptance == result.acceptance
+        assert loaded.passed == result.passed
+
+    def test_export_result_writes_both(self, result, tmp_path):
+        paths = export_result(result, tmp_path)
+        assert {p.suffix for p in paths} == {".csv", ".json"}
+        assert all(p.exists() for p in paths)
+
+    def test_creates_directory(self, result, tmp_path):
+        target = tmp_path / "nested" / "dir"
+        export_csv(result, target)
+        assert (target / "fig99.csv").exists()
+
+    def test_json_is_valid(self, result, tmp_path):
+        path = export_json(result, tmp_path)
+        payload = json.loads(path.read_text())
+        assert payload["passed"] is True
+        assert payload["columns"] == ["n_p", "time"]
+
+    def test_cli_export_flag(self, tmp_path, capsys, monkeypatch):
+        from repro.cluster import MachineSpec
+        from repro.experiments import ExperimentConfig
+        from repro.filters import PerfScenario
+        import repro.experiments.cli as cli
+
+        micro = ExperimentConfig(
+            full=False,
+            spec=MachineSpec.small_cluster(),
+            scenario=PerfScenario(n_x=96, n_y=48, n_members=8, h_bytes=240,
+                                  xi=2, eta=1),
+            scaling_configs=((4, 4), (8, 4)),
+            fig5_n_sdx=(4, 8, 16),
+            fig5_n_sdy=4,
+            fig5_members=8,
+            fig10_groups=(1, 2, 4),
+            fig12_c2=16,
+        )
+        monkeypatch.setattr(cli, "default_config", lambda full=None: micro)
+        cli.main(["fig05", "--export", str(tmp_path / "out")])
+        assert (tmp_path / "out" / "fig05.csv").exists()
+        assert (tmp_path / "out" / "fig05.json").exists()

@@ -1,0 +1,239 @@
+"""Tests for the simulated orchestrations of L-EnKF, P-EnKF and S-EnKF."""
+
+import pytest
+
+from repro.cluster import MachineSpec
+from repro.filters import (
+    PerfScenario,
+    simulate_lenkf,
+    simulate_penkf,
+    simulate_senkf,
+    simulate_senkf_autotuned,
+)
+from repro.sim.trace import PHASE_COMM, PHASE_COMPUTE, PHASE_READ, PHASE_WAIT
+
+
+def tiny_scenario(**kw):
+    defaults = dict(n_x=48, n_y=24, n_members=8, h_bytes=240, xi=2, eta=1)
+    defaults.update(kw)
+    return PerfScenario(**defaults)
+
+
+def spec(**kw):
+    defaults = dict(
+        alpha=1e-5,
+        beta=1e-9,
+        theta=5e-9,
+        c_point=1e-5,
+        seek_time=1e-3,
+        n_storage_nodes=4,
+        disk_concurrency=4,
+    )
+    defaults.update(kw)
+    return MachineSpec(**defaults)
+
+
+class TestScenario:
+    def test_paper_preset(self):
+        s = PerfScenario.paper()
+        assert (s.n_x, s.n_y, s.n_members) == (3600, 1800, 120)
+        assert s.file_bytes == 3600 * 1800 * 240
+
+    def test_small_preset_valid(self):
+        s = PerfScenario.small()
+        assert s.total_bytes > 0
+
+    def test_with_override(self):
+        s = PerfScenario.small().with_(n_members=48)
+        assert s.n_members == 48
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            tiny_scenario(n_members=0)
+
+
+class TestPEnKFSimulation:
+    def test_produces_report(self):
+        report = simulate_penkf(spec(), tiny_scenario(), n_sdx=4, n_sdy=3)
+        assert report.filter_name == "p-enkf"
+        assert report.total_time > 0
+        assert len(report.compute_ranks) == 12
+        assert report.io_ranks == []
+
+    def test_phases_present(self):
+        report = simulate_penkf(spec(), tiny_scenario(), n_sdx=4, n_sdy=3)
+        means = report.mean_phase_times("compute")
+        assert means[PHASE_READ] > 0
+        assert means[PHASE_COMPUTE] > 0
+
+    def test_no_overlap_read_before_compute(self):
+        """P-EnKF's defect: every rank's compute starts after ALL its reads."""
+        report = simulate_penkf(spec(), tiny_scenario(), n_sdx=2, n_sdy=2)
+        for rank in report.compute_ranks:
+            reads = report.timeline.intervals(PHASE_READ, ranks=[rank])
+            comps = report.timeline.intervals(PHASE_COMPUTE, ranks=[rank])
+            assert max(e for _, e in reads) <= min(s for s, _ in comps) + 1e-12
+
+    def test_read_time_grows_with_ranks(self):
+        """Fig. 1 / Fig. 13 driver: more ranks => more seeks => slower reads."""
+        scenario = tiny_scenario()
+        small = simulate_penkf(spec(), scenario, n_sdx=2, n_sdy=2)
+        large = simulate_penkf(spec(), scenario, n_sdx=8, n_sdy=2)
+        read_small = small.mean_phase_times("compute")[PHASE_READ]
+        read_large = large.mean_phase_times("compute")[PHASE_READ]
+        # Per-rank read volume shrinks but total seeks grow; with a
+        # seek-dominated machine, per-rank read+wait time must not shrink
+        # proportionally to compute.
+        assert large.io_fraction() > small.io_fraction()
+
+    def test_deterministic(self):
+        a = simulate_penkf(spec(), tiny_scenario(), n_sdx=4, n_sdy=3)
+        b = simulate_penkf(spec(), tiny_scenario(), n_sdx=4, n_sdy=3)
+        assert a.total_time == b.total_time
+
+
+class TestLEnKFSimulation:
+    def test_produces_report(self):
+        report = simulate_lenkf(spec(), tiny_scenario(), n_sdx=4, n_sdy=3)
+        assert report.filter_name == "l-enkf"
+        assert report.total_time > 0
+
+    def test_rank0_reads_and_communicates(self):
+        report = simulate_lenkf(spec(), tiny_scenario(), n_sdx=4, n_sdy=3)
+        assert report.timeline.total(PHASE_READ, rank=0) > 0
+        assert report.timeline.total(PHASE_COMM, rank=0) > 0
+        # Non-root ranks never read.
+        assert report.timeline.total(PHASE_READ, rank=1) == 0
+
+    def test_scatter_cost_grows_with_ranks(self):
+        scenario = tiny_scenario()
+        small = simulate_lenkf(spec(), scenario, n_sdx=2, n_sdy=2)
+        large = simulate_lenkf(spec(), scenario, n_sdx=8, n_sdy=3)
+        comm_small = small.timeline.total(PHASE_COMM, rank=0)
+        comm_large = large.timeline.total(PHASE_COMM, rank=0)
+        assert comm_large > comm_small
+
+
+class TestSEnKFSimulation:
+    def run(self, machine=None, **kw):
+        args = dict(n_sdx=4, n_sdy=3, n_layers=2, n_cg=2)
+        args.update(kw)
+        return simulate_senkf(machine or spec(), tiny_scenario(), **args)
+
+    def test_produces_report(self):
+        report = self.run()
+        assert report.filter_name == "s-enkf"
+        assert len(report.compute_ranks) == 12
+        assert len(report.io_ranks) == 2 * 3
+        assert report.n_processors == 18
+
+    def test_io_ranks_read_compute_ranks_do_not(self):
+        report = self.run()
+        for rank in report.io_ranks:
+            assert report.timeline.total(PHASE_READ, rank=rank) > 0
+        for rank in report.compute_ranks:
+            assert report.timeline.total(PHASE_READ, rank=rank) == 0
+
+    def test_compute_ranks_compute_per_stage(self):
+        report = self.run(n_layers=4)
+        rank = report.compute_ranks[0]
+        comps = report.timeline.intervals(PHASE_COMPUTE, ranks=[rank])
+        assert len(comps) == 4
+
+    def test_divisibility_checks(self):
+        with pytest.raises(ValueError):
+            self.run(n_cg=3)  # 8 members not divisible by 3
+        with pytest.raises(ValueError):
+            self.run(n_layers=3)  # block rows 8 not divisible by 3
+
+    def test_overlap_hides_io(self):
+        """The whole point: with per-stage computation just above the
+        per-stage I/O, S-EnKF hides reads behind analyses and the
+        overlapped fraction is substantial.  (The fraction is bounded by
+        the I/O share of the runtime: a run with negligible I/O has
+        nothing to hide.)"""
+        report = self.run(
+            machine=spec(c_point=2e-3, seek_time=5e-3, theta=5e-8),
+            n_layers=4,
+            n_cg=2,
+        )
+        assert report.overlap_fraction() > 0.2
+
+    def test_senkf_beats_penkf_on_seek_dominated_machine(self):
+        """Fig. 9/13 headline at miniature scale."""
+        scenario = tiny_scenario(n_members=8)
+        machine = spec(seek_time=5e-3, c_point=2e-5)
+        p = simulate_penkf(machine, scenario, n_sdx=8, n_sdy=3)
+        s = simulate_senkf(machine, scenario, n_sdx=8, n_sdy=3,
+                           n_layers=2, n_cg=2)
+        assert s.total_time < p.total_time
+
+    def test_first_stage_wait_exposed_later_hidden(self):
+        """Only stage 0's data wait should be large; later stages arrive
+        while computing (Sec. 5.4: the non-overlappable first read)."""
+        report = self.run(machine=spec(c_point=2e-3), n_layers=4, n_cg=2)
+        rank = report.compute_ranks[0]
+        waits = report.timeline.intervals(PHASE_WAIT, ranks=[rank])
+        durations = [e - s for s, e in waits]
+        assert durations[0] == max(durations)
+        # Later stages' waits are negligible next to the first.
+        assert all(d < 0.2 * durations[0] for d in durations[1:])
+
+    def test_deterministic(self):
+        a = self.run()
+        b = self.run()
+        assert a.total_time == b.total_time
+
+
+class TestAutotunedSEnKF:
+    def test_runs_and_respects_budget(self):
+        report, tuned = simulate_senkf_autotuned(
+            spec(), tiny_scenario(), n_p=24, epsilon=1e-3
+        )
+        assert report.n_processors <= 24
+        assert tuned.total_processors == report.n_processors
+
+    def test_infeasible_budget_raises(self):
+        with pytest.raises(ValueError):
+            simulate_senkf_autotuned(spec(), tiny_scenario(), n_p=1)
+
+
+class TestPrefetchDepth:
+    """Bounded staging buffers (flow control) in the S-EnKF simulation."""
+
+    def machine(self):
+        return spec(c_point=2e-3, seek_time=5e-3, theta=5e-8)
+
+    def test_unbounded_is_default(self):
+        a = simulate_senkf(self.machine(), tiny_scenario(), n_sdx=4, n_sdy=3,
+                           n_layers=4, n_cg=2)
+        b = simulate_senkf(self.machine(), tiny_scenario(), n_sdx=4, n_sdy=3,
+                           n_layers=4, n_cg=2, prefetch_depth=None)
+        assert a.total_time == b.total_time
+
+    def test_depth_one_never_faster_than_unbounded(self):
+        free = simulate_senkf(self.machine(), tiny_scenario(), n_sdx=4,
+                              n_sdy=3, n_layers=4, n_cg=2)
+        tight = simulate_senkf(self.machine(), tiny_scenario(), n_sdx=4,
+                               n_sdy=3, n_layers=4, n_cg=2, prefetch_depth=1)
+        assert tight.total_time >= free.total_time
+
+    def test_large_depth_recovers_unbounded(self):
+        free = simulate_senkf(self.machine(), tiny_scenario(), n_sdx=4,
+                              n_sdy=3, n_layers=4, n_cg=2)
+        deep = simulate_senkf(self.machine(), tiny_scenario(), n_sdx=4,
+                              n_sdy=3, n_layers=4, n_cg=2, prefetch_depth=4)
+        assert deep.total_time == pytest.approx(free.total_time)
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            simulate_senkf(self.machine(), tiny_scenario(), n_sdx=4, n_sdy=3,
+                           n_layers=2, n_cg=2, prefetch_depth=0)
+
+    def test_monotone_in_depth(self):
+        times = [
+            simulate_senkf(self.machine(), tiny_scenario(), n_sdx=4, n_sdy=3,
+                           n_layers=4, n_cg=2, prefetch_depth=d).total_time
+            for d in (1, 2, 3, 4)
+        ]
+        assert all(a >= b - 1e-12 for a, b in zip(times, times[1:]))

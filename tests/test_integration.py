@@ -1,0 +1,149 @@
+"""End-to-end integration: the full system assembled, both substrates.
+
+Pipeline exercised:
+  ocean model spin-up -> background ensemble -> EnsembleStore (real files)
+  -> strategy read plan (real seeks) -> domain-decomposed assimilation
+  -> analysis write-back plan -> verification,
+plus the simulated twin of the same configuration and the cost-model /
+auto-tuner / DES consistency loop.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Machine, MachineSpec
+from repro.core import Decomposition, Grid, ObservationNetwork
+from repro.core.verification import crps_mean, rmse
+from repro.data import EnsembleStore, read_plan_from_disk
+from repro.filters import PEnKF, PerfScenario, SEnKF, simulate_senkf
+from repro.io import (
+    bar_gather_write_plan,
+    block_read_plan,
+    simulate_read_plan,
+    simulate_write_plan,
+)
+from repro.models import AdvectionDiffusionModel, correlated_ensemble
+from repro.tuning import autotune
+
+
+class TestFullPipeline:
+    @pytest.fixture(scope="class")
+    def pipeline(self, tmp_path_factory):
+        """Generate, persist, re-read and assimilate a real ensemble."""
+        grid = Grid(n_x=24, n_y=12, dx_km=1.0, dy_km=1.0)
+        model = AdvectionDiffusionModel(grid, u_max=1.0, kappa=0.05, dt=0.2)
+        rng = np.random.default_rng(0)
+
+        truth = model.step(
+            correlated_ensemble(grid, 1, length_scale_km=5.0, rng=rng)[:, 0],
+            n_steps=20,
+        )
+        background = model.step_ensemble(
+            correlated_ensemble(grid, 16, length_scale_km=5.0, std=0.8,
+                                rng=rng),
+            n_steps=20,
+        )
+
+        store = EnsembleStore(tmp_path_factory.mktemp("ens"), grid)
+        store.write_ensemble(background)
+        return grid, model, truth, background, store
+
+    def test_disk_roundtrip_preserves_ensemble(self, pipeline):
+        _, _, _, background, store = pipeline
+        assert np.allclose(store.read_ensemble(), background)
+
+    def test_block_plan_stages_expansions_from_real_files(self, pipeline):
+        grid, _, _, background, store = pipeline
+        decomp = Decomposition(grid, n_sdx=4, n_sdy=3, xi=2, eta=1)
+        plan = block_read_plan(decomp, store.layout, n_files=16)
+        staged = read_plan_from_disk(plan, store)
+        for sd in decomp:
+            rank = decomp.rank_of(sd.i, sd.j)
+            for f in (0, 7, 15):
+                got = np.sort(staged[rank][f])
+                want = np.sort(background[sd.expansion_flat, f])
+                assert np.allclose(got, want)
+
+    def test_assimilation_from_disk_data_reduces_error(self, pipeline):
+        grid, _, truth, _, store = pipeline
+        background = store.read_ensemble()
+        rng = np.random.default_rng(1)
+        net = ObservationNetwork.random(grid, m=80, obs_error_std=0.1,
+                                        rng=rng)
+        y = net.observe(truth, rng=rng)
+        decomp = Decomposition(grid, n_sdx=4, n_sdy=3, xi=2, eta=2)
+        filt = PEnKF(radius_km=2.0, ridge=1e-2)
+        analysed = filt.assimilate(decomp, background, net, y, rng=2)
+
+        err_b = rmse(background.mean(axis=1), truth)
+        err_a = rmse(analysed.mean(axis=1), truth)
+        assert err_a < err_b
+        # CRPS must improve as well (probabilistic skill, not just mean).
+        assert crps_mean(analysed, truth) < crps_mean(background, truth)
+
+    def test_analysis_write_back_roundtrip(self, pipeline, tmp_path):
+        grid, _, truth, _, store = pipeline
+        background = store.read_ensemble()
+        rng = np.random.default_rng(3)
+        net = ObservationNetwork.random(grid, m=60, obs_error_std=0.1,
+                                        rng=rng)
+        y = net.observe(truth, rng=rng)
+        decomp = Decomposition(grid, n_sdx=4, n_sdy=3, xi=2, eta=2)
+        analysed = SEnKF(radius_km=2.0, n_layers=2, ridge=1e-2).assimilate(
+            decomp, background, net, y, rng=4
+        )
+        out_store = EnsembleStore(tmp_path / "analysis", grid)
+        out_store.write_ensemble(analysed)
+        assert np.allclose(out_store.read_ensemble(), analysed)
+
+    def test_simulated_twin_of_same_configuration(self, pipeline):
+        """The same 4x3 decomposition, simulated: produces a coherent
+        phase timeline on the DES machine."""
+        grid, *_ = pipeline
+        scenario = PerfScenario(
+            n_x=grid.n_x, n_y=grid.n_y, n_members=16, h_bytes=8, xi=2, eta=2
+        )
+        spec = MachineSpec.small_cluster()
+        report = simulate_senkf(spec, scenario, n_sdx=4, n_sdy=3,
+                                n_layers=2, n_cg=2)
+        assert report.total_time > 0
+        assert report.n_processors == 12 + 6
+        # Every compute rank computed exactly n_layers stages.
+        for rank in report.compute_ranks:
+            comps = report.timeline.intervals("compute", ranks=[rank])
+            assert len(comps) == 2
+
+
+class TestModelSimulatorTunerConsistency:
+    def test_tuned_configuration_simulates_close_to_model(self):
+        """Close the co-design loop: Algorithm 2's predicted total and the
+        DES measurement of the chosen configuration agree."""
+        scenario = PerfScenario.small()
+        spec = MachineSpec.small_cluster()
+        params = scenario.cost_params(spec)
+        tuned = autotune(params, n_p=480, epsilon=1e-3, objective="pipelined")
+        report = simulate_senkf(
+            spec,
+            scenario,
+            n_sdx=tuned.choice.n_sdx,
+            n_sdy=tuned.choice.n_sdy,
+            n_layers=tuned.choice.n_layers,
+            n_cg=tuned.choice.n_cg,
+        )
+        assert report.total_time == pytest.approx(tuned.t_total, rel=0.35)
+
+    def test_read_and_write_phases_compose(self):
+        """A full I/O cycle (read background, write analysis) on one DES
+        machine: the clock advances through both phases."""
+        scenario = PerfScenario(n_x=48, n_y=24, n_members=8, h_bytes=240,
+                                xi=2, eta=1)
+        decomp = scenario.decomposition(4, 3)
+        machine = Machine(MachineSpec.small_cluster())
+
+        read_plan = block_read_plan(decomp, scenario.layout, n_files=8)
+        _, t_read = simulate_read_plan(machine, read_plan)
+        write_plan = bar_gather_write_plan(decomp, scenario.layout,
+                                           n_files=8, n_cg=2)
+        _, t_write = simulate_write_plan(machine, write_plan)
+        assert t_read > 0 and t_write > 0
+        assert machine.now == pytest.approx(t_read + t_write)

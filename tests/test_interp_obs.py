@@ -1,0 +1,132 @@
+"""Tests for the bilinear-interpolation observation network."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Decomposition,
+    Grid,
+    InterpolatingObservationNetwork,
+    local_analysis,
+    perturb_observations,
+)
+
+
+def grid():
+    return Grid(n_x=20, n_y=10, dx_km=1.0, dy_km=1.0)
+
+
+class TestConstruction:
+    def test_valid(self):
+        net = InterpolatingObservationNetwork(grid(), x=[1.5], y=[2.5])
+        assert net.m == 1
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            InterpolatingObservationNetwork(grid(), x=[20.0], y=[0.0])
+        with pytest.raises(ValueError):
+            InterpolatingObservationNetwork(grid(), x=[0.0], y=[9.5])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            InterpolatingObservationNetwork(grid(), x=[], y=[])
+
+    def test_nonperiodic_x_range(self):
+        g = Grid(n_x=20, n_y=10, periodic_x=False)
+        with pytest.raises(ValueError):
+            InterpolatingObservationNetwork(g, x=[19.5], y=[0.0])
+
+
+class TestOperator:
+    def test_weights_sum_to_one(self):
+        net = InterpolatingObservationNetwork.random(grid(), m=30, rng=0)
+        sums = np.asarray(net.operator.sum(axis=1)).ravel()
+        assert np.allclose(sums, 1.0)
+
+    def test_on_grid_point_is_selection(self):
+        g = grid()
+        net = InterpolatingObservationNetwork(g, x=[3.0], y=[2.0])
+        state = np.arange(float(g.n))
+        assert (net.operator @ state)[0] == pytest.approx(43.0)
+
+    def test_midpoint_interpolates(self):
+        g = grid()
+        net = InterpolatingObservationNetwork(g, x=[3.5], y=[2.0])
+        state = np.arange(float(g.n))
+        assert (net.operator @ state)[0] == pytest.approx(43.5)
+
+    def test_exact_for_bilinear_fields(self):
+        """Bilinear interpolation reproduces planar fields exactly."""
+        g = Grid(n_x=20, n_y=10, periodic_x=False)
+        xs = np.arange(g.n) % g.n_x
+        ys = np.arange(g.n) // g.n_x
+        state = 2.0 * xs + 3.0 * ys + 1.0
+        net = InterpolatingObservationNetwork(
+            g, x=[4.25, 11.75], y=[3.5, 7.25]
+        )
+        vals = net.operator @ state
+        assert vals[0] == pytest.approx(2 * 4.25 + 3 * 3.5 + 1)
+        assert vals[1] == pytest.approx(2 * 11.75 + 3 * 7.25 + 1)
+
+    def test_periodic_seam(self):
+        g = grid()
+        net = InterpolatingObservationNetwork(g, x=[19.5], y=[0.0])
+        state = np.zeros(g.n)
+        state[19] = 10.0  # ix=19, iy=0
+        state[0] = 20.0  # ix=0 (wraps), iy=0
+        assert (net.operator @ state)[0] == pytest.approx(15.0)
+
+    def test_clamped_last_row_weights_merge(self):
+        g = grid()
+        net = InterpolatingObservationNetwork(g, x=[5.0], y=[9.0])
+        row = net.operator.getrow(0)
+        assert row.nnz <= 2  # clamping merged duplicate stencil points
+        assert row.sum() == pytest.approx(1.0)
+
+
+class TestRestriction:
+    def test_full_stencil_inside_box_kept(self):
+        g = grid()
+        net = InterpolatingObservationNetwork(g, x=[3.5], y=[2.5])
+        pos, h_local = net.restrict_to_box(np.arange(0, 8), np.arange(0, 5))
+        assert list(pos) == [0]
+        state_local = np.arange(40.0)  # 5 rows x 8 cols
+        # value at (x=3.5, y=2.5) of field f=row*8+col: row 2.5, col 3.5
+        assert (h_local @ state_local)[0] == pytest.approx(2.5 * 8 + 3.5)
+
+    def test_straddling_obs_dropped(self):
+        g = grid()
+        net = InterpolatingObservationNetwork(g, x=[7.5], y=[2.0])
+        pos, h_local = net.restrict_to_box(np.arange(0, 8), np.arange(0, 5))
+        assert pos.size == 0
+        assert h_local.shape[0] == 0
+
+    def test_local_analysis_works_with_interp_network(self):
+        g = grid()
+        rng = np.random.default_rng(3)
+        states = rng.normal(size=(g.n, 10))
+        net = InterpolatingObservationNetwork.random(g, m=25,
+                                                     obs_error_std=0.5, rng=rng)
+        truth = rng.normal(size=g.n)
+        y = net.observe(truth, rng=rng)
+        ys = perturb_observations(y, net.obs_error_std, 10, rng=rng)
+        decomp = Decomposition(g, n_sdx=2, n_sdy=2, xi=2, eta=2)
+        sd = decomp.subdomain(0, 0)
+        out = local_analysis(sd, states[sd.expansion_flat], net, ys,
+                             radius_km=1.5)
+        assert out.shape == (sd.size, 10)
+        assert np.all(np.isfinite(out))
+
+
+class TestObserve:
+    def test_noiseless_matches_operator(self):
+        g = grid()
+        net = InterpolatingObservationNetwork.random(g, m=10, rng=1)
+        state = np.random.default_rng(2).normal(size=g.n)
+        assert np.allclose(net.observe(state, noisy=False),
+                           net.operator @ state)
+
+    def test_random_network_reproducible(self):
+        a = InterpolatingObservationNetwork.random(grid(), m=5, rng=7)
+        b = InterpolatingObservationNetwork.random(grid(), m=5, rng=7)
+        assert np.allclose(a.x, b.x) and np.allclose(a.y, b.y)

@@ -1,0 +1,140 @@
+"""Tests for FileLayout, extents and contiguous runs."""
+
+import numpy as np
+import pytest
+
+from repro.core import Grid
+from repro.io import FileLayout, contiguous_runs
+
+
+class TestContiguousRuns:
+    def test_empty(self):
+        assert contiguous_runs(np.array([])) == []
+
+    def test_single_run(self):
+        assert contiguous_runs(np.array([3, 4, 5])) == [(3, 3)]
+
+    def test_two_runs(self):
+        assert contiguous_runs(np.array([0, 1, 5, 6, 7])) == [(0, 2), (5, 3)]
+
+    def test_wrapped_expansion_columns(self):
+        """The wrapped expansion column list splits at the seam."""
+        assert contiguous_runs(np.array([22, 23, 0, 1, 2])) == [(0, 3), (22, 2)]
+
+    def test_unsorted_and_duplicates(self):
+        assert contiguous_runs(np.array([5, 3, 4, 5])) == [(3, 3)]
+
+    def test_singletons(self):
+        assert contiguous_runs(np.array([1, 3, 5])) == [(1, 1), (3, 1), (5, 1)]
+
+
+class TestFileLayout:
+    def layout(self, n_x=24, n_y=12, h=8):
+        return FileLayout(grid=Grid(n_x=n_x, n_y=n_y), h_bytes=h)
+
+    def test_file_size(self):
+        lo = self.layout()
+        assert lo.file_elems == 288
+        assert lo.file_bytes == 2304
+
+    def test_invalid_h(self):
+        with pytest.raises(ValueError):
+            FileLayout(grid=Grid(n_x=4, n_y=4), h_bytes=0)
+
+    def test_full_file_extent(self):
+        lo = self.layout()
+        assert lo.full_file_extent() == [(0, 288)]
+
+    def test_bar_is_one_extent(self):
+        lo = self.layout()
+        assert lo.bar_extents(4, 8) == [(96, 96)]
+
+    def test_bar_invalid_rows(self):
+        lo = self.layout()
+        with pytest.raises(ValueError):
+            lo.bar_extents(8, 4)
+        with pytest.raises(ValueError):
+            lo.bar_extents(0, 13)
+
+    def test_block_one_extent_per_row(self):
+        lo = self.layout()
+        extents = lo.block_extents(np.arange(6, 12), 2, 5)
+        assert extents == [(54, 6), (78, 6), (102, 6)]
+
+    def test_block_wrapped_two_extents_per_row(self):
+        lo = self.layout()
+        cols = np.array([22, 23, 0, 1])
+        extents = lo.block_extents(cols, 0, 2)
+        assert extents == [(0, 2), (22, 2), (24, 2), (46, 2)]
+
+    def test_block_seek_count_scaling(self):
+        """Seeks per block = rows x column-runs: the Fig. 5 cost driver."""
+        lo = self.layout(n_x=100, n_y=50)
+        rows = 10
+        extents = lo.block_extents(np.arange(20, 30), 0, rows)
+        assert len(extents) == rows
+
+    def test_extent_indices_roundtrip(self):
+        lo = self.layout()
+        extents = lo.block_extents(np.arange(0, 4), 1, 3)
+        idx = FileLayout.extent_indices(extents)
+        assert list(idx) == [24, 25, 26, 27, 48, 49, 50, 51]
+
+    def test_extent_indices_empty(self):
+        assert FileLayout.extent_indices([]).size == 0
+
+    def test_nbytes(self):
+        lo = self.layout(h=240)
+        assert lo.nbytes(10) == 2400
+
+
+class TestPlanDataStructures:
+    def test_readop_validation(self):
+        from repro.io import ReadOp
+
+        with pytest.raises(ValueError):
+            ReadOp(file_id=-1, extents=((0, 5),))
+        with pytest.raises(ValueError):
+            ReadOp(file_id=0, extents=((-1, 5),))
+        with pytest.raises(ValueError):
+            ReadOp(file_id=0, extents=((0, 0),))
+
+    def test_readop_trusted_matches_checked(self):
+        from repro.io import ReadOp
+
+        extents = ((0, 5), (10, 3))
+        a = ReadOp(file_id=2, extents=extents)
+        b = ReadOp._trusted(2, extents)
+        assert a == b
+        assert b.seeks == 2 and b.n_elems == 8
+
+    def test_sendop_validation(self):
+        from repro.io import SendOp
+
+        with pytest.raises(ValueError):
+            SendOp(source=0, dest=1, n_elems=-1)
+        op = SendOp(source=0, dest=1, n_elems=10)
+        lo = FileLayout(grid=Grid(n_x=4, n_y=4), h_bytes=240)
+        assert op.nbytes(lo) == 2400
+
+    def test_rank_plan_aggregates(self):
+        from repro.io import RankReadPlan, ReadOp
+
+        rp = RankReadPlan(rank=0)
+        rp.reads.append(ReadOp(file_id=0, extents=((0, 4), (8, 4))))
+        rp.reads.append(ReadOp(file_id=1, extents=((0, 2),)))
+        assert rp.total_seeks == 3
+        assert rp.total_elems == 10
+
+    def test_read_plan_totals(self):
+        from repro.core import Decomposition
+        from repro.io import block_read_plan
+
+        grid = Grid(n_x=24, n_y=12)
+        decomp = Decomposition(grid, n_sdx=2, n_sdy=2, xi=0, eta=0)
+        layout = FileLayout(grid=grid, h_bytes=8)
+        plan = block_read_plan(decomp, layout, n_files=3)
+        # No halo: each file read exactly once in total.
+        assert plan.total_elems_read == 3 * grid.n
+        assert plan.total_bytes_read() == 3 * grid.n * 8
+        assert plan.total_seeks == 3 * 4 * 6  # 3 files x 4 ranks x 6 rows

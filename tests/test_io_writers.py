@@ -1,0 +1,121 @@
+"""Tests for the analysis write-back strategies."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Machine, MachineSpec
+from repro.core import Decomposition, Grid
+from repro.io import (
+    FileLayout,
+    bar_gather_write_plan,
+    block_write_plan,
+    simulate_write_plan,
+)
+
+
+def setup(n_x=24, n_y=12, n_sdx=4, n_sdy=3, xi=2, eta=1):
+    grid = Grid(n_x=n_x, n_y=n_y)
+    decomp = Decomposition(grid, n_sdx=n_sdx, n_sdy=n_sdy, xi=xi, eta=eta)
+    return decomp, FileLayout(grid=grid, h_bytes=8)
+
+
+def machine(**kw):
+    defaults = dict(seek_time=1e-3, theta=1e-8, n_storage_nodes=3,
+                    disk_concurrency=2)
+    defaults.update(kw)
+    return Machine(MachineSpec(**defaults))
+
+
+class TestBlockWritePlan:
+    def test_every_rank_writes_interiors(self):
+        decomp, layout = setup()
+        plan = block_write_plan(decomp, layout, n_files=2)
+        assert plan.reader_ranks == list(range(decomp.n_subdomains))
+        for sd in decomp:
+            rank = decomp.rank_of(sd.i, sd.j)
+            op = plan.per_rank[rank].reads[0]
+            assert set(op.indices()) == set(sd.interior_flat)
+
+    def test_interiors_tile_file_exactly(self):
+        decomp, layout = setup()
+        plan = block_write_plan(decomp, layout, n_files=1)
+        covered = []
+        for rp in plan.per_rank.values():
+            covered.extend(rp.reads[0].indices())
+        assert sorted(covered) == list(range(decomp.grid.n))
+
+    def test_one_seek_per_row(self):
+        decomp, layout = setup()
+        plan = block_write_plan(decomp, layout, n_files=1)
+        for sd in decomp:
+            rank = decomp.rank_of(sd.i, sd.j)
+            assert plan.per_rank[rank].reads[0].seeks == sd.n_rows
+
+
+class TestBarGatherWritePlan:
+    def test_writers_write_whole_bars_single_seek(self):
+        decomp, layout = setup()
+        plan = bar_gather_write_plan(decomp, layout, n_files=4, n_cg=2)
+        io_base = decomp.n_subdomains
+        for rank in plan.reader_ranks:
+            assert rank >= io_base
+            for op in plan.per_rank[rank].reads:
+                assert op.seeks == 1
+                assert op.n_elems == decomp.block_rows * decomp.grid.n_x
+
+    def test_bars_tile_each_file(self):
+        decomp, layout = setup()
+        plan = bar_gather_write_plan(decomp, layout, n_files=1, n_cg=1)
+        covered = []
+        for rp in plan.per_rank.values():
+            for op in rp.reads:
+                covered.extend(op.indices())
+        assert sorted(covered) == list(range(decomp.grid.n))
+
+    def test_compute_ranks_send_interior_blocks(self):
+        decomp, layout = setup()
+        plan = bar_gather_write_plan(decomp, layout, n_files=2, n_cg=1)
+        sends = [s for rp in plan.per_rank.values() for s in rp.sends]
+        assert len(sends) == 2 * decomp.n_subdomains
+        for s in sends:
+            sd = decomp.subdomain_of_rank(s.source)
+            assert s.n_elems == sd.size
+
+    def test_divisibility(self):
+        decomp, layout = setup()
+        with pytest.raises(ValueError):
+            bar_gather_write_plan(decomp, layout, n_files=5, n_cg=2)
+
+
+class TestSimulatedWriting:
+    def test_block_write_produces_time(self):
+        decomp, layout = setup()
+        plan = block_write_plan(decomp, layout, n_files=2)
+        _, makespan = simulate_write_plan(machine(), plan)
+        assert makespan > 0
+
+    def test_bar_write_beats_block_write_when_seek_bound(self):
+        decomp, layout = setup(n_x=48, n_y=12, n_sdx=8, n_sdy=3)
+        block = block_write_plan(decomp, layout, n_files=3)
+        bars = bar_gather_write_plan(decomp, layout, n_files=3, n_cg=1)
+        _, t_block = simulate_write_plan(machine(seek_time=1e-2, theta=1e-9),
+                                         block)
+        _, t_bar = simulate_write_plan(machine(seek_time=1e-2, theta=1e-9),
+                                       bars)
+        assert t_bar < t_block
+
+    def test_concurrent_groups_speed_up_writing(self):
+        decomp, layout = setup(n_x=48, n_y=12, n_sdy=3)
+        times = {}
+        for n_cg in (1, 3):
+            plan = bar_gather_write_plan(decomp, layout, n_files=6, n_cg=n_cg)
+            _, makespan = simulate_write_plan(machine(), plan)
+            times[n_cg] = makespan
+        assert times[3] < times[1]
+
+    def test_deterministic(self):
+        decomp, layout = setup()
+        plan = bar_gather_write_plan(decomp, layout, n_files=2, n_cg=1)
+        _, a = simulate_write_plan(machine(), plan)
+        _, b = simulate_write_plan(machine(), plan)
+        assert a == b

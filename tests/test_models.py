@@ -1,0 +1,224 @@
+"""Tests for the synthetic geophysics substrate."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Grid,
+    ObservationNetwork,
+    analysis_gain_form,
+    inflate,
+    perturb_observations,
+)
+from repro.models import (
+    AdvectionDiffusionModel,
+    Lorenz96,
+    TwinExperiment,
+    correlated_ensemble,
+    gaussian_random_field,
+)
+
+
+class TestGaussianRandomField:
+    def grid(self):
+        return Grid(n_x=64, n_y=32, dx_km=1.0, dy_km=1.0)
+
+    def test_shape_and_std(self):
+        g = self.grid()
+        f = gaussian_random_field(g, length_scale_km=5.0, std=2.0, rng=0)
+        assert f.shape == (g.n,)
+        assert f.std() == pytest.approx(2.0, rel=1e-6)
+
+    def test_reproducible(self):
+        g = self.grid()
+        a = gaussian_random_field(g, 5.0, rng=42)
+        b = gaussian_random_field(g, 5.0, rng=42)
+        assert np.array_equal(a, b)
+
+    def test_neighbouring_points_correlated(self):
+        g = self.grid()
+        rng = np.random.default_rng(1)
+        corr_short = []
+        for _ in range(30):
+            f = g.as_field(gaussian_random_field(g, 8.0, rng=rng))
+            corr_short.append(np.mean(f[:, :-1] * f[:, 1:]))
+        # Adjacent-point correlation should be high for ℓ = 8 cells.
+        assert np.mean(corr_short) > 0.7
+
+    def test_long_scale_smoother_than_short(self):
+        g = self.grid()
+        rng = np.random.default_rng(2)
+
+        def roughness(length):
+            total = 0.0
+            for _ in range(10):
+                f = g.as_field(gaussian_random_field(g, length, rng=rng))
+                total += np.mean(np.diff(f, axis=1) ** 2)
+            return total
+
+        assert roughness(10.0) < roughness(1.0)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            gaussian_random_field(self.grid(), length_scale_km=0.0)
+        with pytest.raises(ValueError):
+            gaussian_random_field(self.grid(), 5.0, std=-1.0)
+
+    def test_correlated_ensemble_shape_and_mean(self):
+        g = self.grid()
+        mean = np.full(g.n, 3.0)
+        ens = correlated_ensemble(g, n_members=6, length_scale_km=5.0,
+                                  mean=mean, rng=3)
+        assert ens.shape == (g.n, 6)
+        assert ens.mean() == pytest.approx(3.0, abs=0.3)
+
+    def test_correlated_ensemble_members_independent(self):
+        g = self.grid()
+        ens = correlated_ensemble(g, n_members=2, length_scale_km=3.0, rng=4)
+        c = np.corrcoef(ens[:, 0], ens[:, 1])[0, 1]
+        assert abs(c) < 0.3
+
+    def test_correlated_ensemble_bad_mean_shape(self):
+        with pytest.raises(ValueError):
+            correlated_ensemble(self.grid(), 2, 5.0, mean=np.zeros(3))
+
+
+class TestAdvectionDiffusion:
+    def grid(self):
+        return Grid(n_x=32, n_y=16)
+
+    def test_conserves_mass_periodic_noflux(self):
+        g = self.grid()
+        model = AdvectionDiffusionModel(g, u_max=1.0, kappa=0.05, dt=0.2)
+        state = gaussian_random_field(g, 4.0, rng=0)
+        out = model.step(state, n_steps=50)
+        assert out.sum() == pytest.approx(state.sum(), rel=1e-9)
+
+    def test_diffusion_reduces_variance(self):
+        g = self.grid()
+        model = AdvectionDiffusionModel(g, u_max=0.5, kappa=0.1, dt=0.2)
+        state = gaussian_random_field(g, 2.0, rng=1)
+        out = model.step(state, n_steps=100)
+        assert out.var() < state.var()
+
+    def test_pure_advection_translates_tracer(self):
+        g = Grid(n_x=32, n_y=3)
+        model = AdvectionDiffusionModel(g, u_max=1.0, kappa=0.0, dt=1.0)
+        field = np.zeros(g.shape)
+        field[1, 5] = 1.0  # mid row: u = u_max * sin(pi/2) = 1
+        out = g.as_field(model.step(g.as_state(field), n_steps=3))
+        # With CFL exactly 1 the upwind scheme is exact translation.
+        assert out[1, 8] == pytest.approx(1.0)
+        assert out[1, 5] == pytest.approx(0.0)
+
+    def test_jet_zero_at_poles(self):
+        model = AdvectionDiffusionModel(self.grid())
+        assert model.u[0] == pytest.approx(0.0)
+        assert model.u[-1] == pytest.approx(0.0, abs=1e-12)
+
+    def test_cfl_violation_rejected(self):
+        with pytest.raises(ValueError):
+            AdvectionDiffusionModel(self.grid(), u_max=2.0, dt=1.0)
+
+    def test_diffusion_limit_rejected(self):
+        with pytest.raises(ValueError):
+            AdvectionDiffusionModel(self.grid(), kappa=2.0, dt=1.0)
+
+    def test_step_ensemble_matches_per_member(self):
+        g = self.grid()
+        model = AdvectionDiffusionModel(g)
+        ens = correlated_ensemble(g, 3, 4.0, rng=5)
+        out = model.step_ensemble(ens, n_steps=4)
+        for k in range(3):
+            assert np.allclose(out[:, k], model.step(ens[:, k], 4))
+
+    def test_wrong_shape_rejected(self):
+        model = AdvectionDiffusionModel(self.grid())
+        with pytest.raises(ValueError):
+            model.step(np.zeros(10))
+
+
+class TestLorenz96:
+    def test_dimension_check(self):
+        with pytest.raises(ValueError):
+            Lorenz96(n=3)
+
+    def test_fixed_point_of_uniform_forcing(self):
+        """x_i = F for all i is an equilibrium."""
+        model = Lorenz96(n=8, forcing=8.0)
+        x = 8.0 * np.ones(8)
+        assert np.allclose(model.tendency(x), 0.0)
+
+    def test_chaos_divergence(self):
+        """Nearby trajectories separate (positive Lyapunov exponent)."""
+        model = Lorenz96(n=40)
+        x0 = model.spun_up_state(rng=0)
+        x1 = x0.copy()
+        x1[0] += 1e-6
+        a, b = x0, x1
+        a = model.step(a, 200)
+        b = model.step(b, 200)
+        assert np.linalg.norm(a - b) > 1e-3
+
+    def test_bounded_trajectory(self):
+        model = Lorenz96(n=40)
+        x = model.spun_up_state(rng=1)
+        x = model.step(x, 500)
+        assert np.all(np.abs(x) < 30)
+
+    def test_wrong_shape(self):
+        model = Lorenz96(n=8)
+        with pytest.raises(ValueError):
+            model.step(np.zeros(5))
+
+    def test_step_ensemble(self):
+        model = Lorenz96(n=8)
+        ens = np.random.default_rng(2).normal(8, 1, size=(8, 3))
+        out = model.step_ensemble(ens, 5)
+        assert out.shape == (8, 3)
+
+
+class TestTwinExperiment:
+    def test_lorenz96_enkf_tracks_truth(self):
+        """End-to-end: a global stochastic EnKF beats the free run on L96."""
+        model = Lorenz96(n=40, dt=0.05)
+        # Observation grid trick: L96 is 1-D; embed as (n_x=40, n_y=1).
+        grid = Grid(n_x=40, n_y=1)
+        network = ObservationNetwork.regular(grid, every_x=2, every_y=1,
+                                             obs_error_std=1.0)
+        rng = np.random.default_rng(7)
+        truth0 = model.spun_up_state(rng=rng)
+        ens0 = truth0[:, None] + rng.normal(0, 3.0, size=(40, 24))
+
+        def assimilate(states, y, cycle_rng):
+            states = inflate(states, 1.05)
+            ys = perturb_observations(y, 1.0, states.shape[1], rng=cycle_rng)
+            r_diag = np.full(network.m, 1.0)
+            return analysis_gain_form(states, network.operator, r_diag, ys)
+
+        twin = TwinExperiment(model, network, assimilate, steps_per_cycle=2)
+        result = twin.run(truth0, ens0, n_cycles=40)
+
+        assert result.n_cycles == 40
+        # The filter must beat both the background and the free run.
+        assert result.mean_analysis_rmse(skip=10) < result.mean_background_rmse(skip=10)
+        assert result.mean_analysis_rmse(skip=10) < 0.5 * np.mean(
+            result.free_rmse[10:]
+        )
+        # And stay locked on (analysis error well below climatology ~3.6).
+        assert result.mean_analysis_rmse(skip=20) < 1.5
+
+    def test_result_validation(self):
+        from repro.models import TwinResult
+
+        r = TwinResult()
+        with pytest.raises(ValueError):
+            r.mean_analysis_rmse()
+
+    def test_bad_ensemble_shape(self):
+        model = Lorenz96(n=8)
+        grid = Grid(n_x=8, n_y=1)
+        network = ObservationNetwork.regular(grid, 1, 1)
+        twin = TwinExperiment(model, network, lambda s, y, r: s)
+        with pytest.raises(ValueError):
+            twin.run(np.zeros(8), np.zeros((5, 3)), n_cycles=1)

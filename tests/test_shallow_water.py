@@ -1,0 +1,163 @@
+"""Tests for the rotating shallow-water model."""
+
+import numpy as np
+import pytest
+
+from repro.core import Grid
+from repro.core.analysis import analysis_gain_form
+from repro.core.observations import perturb_observations
+from repro.models.grf import gaussian_random_field
+from repro.models.shallow_water import ShallowWaterModel
+
+
+def make_model(n_x=32, n_y=16, **kw):
+    grid = Grid(n_x=n_x, n_y=n_y)
+    defaults = dict(depth=100.0, gravity=9.8, coriolis=1e-4, dt=10.0, dx=1e4)
+    defaults.update(kw)
+    return ShallowWaterModel(grid, **defaults)
+
+
+def initial_bump(model, amp=1.0, rng=0):
+    h = model.grid.as_field(
+        gaussian_random_field(model.grid, length_scale_km=5.0, std=amp, rng=rng)
+    )
+    zeros = np.zeros(model.grid.shape)
+    return model.pack(h, zeros, zeros)
+
+
+class TestPackUnpack:
+    def test_roundtrip(self):
+        model = make_model()
+        rng = np.random.default_rng(0)
+        h, u, v = (rng.normal(size=model.grid.shape) for _ in range(3))
+        h2, u2, v2 = model.unpack(model.pack(h, u, v))
+        assert np.array_equal(h, h2)
+        assert np.array_equal(u, u2)
+        assert np.array_equal(v, v2)
+
+    def test_state_size(self):
+        model = make_model(n_x=8, n_y=4)
+        assert model.state_size == 3 * 32
+
+    def test_bad_state_shape(self):
+        model = make_model()
+        with pytest.raises(ValueError):
+            model.unpack(np.zeros(7))
+
+    def test_h_indices_select_height(self):
+        model = make_model(n_x=8, n_y=4)
+        state = np.arange(float(model.state_size))
+        assert np.array_equal(state[model.h_indices()], np.arange(32.0))
+
+
+class TestDynamics:
+    def test_cfl_guard(self):
+        with pytest.raises(ValueError):
+            make_model(dt=1e4)
+
+    def test_flat_state_is_steady(self):
+        model = make_model()
+        state = np.zeros(model.state_size)
+        assert np.allclose(model.step(state, 10), state)
+
+    def test_mass_conserved(self):
+        model = make_model()
+        state = initial_bump(model)
+        h0, _, _ = model.unpack(state)
+        h1, _, _ = model.unpack(model.step(state, 50))
+        assert h1.sum() == pytest.approx(h0.sum(), rel=1e-6)
+
+    def test_energy_approximately_conserved(self):
+        model = make_model()
+        state = initial_bump(model)
+        e0 = model.energy(state)
+        e1 = model.energy(model.step(state, 100))
+        assert e1 == pytest.approx(e0, rel=0.05)
+
+    def test_gravity_wave_spreads_disturbance(self):
+        """A local bump radiates: far-field h becomes nonzero at roughly
+        the gravity-wave speed sqrt(gH)."""
+        model = make_model(n_x=64, n_y=8, coriolis=0.0)
+        h = np.zeros(model.grid.shape)
+        h[:, 32] = 1.0
+        state = model.pack(h, np.zeros_like(h), np.zeros_like(h))
+        # Wave speed ~31.3 m/s; to cross 16 cells (1.6e5 m) takes ~5100 s
+        # = 510 steps of dt=10.
+        out_h, _, _ = model.unpack(model.step(state, 600))
+        assert np.abs(out_h[:, 48]).max() > 1e-3
+        # But a much shorter integration has not reached that far.
+        early_h, _, _ = model.unpack(model.step(state, 50))
+        assert np.abs(early_h[:, 48]).max() < np.abs(out_h[:, 48]).max()
+
+    def test_geostrophic_state_nearly_steady(self):
+        """A balanced state evolves much more slowly than an unbalanced one
+        with the same height field (the classic rotation demonstration)."""
+        model = make_model(coriolis=1e-3)
+        h = model.grid.as_field(
+            gaussian_random_field(model.grid, length_scale_km=8.0,
+                                  std=0.05, rng=1)
+        )
+        # Window the field so it is flat at the walls: the discrete
+        # geostrophic v vanishes there and the rigid-wall clamp does not
+        # break the balance.
+        window = np.sin(
+            np.pi * np.arange(model.grid.n_y) / (model.grid.n_y - 1)
+        )[:, None] ** 2
+        h = h * window
+        balanced = model.geostrophic_state(h)
+        unbalanced = model.pack(h, np.zeros_like(h), np.zeros_like(h))
+        steps = 50
+        drift_bal = np.linalg.norm(model.step(balanced, steps) - balanced)
+        drift_unbal = np.linalg.norm(model.step(unbalanced, steps) - unbalanced)
+        assert drift_bal < 0.5 * drift_unbal
+
+    def test_walls_keep_v_zero(self):
+        model = make_model()
+        state = initial_bump(model, rng=2)
+        _, _, v = model.unpack(model.step(state, 30))
+        assert np.allclose(v[0], 0.0)
+        assert np.allclose(v[-1], 0.0)
+
+    def test_ensemble_step_matches_member_step(self):
+        model = make_model(n_x=16, n_y=8)
+        states = np.column_stack([initial_bump(model, rng=k) for k in range(3)])
+        out = model.step_ensemble(states, 5)
+        for k in range(3):
+            assert np.allclose(out[:, k], model.step(states[:, k], 5))
+
+
+class TestMultivariateAssimilation:
+    def test_h_observations_update_velocities(self):
+        """Observing only h must reduce u/v errors through ensemble
+        cross-covariances (the multivariate EnKF payoff)."""
+        model = make_model(n_x=16, n_y=8, coriolis=1e-3)
+        rng = np.random.default_rng(5)
+
+        def random_balanced(seed):
+            h = model.grid.as_field(
+                gaussian_random_field(model.grid, length_scale_km=6.0,
+                                      std=0.1, rng=seed)
+            )
+            return model.geostrophic_state(h)
+
+        truth = random_balanced(100)
+        n_members = 40
+        members = np.column_stack(
+            [random_balanced(200 + k) for k in range(n_members)]
+        )
+
+        # Observe h at every 2nd grid point.
+        h_idx = model.h_indices()[::2]
+        m = h_idx.size
+        h_op = np.zeros((m, model.state_size))
+        h_op[np.arange(m), h_idx] = 1.0
+        sigma = 0.01
+        y = h_op @ truth + rng.normal(0, sigma, m)
+        ys = perturb_observations(y, sigma, n_members, rng=rng)
+        analysed = analysis_gain_form(members, h_op, np.full(m, sigma**2), ys)
+
+        n = model.grid.n
+        uv = slice(n, 3 * n)
+        err_b = np.linalg.norm(members.mean(axis=1)[uv] - truth[uv])
+        err_a = np.linalg.norm(analysed.mean(axis=1)[uv] - truth[uv])
+        assert err_a < err_b  # velocities improved without being observed

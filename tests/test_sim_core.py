@@ -1,0 +1,374 @@
+"""Tests for the DES kernel: events, timeouts, processes, conditions."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Interrupt,
+    SimulationError,
+)
+
+
+def test_clock_starts_at_zero():
+    env = Environment()
+    assert env.now == 0.0
+
+
+def test_clock_custom_start():
+    env = Environment(initial_time=5.0)
+    assert env.now == 5.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    done = []
+
+    def proc(env):
+        yield env.timeout(3.5)
+        done.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert done == [3.5]
+
+
+def test_timeout_value_passed_through():
+    env = Environment()
+    got = []
+
+    def proc(env):
+        value = yield env.timeout(1.0, value="payload")
+        got.append(value)
+
+    env.process(proc(env))
+    env.run()
+    assert got == ["payload"]
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1.0)
+
+
+def test_sequential_timeouts_accumulate():
+    env = Environment()
+    times = []
+
+    def proc(env):
+        for _ in range(3):
+            yield env.timeout(2.0)
+            times.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert times == [2.0, 4.0, 6.0]
+
+
+def test_two_processes_interleave_deterministically():
+    env = Environment()
+    order = []
+
+    def proc(env, name, delay):
+        yield env.timeout(delay)
+        order.append((name, env.now))
+
+    env.process(proc(env, "a", 1.0))
+    env.process(proc(env, "b", 0.5))
+    env.run()
+    assert order == [("b", 0.5), ("a", 1.0)]
+
+
+def test_same_time_ties_broken_by_schedule_order():
+    env = Environment()
+    order = []
+
+    def proc(env, name):
+        yield env.timeout(1.0)
+        order.append(name)
+
+    for name in ["first", "second", "third"]:
+        env.process(proc(env, name))
+    env.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_process_return_value():
+    env = Environment()
+
+    def inner(env):
+        yield env.timeout(1.0)
+        return 42
+
+    def outer(env, out):
+        result = yield env.process(inner(env))
+        out.append(result)
+
+    out = []
+    env.process(outer(env, out))
+    env.run()
+    assert out == [42]
+
+
+def test_run_until_event_returns_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(2.0)
+        return "done"
+
+    p = env.process(proc(env))
+    assert env.run(until=p) == "done"
+    assert env.now == 2.0
+
+
+def test_run_until_time_stops_clock_exactly():
+    env = Environment()
+
+    def proc(env):
+        while True:
+            yield env.timeout(1.0)
+
+    env.process(proc(env))
+    env.run(until=10.5)
+    assert env.now == 10.5
+
+
+def test_run_until_past_raises():
+    env = Environment(initial_time=10.0)
+    with pytest.raises(ValueError):
+        env.run(until=5.0)
+
+
+def test_yield_already_processed_event():
+    env = Environment()
+    results = []
+
+    def early(env, ev):
+        yield env.timeout(1.0)
+        ev.succeed("early-value")
+
+    def late(env, ev):
+        yield env.timeout(5.0)
+        value = yield ev
+        results.append((env.now, value))
+
+    ev = env.event()
+    env.process(early(env, ev))
+    env.process(late(env, ev))
+    env.run()
+    assert results == [(5.0, "early-value")]
+
+
+def test_event_cannot_trigger_twice():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_event_value_before_trigger_raises():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+
+
+def test_failure_propagates_into_waiting_process():
+    env = Environment()
+    caught = []
+
+    def failer(env, ev):
+        yield env.timeout(1.0)
+        ev.fail(RuntimeError("boom"))
+
+    def waiter(env, ev):
+        try:
+            yield ev
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    ev = env.event()
+    env.process(failer(env, ev))
+    env.process(waiter(env, ev))
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_unhandled_failure_surfaces_from_run():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1.0)
+        raise ValueError("unhandled")
+
+    env.process(proc(env))
+    with pytest.raises(ValueError, match="unhandled"):
+        env.run()
+
+
+def test_failed_subprocess_propagates_to_parent():
+    env = Environment()
+    caught = []
+
+    def child(env):
+        yield env.timeout(1.0)
+        raise KeyError("child-fail")
+
+    def parent(env):
+        try:
+            yield env.process(child(env))
+        except KeyError:
+            caught.append(env.now)
+
+    env.process(parent(env))
+    env.run()
+    assert caught == [1.0]
+
+
+def test_yield_non_event_fails_process():
+    env = Environment()
+
+    def proc(env):
+        yield 123  # type: ignore[misc]
+
+    env.process(proc(env))
+    with pytest.raises(SimulationError, match="non-event"):
+        env.run()
+
+
+def test_interrupt_raises_inside_process():
+    env = Environment()
+    log = []
+
+    def victim(env):
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as exc:
+            log.append((env.now, exc.cause))
+
+    def attacker(env, target):
+        yield env.timeout(2.0)
+        target.interrupt(cause="preempt")
+
+    v = env.process(victim(env))
+    env.process(attacker(env, v))
+    env.run()
+    assert log == [(2.0, "preempt")]
+
+
+def test_interrupt_finished_process_raises():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(0.0)
+
+    p = env.process(quick(env))
+    env.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_all_of_waits_for_every_event():
+    env = Environment()
+    done = []
+
+    def proc(env):
+        t1 = env.timeout(1.0, value="a")
+        t2 = env.timeout(3.0, value="b")
+        results = yield AllOf(env, [t1, t2])
+        done.append((env.now, sorted(results.values())))
+
+    env.process(proc(env))
+    env.run()
+    assert done == [(3.0, ["a", "b"])]
+
+
+def test_any_of_fires_on_first():
+    env = Environment()
+    done = []
+
+    def proc(env):
+        t1 = env.timeout(1.0, value="fast")
+        t2 = env.timeout(3.0, value="slow")
+        results = yield AnyOf(env, [t1, t2])
+        done.append((env.now, list(results.values())))
+
+    env.process(proc(env))
+    env.run()
+    assert done == [(1.0, ["fast"])]
+
+
+def test_all_of_empty_succeeds_immediately():
+    env = Environment()
+    done = []
+
+    def proc(env):
+        yield env.all_of([])
+        done.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert done == [0.0]
+
+
+def test_env_helper_methods_match_classes():
+    env = Environment()
+    assert isinstance(env.all_of([env.timeout(1)]), AllOf)
+    assert isinstance(env.any_of([env.timeout(1)]), AnyOf)
+
+
+def test_step_on_empty_queue_raises():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.step()
+
+
+def test_peek_returns_next_event_time():
+    env = Environment()
+    env.timeout(4.0)
+    env.timeout(2.0)
+    assert env.peek() == 2.0
+
+
+def test_peek_empty_is_inf():
+    env = Environment()
+    assert env.peek() == float("inf")
+
+
+def test_run_until_event_with_drained_queue_raises():
+    env = Environment()
+    ev = env.event()  # never triggered
+    with pytest.raises(SimulationError, match="drained"):
+        env.run(until=ev)
+
+
+def test_zero_delay_timeout_runs_at_current_time():
+    env = Environment()
+    seen = []
+
+    def proc(env):
+        yield env.timeout(0.0)
+        seen.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert seen == [0.0]
+
+
+def test_massive_fanout_determinism():
+    """1000 processes finishing at identical times keep creation order."""
+    env = Environment()
+    order = []
+
+    def proc(env, i):
+        yield env.timeout(1.0)
+        order.append(i)
+
+    for i in range(1000):
+        env.process(proc(env, i))
+    env.run()
+    assert order == list(range(1000))

@@ -1,0 +1,217 @@
+"""Edge-case tests for the DES kernel: failure paths, interrupts, cleanup."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Interrupt,
+    Resource,
+    SimulationError,
+    Store,
+)
+
+
+class TestConditionFailures:
+    def test_all_of_fails_on_first_child_failure(self):
+        env = Environment()
+        caught = []
+
+        def failer(env, ev):
+            yield env.timeout(1.0)
+            ev.fail(RuntimeError("child failed"))
+
+        def waiter(env, ev):
+            try:
+                yield AllOf(env, [env.timeout(5.0), ev])
+            except RuntimeError as exc:
+                caught.append((env.now, str(exc)))
+
+        ev = env.event()
+        env.process(failer(env, ev))
+        env.process(waiter(env, ev))
+        env.run()
+        assert caught == [(1.0, "child failed")]
+
+    def test_any_of_fails_on_failure_before_success(self):
+        env = Environment()
+        caught = []
+
+        def failer(env, ev):
+            yield env.timeout(1.0)
+            ev.fail(KeyError("early"))
+
+        def waiter(env, ev):
+            try:
+                yield AnyOf(env, [env.timeout(5.0), ev])
+            except KeyError:
+                caught.append(env.now)
+
+        ev = env.event()
+        env.process(failer(env, ev))
+        env.process(waiter(env, ev))
+        env.run()
+        assert caught == [1.0]
+
+    def test_any_of_success_masks_later_failure(self):
+        env = Environment()
+        done = []
+
+        def failer(env, ev):
+            yield env.timeout(5.0)
+            ev.defuse()  # nobody consumes this failure
+            ev.fail(RuntimeError("late"))
+
+        def waiter(env, ev):
+            result = yield AnyOf(env, [env.timeout(1.0, value="fast"), ev])
+            done.append(list(result.values()))
+
+        ev = env.event()
+        env.process(failer(env, ev))
+        env.process(waiter(env, ev))
+        env.run()
+        assert done == [["fast"]]
+
+    def test_condition_rejects_mixed_environments(self):
+        env_a, env_b = Environment(), Environment()
+        with pytest.raises(SimulationError):
+            AllOf(env_a, [env_a.timeout(1), env_b.timeout(1)])
+
+
+class TestInterruptDuringWait:
+    def test_interrupt_while_queued_releases_queue_slot(self):
+        """An interrupted waiter must not leave a dangling queue entry."""
+        env = Environment()
+        res = Resource(env, capacity=1)
+        order = []
+
+        def holder(env):
+            with res.request() as req:
+                yield req
+                yield env.timeout(10.0)
+                order.append(("holder-done", env.now))
+
+        def victim(env):
+            try:
+                with res.request() as req:
+                    yield req
+            except Interrupt:
+                order.append(("victim-interrupted", env.now))
+
+        def third(env):
+            yield env.timeout(2.0)
+            with res.request() as req:
+                yield req
+                order.append(("third-granted", env.now))
+
+        env.process(holder(env))
+        v = env.process(victim(env))
+
+        def attacker(env):
+            yield env.timeout(1.0)
+            v.interrupt()
+
+        env.process(attacker(env))
+        env.process(third(env))
+        env.run()
+        assert ("victim-interrupted", 1.0) in order
+        # The third requester gets the slot right when the holder releases,
+        # not blocked behind the cancelled victim.
+        assert ("third-granted", 10.0) in order
+        assert res.queue_length == 0
+
+    def test_interrupt_while_holding_then_context_exit_releases(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        log = []
+
+        def holder(env):
+            try:
+                with res.request() as req:
+                    yield req
+                    yield env.timeout(100.0)
+            except Interrupt:
+                log.append(env.now)
+
+        def second(env):
+            with res.request() as req:
+                yield req
+                log.append(("second", env.now))
+
+        h = env.process(holder(env))
+
+        def attacker(env):
+            yield env.timeout(3.0)
+            h.interrupt()
+
+        env.process(attacker(env))
+        env.process(second(env))
+        env.run()
+        assert 3.0 in log
+        assert ("second", 3.0) in log  # slot released by the with-block
+
+
+class TestStoreEdgeCases:
+    def test_many_getters_fifo(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def getter(env, i):
+            item = yield store.get()
+            got.append((i, item))
+
+        for i in range(3):
+            env.process(getter(env, i))
+
+        def producer(env):
+            for v in "abc":
+                yield env.timeout(1.0)
+                yield store.put(v)
+
+        env.process(producer(env))
+        env.run()
+        assert got == [(0, "a"), (1, "b"), (2, "c")]
+
+    def test_put_get_interleaved_zero_time(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+        seen = []
+
+        def pingpong(env):
+            for i in range(5):
+                yield store.put(i)
+                item = yield store.get()
+                seen.append(item)
+
+        env.process(pingpong(env))
+        env.run()
+        assert seen == [0, 1, 2, 3, 4]
+
+
+class TestEventDefuse:
+    def test_defused_failure_does_not_crash_run(self):
+        env = Environment()
+
+        def proc(env):
+            ev = env.event()
+            ev.defuse()
+            ev.fail(RuntimeError("nobody cares"))
+            yield env.timeout(1.0)
+
+        env.process(proc(env))
+        env.run()  # must not raise
+        assert env.now == 1.0
+
+    def test_undefused_failure_crashes_run(self):
+        env = Environment()
+
+        def proc(env):
+            ev = env.event()
+            ev.fail(RuntimeError("unconsumed"))
+            yield env.timeout(1.0)
+
+        env.process(proc(env))
+        with pytest.raises(RuntimeError, match="unconsumed"):
+            env.run()

@@ -1,0 +1,215 @@
+"""Tests for Resource and Store."""
+
+import pytest
+
+from repro.sim import Environment, Resource, SimulationError, Store
+
+
+def run_users(env, resource, service_times):
+    """Spawn one holder process per service time; return completion log."""
+    log = []
+
+    def user(env, i, service):
+        with resource.request() as req:
+            yield req
+            start = env.now
+            yield env.timeout(service)
+            log.append((i, start, env.now))
+
+    for i, service in enumerate(service_times):
+        env.process(user(env, i, service))
+    env.run()
+    return log
+
+
+def test_capacity_one_serialises():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    log = run_users(env, res, [2.0, 2.0, 2.0])
+    assert [(start, end) for _, start, end in log] == [
+        (0.0, 2.0),
+        (2.0, 4.0),
+        (4.0, 6.0),
+    ]
+
+
+def test_capacity_two_runs_pairs():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    log = run_users(env, res, [2.0, 2.0, 2.0, 2.0])
+    ends = sorted(end for _, _, end in log)
+    assert ends == [2.0, 2.0, 4.0, 4.0]
+
+
+def test_fifo_grant_order():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    log = run_users(env, res, [1.0] * 5)
+    assert [i for i, _, _ in log] == [0, 1, 2, 3, 4]
+
+
+def test_invalid_capacity():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_count_and_queue_length():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def holder(env):
+        with res.request() as req:
+            yield req
+            yield env.timeout(10.0)
+
+    def observer(env, out):
+        yield env.timeout(1.0)
+        out.append((res.count, res.queue_length))
+
+    out = []
+    env.process(holder(env))
+    env.process(holder(env))
+    env.process(observer(env, out))
+    env.run()
+    assert out == [(1, 1)]
+
+
+def test_release_without_holding_raises():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    req = res.request()  # granted immediately
+    req.release()
+    with pytest.raises(SimulationError):
+        req.release()
+
+
+def test_cancel_waiting_request():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    first = res.request()
+    second = res.request()
+    assert res.queue_length == 1
+    second.cancel()
+    assert res.queue_length == 0
+    first.release()
+
+
+def test_cancel_nonwaiting_raises():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    req = res.request()
+    with pytest.raises(SimulationError):
+        req.cancel()
+
+
+def test_context_manager_releases_on_exit():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def user(env, i):
+        with res.request() as req:
+            yield req
+            yield env.timeout(1.0)
+        order.append((i, env.now))
+
+    env.process(user(env, 0))
+    env.process(user(env, 1))
+    env.run()
+    assert order == [(0, 1.0), (1, 2.0)]
+
+
+def test_store_put_then_get():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def producer(env):
+        yield env.timeout(1.0)
+        yield store.put("item")
+
+    def consumer(env):
+        item = yield store.get()
+        got.append((env.now, item))
+
+    env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert got == [(1.0, "item")]
+
+
+def test_store_get_before_put_blocks():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer(env):
+        item = yield store.get()
+        got.append((env.now, item))
+
+    def producer(env):
+        yield env.timeout(5.0)
+        yield store.put(99)
+
+    env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert got == [(5.0, 99)]
+
+
+def test_store_fifo_order():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def producer(env):
+        for i in range(3):
+            yield store.put(i)
+
+    def consumer(env):
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert got == [0, 1, 2]
+
+
+def test_store_bounded_capacity_blocks_putter():
+    env = Environment()
+    store = Store(env, capacity=1)
+    times = []
+
+    def producer(env):
+        yield store.put("a")
+        times.append(("a-in", env.now))
+        yield store.put("b")
+        times.append(("b-in", env.now))
+
+    def consumer(env):
+        yield env.timeout(3.0)
+        yield store.get()
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert ("a-in", 0.0) in times
+    assert ("b-in", 3.0) in times
+
+
+def test_store_invalid_capacity():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Store(env, capacity=0)
+
+
+def test_store_len():
+    env = Environment()
+    store = Store(env)
+    store.put(1)
+    store.put(2)
+    env.run()
+    assert len(store) == 2

@@ -1,0 +1,133 @@
+"""Tests for phase tracing and interval arithmetic."""
+
+import pytest
+
+from repro.sim import (
+    PhaseRecord,
+    Timeline,
+    intersect_total,
+    merge_intervals,
+    union_total,
+)
+from repro.sim.trace import PHASE_COMM, PHASE_COMPUTE, PHASE_READ, PHASE_WAIT
+
+
+class TestIntervals:
+    def test_merge_disjoint(self):
+        assert merge_intervals([(0, 1), (2, 3)]) == [(0, 1), (2, 3)]
+
+    def test_merge_overlapping(self):
+        assert merge_intervals([(0, 2), (1, 3)]) == [(0, 3)]
+
+    def test_merge_touching(self):
+        assert merge_intervals([(0, 1), (1, 2)]) == [(0, 2)]
+
+    def test_merge_unsorted_input(self):
+        assert merge_intervals([(5, 6), (0, 1), (0.5, 2)]) == [(0, 2), (5, 6)]
+
+    def test_merge_drops_empty(self):
+        assert merge_intervals([(1, 1), (2, 2)]) == []
+
+    def test_union_total(self):
+        assert union_total([(0, 2), (1, 3), (10, 11)]) == pytest.approx(4.0)
+
+    def test_intersect_disjoint(self):
+        assert intersect_total([(0, 1)], [(2, 3)]) == 0.0
+
+    def test_intersect_nested(self):
+        assert intersect_total([(0, 10)], [(2, 4), (6, 7)]) == pytest.approx(3.0)
+
+    def test_intersect_partial(self):
+        assert intersect_total([(0, 5)], [(3, 8)]) == pytest.approx(2.0)
+
+    def test_intersect_symmetric(self):
+        a = [(0, 4), (6, 9)]
+        b = [(2, 7)]
+        assert intersect_total(a, b) == pytest.approx(intersect_total(b, a))
+
+
+class TestPhaseRecord:
+    def test_duration(self):
+        assert PhaseRecord(0, PHASE_READ, 1.0, 3.5).duration == 2.5
+
+    def test_backwards_interval_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseRecord(0, PHASE_READ, 3.0, 1.0)
+
+
+class TestTimeline:
+    def make(self):
+        tl = Timeline()
+        # rank 0: I/O processor — reads then communicates
+        tl.add(0, PHASE_READ, 0.0, 4.0)
+        tl.add(0, PHASE_COMM, 4.0, 6.0)
+        # rank 1: compute processor — waits then computes
+        tl.add(1, PHASE_WAIT, 0.0, 2.0)
+        tl.add(1, PHASE_COMPUTE, 2.0, 10.0)
+        return tl
+
+    def test_zero_length_records_dropped(self):
+        tl = Timeline()
+        tl.add(0, PHASE_READ, 1.0, 1.0)
+        assert tl.records == []
+
+    def test_ranks_sorted(self):
+        assert self.make().ranks() == [0, 1]
+
+    def test_phases_in_canonical_order(self):
+        assert self.make().phases() == [
+            PHASE_READ,
+            PHASE_COMM,
+            PHASE_COMPUTE,
+            PHASE_WAIT,
+        ]
+
+    def test_total_by_phase(self):
+        tl = self.make()
+        assert tl.total(PHASE_READ) == 4.0
+        assert tl.total(PHASE_COMPUTE) == 8.0
+
+    def test_total_by_phase_and_rank(self):
+        tl = self.make()
+        assert tl.total(PHASE_READ, rank=1) == 0.0
+        assert tl.total(PHASE_WAIT, rank=1) == 2.0
+
+    def test_makespan(self):
+        assert self.make().makespan() == 10.0
+
+    def test_makespan_empty(self):
+        assert Timeline().makespan() == 0.0
+
+    def test_per_rank_totals(self):
+        totals = self.make().per_rank_totals()
+        assert totals[0] == {PHASE_READ: 4.0, PHASE_COMM: 2.0}
+        assert totals[1] == {PHASE_WAIT: 2.0, PHASE_COMPUTE: 8.0}
+
+    def test_mean_phase_totals_filtered(self):
+        tl = self.make()
+        means = tl.mean_phase_totals(ranks=[1])
+        assert means == {PHASE_WAIT: 2.0, PHASE_COMPUTE: 8.0}
+
+    def test_intervals_filters(self):
+        tl = self.make()
+        assert tl.intervals(PHASE_READ) == [(0.0, 4.0)]
+        assert tl.intervals(PHASE_READ, ranks=[1]) == []
+
+    def test_overlapped_time_io_hidden_behind_compute(self):
+        tl = self.make()
+        # Compute busy on [2,10]; I/O-side read [0,4] + comm [4,6] intersect
+        # that on [2,6] = 4.0, plus compute-rank wait [0,2] intersects nothing.
+        overlapped = tl.overlapped_time(compute_ranks=[1], io_ranks=[0])
+        assert overlapped == pytest.approx(4.0)
+
+    def test_overlap_zero_when_no_compute(self):
+        tl = Timeline()
+        tl.add(0, PHASE_READ, 0.0, 5.0)
+        assert tl.overlapped_time(compute_ranks=[1], io_ranks=[0]) == 0.0
+
+    def test_extend_merges_records(self):
+        a = self.make()
+        b = Timeline()
+        b.add(2, PHASE_COMPUTE, 0.0, 1.0)
+        a.extend(b)
+        assert 2 in a.ranks()

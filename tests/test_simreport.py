@@ -1,0 +1,104 @@
+"""Tests for SimReport accounting and the scorecard."""
+
+import pytest
+
+from repro.experiments.scorecard import format_scorecard
+from repro.filters.base import SimReport
+from repro.sim import Timeline
+from repro.sim.trace import PHASE_COMM, PHASE_COMPUTE, PHASE_READ, PHASE_WAIT
+
+
+def make_report():
+    tl = Timeline()
+    # two compute ranks
+    tl.add(0, PHASE_WAIT, 0.0, 1.0)
+    tl.add(0, PHASE_COMPUTE, 1.0, 5.0)
+    tl.add(1, PHASE_WAIT, 0.0, 2.0)
+    tl.add(1, PHASE_COMPUTE, 2.0, 5.0)
+    # one io rank
+    tl.add(2, PHASE_READ, 0.0, 2.0)
+    tl.add(2, PHASE_COMM, 2.0, 3.0)
+    return SimReport(
+        filter_name="test",
+        timeline=tl,
+        total_time=5.0,
+        compute_ranks=[0, 1],
+        io_ranks=[2],
+        n_sdx=2,
+        n_sdy=1,
+        n_layers=2,
+        n_cg=1,
+    )
+
+
+class TestSimReport:
+    def test_n_processors(self):
+        assert make_report().n_processors == 3
+
+    def test_mean_phase_times_compute_side(self):
+        means = make_report().mean_phase_times("compute")
+        assert means[PHASE_WAIT] == pytest.approx(1.5)
+        assert means[PHASE_COMPUTE] == pytest.approx(3.5)
+
+    def test_mean_phase_times_io_side(self):
+        means = make_report().mean_phase_times("io")
+        assert means[PHASE_READ] == 2.0
+        assert means[PHASE_COMM] == 1.0
+
+    def test_mean_phase_times_empty_side(self):
+        report = make_report()
+        report.io_ranks = []
+        assert report.mean_phase_times("io") == {}
+
+    def test_phase_fraction(self):
+        report = make_report()
+        assert report.phase_fraction(PHASE_COMPUTE, "compute") == pytest.approx(
+            3.5 / 5.0
+        )
+
+    def test_io_fraction_counts_wait(self):
+        # compute side: wait 1.5 of 5.0 accounted time
+        assert make_report().io_fraction() == pytest.approx(1.5 / 5.0)
+
+    def test_overlap_fraction(self):
+        report = make_report()
+        # compute busy union [1,5]; hidden = io read [0,2] + comm [2,3]
+        # + compute-side waits [0,1],[0,2] => union [0,3]; intersect [1,3]=2
+        assert report.overlap_fraction() == pytest.approx(2.0 / 5.0)
+
+    def test_overlap_zero_when_no_time(self):
+        report = make_report()
+        report.total_time = 0.0
+        assert report.overlap_fraction() == 0.0
+
+    def test_summary_keys(self):
+        summary = make_report().summary()
+        for key in ("total_time", "n_processors", "io_fraction",
+                    "overlap_fraction", "compute_read", "io_comm"):
+            assert key in summary
+        assert summary["total_time"] == 5.0
+
+
+class TestScorecardFormatting:
+    def test_format_scorecard_table(self):
+        rows = [
+            {
+                "figure": "fig01",
+                "checks_passed": 3,
+                "checks_total": 3,
+                "outcome": "PASS",
+                "claim": "io share grows",
+            },
+            {
+                "figure": "fig13",
+                "checks_passed": 4,
+                "checks_total": 5,
+                "outcome": "FAIL",
+                "claim": "x" * 80,
+            },
+        ]
+        text = format_scorecard(rows)
+        assert "fig01" in text and "3/3" in text
+        assert "FAIL" in text
+        assert "figures reproduced: 1/2" in text
+        assert "..." in text  # long claim truncated

@@ -1,0 +1,190 @@
+"""Tests for Algorithms 1 and 2 (optimisation model solver + auto-tuner)."""
+
+import pytest
+
+from repro.costmodel import CostParams, t1
+from repro.tuning import (
+    autotune,
+    economic_choice,
+    feasible_c1_values,
+    feasible_c2_values,
+    solve_optimization_model,
+)
+from repro.tuning.optmodel import TuningChoice, _divisors
+
+
+def params(**kw):
+    defaults = dict(
+        n_x=48, n_y=24, n_members=8, h=240.0, xi=2, eta=1,
+        a=1e-5, b=1e-9, c=2e-4, theta=5e-9,
+    )
+    defaults.update(kw)
+    return CostParams(**defaults)
+
+
+class TestDivisors:
+    def test_basic(self):
+        assert _divisors(12) == (1, 2, 3, 4, 6, 12)
+
+    def test_prime(self):
+        assert _divisors(13) == (1, 13)
+
+    def test_square(self):
+        assert _divisors(36) == (1, 2, 3, 4, 6, 9, 12, 18, 36)
+
+    def test_one(self):
+        assert _divisors(1) == (1,)
+
+
+class TestAlgorithm1:
+    def test_budgets_respected(self):
+        p = params()
+        sol = solve_optimization_model(p, c1=8, c2=24)
+        assert sol is not None
+        assert sol.c1 == 8
+        assert sol.c2 == 24
+
+    def test_divisibility_of_solution(self):
+        p = params()
+        sol = solve_optimization_model(p, c1=8, c2=24)
+        assert p.n_y % sol.n_sdy == 0
+        assert p.n_x % sol.n_sdx == 0
+        assert p.n_members % sol.n_cg == 0
+        assert (p.n_y // sol.n_sdy) % sol.n_layers == 0
+
+    def test_infeasible_returns_none(self):
+        p = params()
+        # c1 = 7 needs n_sdy*n_cg = 7 with n_sdy | 24 and n_cg | 8:
+        # n_sdy in {1,7}, but 7 does not divide 24 and n_cg=7 not | 8.
+        assert solve_optimization_model(p, c1=7, c2=24) is None
+
+    def test_minimality_against_brute_force(self):
+        p = params()
+        c1, c2 = 12, 48
+        sol = solve_optimization_model(p, c1, c2)
+        # brute force over the whole constrained space
+        best = None
+        for n_sdy in range(1, c1 + 1):
+            if c1 % n_sdy or c2 % n_sdy or p.n_y % n_sdy:
+                continue
+            n_cg = c1 // n_sdy
+            n_sdx = c2 // n_sdy
+            if p.n_x % n_sdx or p.n_members % n_cg:
+                continue
+            block_rows = p.n_y // n_sdy
+            for L in range(1, block_rows + 1):
+                if block_rows % L:
+                    continue
+                v = t1(p, n_sdx=n_sdx, n_sdy=n_sdy, n_layers=L, n_cg=n_cg)
+                if best is None or v < best:
+                    best = v
+        assert sol is not None and best is not None
+        assert sol.t1 == pytest.approx(best)
+
+    def test_invalid_budgets(self):
+        with pytest.raises(ValueError):
+            solve_optimization_model(params(), c1=0, c2=4)
+
+
+class TestFeasibleSets:
+    def test_c2_values_all_realisable(self):
+        p = params()
+        for c2 in feasible_c2_values(p, n_p=100):
+            assert any(
+                c2 % sy == 0 and p.n_x % (c2 // sy) == 0
+                for sy in _divisors(p.n_y)
+            )
+
+    def test_c2_values_bounded(self):
+        p = params()
+        assert all(v <= 50 for v in feasible_c2_values(p, n_p=50))
+
+    def test_c1_values_sorted_and_bounded(self):
+        p = params()
+        vals = feasible_c1_values(p, c2=24, limit=20)
+        assert vals == sorted(vals)
+        assert all(v <= 20 for v in vals)
+
+
+class TestEarningsRate:
+    def mk(self, c1, t1v):
+        return (c1, t1v, TuningChoice(n_sdx=1, n_sdy=1, n_layers=1, n_cg=c1, t1=t1v))
+
+    def test_stops_at_first_small_gain(self):
+        # Gains per extra processor: (10-5)/1=5, (5-4.9)/1=0.1
+        frontier = [self.mk(1, 10.0), self.mk(2, 5.0), self.mk(3, 4.9)]
+        choice = economic_choice(frontier, epsilon=1.0)
+        assert choice.n_cg == 2  # stop before paying for the third
+
+    def test_takes_last_when_all_gains_large(self):
+        frontier = [self.mk(1, 10.0), self.mk(2, 5.0), self.mk(4, 1.0)]
+        choice = economic_choice(frontier, epsilon=0.1)
+        assert choice.n_cg == 4
+
+    def test_single_entry(self):
+        frontier = [self.mk(1, 10.0)]
+        assert economic_choice(frontier, epsilon=1.0).n_cg == 1
+
+    def test_empty_frontier_rejected(self):
+        with pytest.raises(ValueError):
+            economic_choice([], epsilon=1.0)
+
+    def test_bad_epsilon(self):
+        with pytest.raises(ValueError):
+            economic_choice([self.mk(1, 1.0)], epsilon=0.0)
+
+
+class TestAlgorithm2:
+    def test_fast_equals_exhaustive_small(self):
+        """The divisor-restricted sweep matches the verbatim integer sweep."""
+        p = params()
+        fast = autotune(p, n_p=40, epsilon=1e-3)
+        slow = autotune(p, n_p=40, epsilon=1e-3, exhaustive=True)
+        assert fast is not None and slow is not None
+        assert fast.t_total == pytest.approx(slow.t_total)
+        assert fast.choice == slow.choice
+
+    def test_respects_processor_budget(self):
+        p = params()
+        for n_p in (10, 30, 80):
+            res = autotune(p, n_p=n_p, epsilon=1e-3)
+            assert res is not None
+            assert res.total_processors <= n_p
+
+    def test_more_processors_never_slower(self):
+        p = params()
+        t_small = autotune(p, n_p=20, epsilon=1e-4).t_total
+        t_large = autotune(p, n_p=100, epsilon=1e-4).t_total
+        assert t_large <= t_small + 1e-12
+
+    def test_epsilon_controls_io_spend(self):
+        """A stingier (larger) epsilon never spends more I/O processors."""
+        p = params()
+        generous = autotune(p, n_p=60, epsilon=1e-6)
+        stingy = autotune(p, n_p=60, epsilon=1e3)
+        assert stingy.c1 <= generous.c1
+
+    def test_frontier_is_strictly_improving(self):
+        p = params()
+        res = autotune(p, n_p=60, epsilon=1e-4)
+        t1s = [t for _, t in res.frontier]
+        assert all(t1s[i] > t1s[i + 1] for i in range(len(t1s) - 1))
+
+    def test_infeasible_budget_returns_none(self):
+        # n_p = 1 cannot host compute + I/O.
+        assert autotune(params(), n_p=1, epsilon=1e-3) is None
+
+    def test_choice_satisfies_all_divisibility(self):
+        p = params()
+        res = autotune(p, n_p=60, epsilon=1e-3)
+        p.validate_choice(
+            res.choice.n_sdx, res.choice.n_sdy, res.choice.n_layers, res.choice.n_cg
+        )
+
+    def test_scales_to_large_processor_counts(self):
+        """The fast path must handle paper-scale budgets (12,000 ranks)."""
+        p = params(n_x=3600, n_y=1800, n_members=120)
+        res = autotune(p, n_p=12000, epsilon=1e-5)
+        assert res is not None
+        assert res.total_processors <= 12000
+        assert res.c2 > 1000  # most processors go to compute

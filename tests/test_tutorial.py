@@ -1,0 +1,101 @@
+"""The tutorial (docs/TUTORIAL.md) must stay executable verbatim.
+
+Each section's snippet, stitched in order — if an API change breaks the
+walkthrough, this test points at the section to update.
+"""
+
+import numpy as np
+import pytest
+
+
+def test_tutorial_sections_run(tmp_path):
+    # -- 1. one analysis step ------------------------------------------------
+    from repro.core import analysis_gain_form, perturb_observations
+
+    rng = np.random.default_rng(0)
+    n, n_members, m = 50, 20, 25
+    truth = rng.normal(size=n)
+    forecast = truth + rng.normal(0, 1.0, size=n)
+    states = forecast[:, None] + rng.normal(0, 1.0, size=(n, n_members))
+    h = np.eye(n)[:m]
+    sigma = 0.3
+    y = h @ truth + rng.normal(0, sigma, m)
+    ys = perturb_observations(y, sigma, n_members, rng=rng)
+    xa = analysis_gain_form(states, h, np.full(m, sigma**2), ys)
+    # Error shrinks where we observe (the unobserved half is untouched up
+    # to sampled cross-correlations).
+    assert np.abs((h @ xa.mean(1)) - h @ truth).mean() < \
+        np.abs((h @ states.mean(1)) - h @ truth).mean()
+
+    from repro.core import Grid, analysis_precision_form, modified_cholesky_inverse
+
+    grid1 = Grid(n_x=50, n_y=1, periodic_x=False)
+    binv = modified_cholesky_inverse(
+        states, grid1, np.arange(n), np.zeros(n, int), radius_km=3.0
+    )
+    xa2 = analysis_precision_form(states, h, np.full(m, sigma**2), ys, binv)
+    assert np.all(np.isfinite(xa2))
+
+    # -- 2. decomposition ------------------------------------------------------
+    from repro.core import Decomposition, ObservationNetwork, radius_to_halo
+    from repro.filters import PEnKF
+    from repro.models import correlated_ensemble
+
+    grid = Grid(n_x=48, n_y=24, dx_km=2.5, dy_km=5.0)
+    xi, eta = radius_to_halo(10.0, grid.dx_km, grid.dy_km)
+    assert (xi, eta) == (4, 2)
+    decomp = Decomposition(grid, n_sdx=4, n_sdy=2, xi=xi, eta=eta)
+    rng = np.random.default_rng(1)
+    truth = correlated_ensemble(grid, 1, length_scale_km=12.0, rng=rng)[:, 0]
+    states = truth[:, None] + correlated_ensemble(
+        grid, 30, length_scale_km=12.0, std=0.5, rng=rng
+    )
+    net = ObservationNetwork.random(grid, m=150, obs_error_std=0.2, rng=rng)
+    y = net.observe(truth, rng=rng)
+    filt = PEnKF(radius_km=10.0, ridge=1e-2)
+    filt.assimilate(decomp, states, net, y, rng=2)
+
+    # -- 3. cycling -------------------------------------------------------------
+    from repro.models import AdvectionDiffusionModel, TwinExperiment
+
+    model = AdvectionDiffusionModel(grid, u_max=1.0, kappa=0.05, dt=0.2)
+    twin = TwinExperiment(
+        model,
+        net,
+        lambda s, obs, r: filt.assimilate(decomp, s, net, obs, rng=r),
+        steps_per_cycle=5,
+    )
+    result = twin.run(truth, states, n_cycles=3)
+    assert result.n_cycles == 3
+
+    # -- 4. files ------------------------------------------------------------------
+    from repro.data import EnsembleStore, read_plan_from_disk
+    from repro.io import block_read_plan
+
+    store = EnsembleStore(tmp_path / "ens", grid)
+    store.write_ensemble(states)
+    plan = block_read_plan(decomp, store.layout, n_files=30)
+    assert plan.total_seeks > 0
+    read_plan_from_disk(plan, store)
+
+    # -- 5. simulation ----------------------------------------------------------------
+    from repro.cluster import MachineSpec
+    from repro.filters import (
+        PerfScenario,
+        simulate_penkf,
+        simulate_senkf_autotuned,
+    )
+
+    spec = MachineSpec.small_cluster()
+    scenario = PerfScenario.small()
+    p = simulate_penkf(spec, scenario, n_sdx=60, n_sdy=12)
+    s, tuned = simulate_senkf_autotuned(spec, scenario, n_p=720)
+    assert s.total_time < p.total_time
+    assert tuned.total_processors <= 720
+
+    # -- 6. tuning ------------------------------------------------------------------------
+    from repro.tuning import autotune, solve_optimization_model
+
+    params = scenario.cost_params(spec)
+    assert solve_optimization_model(params, c1=24, c2=240) is not None
+    assert autotune(params, n_p=720, epsilon=1e-3) is not None

@@ -1,0 +1,121 @@
+"""Tests for the utility layer: validation, seeding, timing."""
+
+import numpy as np
+import pytest
+
+from repro.util import (
+    SeedSequenceFactory,
+    WallTimer,
+    check_divides,
+    check_in_range,
+    check_nonnegative,
+    check_positive,
+    check_shape,
+    check_type,
+    spawn_rng,
+)
+
+
+class TestValidators:
+    def test_check_type_ok(self):
+        check_type("x", 3, int)
+        check_type("x", 3, (int, float))
+
+    def test_check_type_fails_with_names(self):
+        with pytest.raises(TypeError, match="x must be of type int"):
+            check_type("x", "3", int)
+        with pytest.raises(TypeError, match="int, float"):
+            check_type("x", "3", (int, float))
+
+    def test_check_positive(self):
+        check_positive("n", 1)
+        with pytest.raises(ValueError, match="n must be positive"):
+            check_positive("n", 0)
+
+    def test_check_nonnegative(self):
+        check_nonnegative("n", 0)
+        with pytest.raises(ValueError):
+            check_nonnegative("n", -1e-9)
+
+    def test_check_in_range_inclusive(self):
+        check_in_range("x", 0.5, 0.0, 1.0)
+        check_in_range("x", 0.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            check_in_range("x", -0.1, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            check_in_range("x", 1.1, 0.0, 1.0)
+
+    def test_check_in_range_exclusive(self):
+        with pytest.raises(ValueError, match=">"):
+            check_in_range("x", 0.0, 0.0, 1.0, low_inclusive=False)
+        with pytest.raises(ValueError, match="<"):
+            check_in_range("x", 1.0, 0.0, 1.0, high_inclusive=False)
+
+    def test_check_divides(self):
+        check_divides("n_x", 12, "n_sdx", 4)
+        with pytest.raises(ValueError, match="must divide"):
+            check_divides("n_x", 12, "n_sdx", 5)
+        with pytest.raises(ValueError):
+            check_divides("n_x", 12, "n_sdx", 0)
+
+    def test_check_shape(self):
+        check_shape("a", np.zeros((3, 4)), (3, 4))
+        check_shape("a", np.zeros((3, 4)), (3, None))
+        with pytest.raises(ValueError):
+            check_shape("a", np.zeros((3, 4)), (4, 3))
+        with pytest.raises(ValueError):
+            check_shape("a", np.zeros(3), (3, 1))
+
+
+class TestSeeding:
+    def test_same_key_same_stream(self):
+        f = SeedSequenceFactory(master_seed=7)
+        a = f.rng("obs").normal(size=5)
+        b = f.rng("obs").normal(size=5)
+        assert np.array_equal(a, b)
+
+    def test_different_labels_differ(self):
+        f = SeedSequenceFactory(master_seed=7)
+        a = f.rng("obs").normal(size=100)
+        b = f.rng("members").normal(size=100)
+        assert not np.array_equal(a, b)
+
+    def test_indices_distinguish(self):
+        f = SeedSequenceFactory(master_seed=7)
+        a = f.rng("member", 1).normal(size=100)
+        b = f.rng("member", 2).normal(size=100)
+        assert not np.array_equal(a, b)
+
+    def test_master_seed_distinguishes(self):
+        a = SeedSequenceFactory(1).rng("x").normal(size=100)
+        b = SeedSequenceFactory(2).rng("x").normal(size=100)
+        assert not np.array_equal(a, b)
+
+    def test_streams_approximately_independent(self):
+        f = SeedSequenceFactory(0)
+        a = f.rng("a").normal(size=5000)
+        b = f.rng("b").normal(size=5000)
+        assert abs(np.corrcoef(a, b)[0, 1]) < 0.05
+
+    def test_spawn_rng_coercions(self):
+        gen = np.random.default_rng(0)
+        assert spawn_rng(gen) is gen
+        assert isinstance(spawn_rng(42), np.random.Generator)
+        assert isinstance(spawn_rng(None), np.random.Generator)
+
+    def test_spawn_rng_seed_reproducible(self):
+        assert spawn_rng(42).normal() == spawn_rng(42).normal()
+
+
+class TestWallTimer:
+    def test_measures_nonnegative(self):
+        with WallTimer() as t:
+            sum(range(1000))
+        assert t.elapsed >= 0.0
+
+    def test_elapsed_grows_with_work(self):
+        import time
+
+        with WallTimer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.005

@@ -1,0 +1,109 @@
+"""Tests for verification metrics: RMSE, spread, CRPS, rank histograms."""
+
+import numpy as np
+import pytest
+
+from repro.core.verification import (
+    crps,
+    crps_mean,
+    ensemble_spread,
+    error_reduction,
+    rank_histogram,
+    rmse,
+)
+
+
+class TestRmseSpread:
+    def test_rmse_zero_for_identical(self):
+        x = np.arange(5.0)
+        assert rmse(x, x) == 0.0
+
+    def test_rmse_known_value(self):
+        assert rmse(np.array([1.0, 1.0]), np.array([0.0, 0.0])) == 1.0
+
+    def test_rmse_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            rmse(np.zeros(3), np.zeros(4))
+
+    def test_spread_matches_std(self):
+        rng = np.random.default_rng(0)
+        states = rng.normal(0, 2.0, size=(2000, 50))
+        assert ensemble_spread(states) == pytest.approx(2.0, rel=0.05)
+
+    def test_spread_needs_two_members(self):
+        with pytest.raises(ValueError):
+            ensemble_spread(np.zeros((5, 1)))
+
+    def test_error_reduction(self):
+        assert error_reduction(2.0, 1.0) == 0.5
+        with pytest.raises(ValueError):
+            error_reduction(0.0, 1.0)
+
+
+class TestCrps:
+    def test_deterministic_forecast_is_absolute_error(self):
+        assert crps(np.array([3.0]), observation=1.0) == pytest.approx(2.0)
+
+    def test_perfect_ensemble_scores_low(self):
+        good = crps(np.array([0.9, 1.0, 1.1]), observation=1.0)
+        bad = crps(np.array([4.9, 5.0, 5.1]), observation=1.0)
+        assert good < bad
+
+    def test_sharpness_rewarded_when_centred(self):
+        rng = np.random.default_rng(1)
+        sharp = crps(rng.normal(0, 0.5, 200), observation=0.0)
+        blunt = crps(rng.normal(0, 3.0, 200), observation=0.0)
+        assert sharp < blunt
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            crps(np.array([]), 0.0)
+
+    def test_crps_mean_matches_scalar_crps(self):
+        rng = np.random.default_rng(2)
+        states = rng.normal(size=(6, 25))
+        truth = rng.normal(size=6)
+        per_component = np.mean(
+            [crps(states[i], truth[i]) for i in range(6)]
+        )
+        assert crps_mean(states, truth) == pytest.approx(per_component)
+
+    def test_crps_mean_shape_check(self):
+        with pytest.raises(ValueError):
+            crps_mean(np.zeros((3, 4)), np.zeros(5))
+
+    def test_crps_nonnegative(self):
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            val = crps(rng.normal(size=20), rng.normal())
+            assert val >= -1e-12
+
+
+class TestRankHistogram:
+    def test_counts_sum_to_components(self):
+        rng = np.random.default_rng(4)
+        states = rng.normal(size=(500, 9))
+        truth = rng.normal(size=500)
+        hist = rank_histogram(states, truth)
+        assert hist.shape == (10,)
+        assert hist.sum() == 500
+
+    def test_reliable_ensemble_is_flat(self):
+        """Truth drawn from the same distribution => uniform ranks."""
+        rng = np.random.default_rng(5)
+        states = rng.normal(size=(20000, 9))
+        truth = rng.normal(size=20000)
+        hist = rank_histogram(states, truth)
+        expected = 20000 / 10
+        assert np.all(np.abs(hist - expected) < 0.15 * expected)
+
+    def test_underdispersed_is_u_shaped(self):
+        rng = np.random.default_rng(6)
+        states = rng.normal(0, 0.2, size=(5000, 9))  # too little spread
+        truth = rng.normal(0, 1.0, size=5000)
+        hist = rank_histogram(states, truth)
+        assert hist[0] + hist[-1] > 3 * hist[4]
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            rank_histogram(np.zeros((3, 4)), np.zeros(5))
