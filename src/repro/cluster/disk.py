@@ -25,6 +25,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.faults.errors import DiskFaultError
+from repro.faults.inject import FaultInjector
 from repro.sim import Environment, Resource
 from repro.util.validation import check_nonnegative, check_positive
 
@@ -59,6 +61,7 @@ class Disk:
         theta: float,
         concurrency: int,
         granularity: str = "request",
+        faults: FaultInjector | None = None,
     ):
         check_nonnegative("seek_time", seek_time)
         check_nonnegative("theta", theta)
@@ -70,11 +73,15 @@ class Disk:
         self.seek_time = float(seek_time)
         self.theta = float(theta)
         self.granularity = granularity
+        self.faults = faults
         self.slots = Resource(env, capacity=int(concurrency))
         # Aggregate counters for reporting / model calibration.
         self.total_seeks = 0
         self.total_bytes = 0.0
         self.total_requests = 0
+        #: monotonic request serial used as the fault schedule's site key —
+        #: every attempt (including retries) gets a fresh deterministic draw
+        self._fault_serial = 0
 
     def service_time(self, seeks: int, nbytes: float) -> float:
         """Deterministic service time of a (seeks, bytes) request."""
@@ -82,26 +89,50 @@ class Disk:
         check_nonnegative("nbytes", nbytes)
         return seeks * self.seek_time + nbytes * self.theta
 
-    def read(self, seeks: int, nbytes: float):
+    def read(self, seeks: int, nbytes: float, file_id: int | None = None):
         """Process: acquire a slot, transfer, release.
 
         Yields from inside a simulated process; returns a
         :class:`DiskReadOutcome` with the wait/service breakdown::
 
             outcome = yield from disk.read(seeks=4, nbytes=1e6)
+
+        With a :class:`FaultInjector` attached, a request may be served
+        slower (slowdown fault), fail after consuming its full service time
+        (transient fault — a bad read is only detected once the transfer
+        returns), or fail fast after one seek when the disk sits inside an
+        outage window.  ``file_id`` is error context only.
         """
         requested_at = self.env.now
+        fault = None
+        if self.faults is not None:
+            fault = self.faults.disk_request(self.disk_id, self._fault_serial)
+            self._fault_serial += 1
         with self.slots.request() as req:
             yield req
             granted_at = self.env.now
+            if self.faults is not None and not self.faults.disk_available(
+                self.disk_id, granted_at
+            ):
+                # Storage-node outage: the RPC errors out after one
+                # addressing round-trip instead of transferring anything.
+                yield self.env.timeout(self.seek_time)
+                raise DiskFaultError(
+                    self.disk_id, file_id, reason="storage node outage"
+                )
+            slowdown = fault.slowdown if fault is not None else 1.0
             if self.granularity == "per_seek":
                 # One event per disk-addressing operation: identical total
                 # service time, O(seeks) more events (ablation mode).
                 for _ in range(int(seeks)):
-                    yield self.env.timeout(self.seek_time)
-                yield self.env.timeout(nbytes * self.theta)
+                    yield self.env.timeout(self.seek_time * slowdown)
+                yield self.env.timeout(nbytes * self.theta * slowdown)
             else:
-                yield self.env.timeout(self.service_time(seeks, nbytes))
+                yield self.env.timeout(
+                    self.service_time(seeks, nbytes) * slowdown
+                )
+            if fault is not None and fault.fail:
+                raise DiskFaultError(self.disk_id, file_id)
         self.total_seeks += int(seeks)
         self.total_bytes += float(nbytes)
         self.total_requests += 1

@@ -10,16 +10,29 @@ from __future__ import annotations
 
 from repro.cluster.params import MachineSpec
 from repro.cluster.pfs import ParallelFileSystem
+from repro.faults.inject import FaultInjector
 from repro.sim import Environment
 
 
 class Machine:
-    """A simulated cluster instance (one per simulation run)."""
+    """A simulated cluster instance (one per simulation run).
 
-    def __init__(self, spec: MachineSpec | None = None, env: Environment | None = None):
+    ``faults`` attaches a :class:`~repro.faults.inject.FaultInjector` for
+    chaos runs: the parallel file system and the simulated MPI layer pull
+    their fault decisions from it.  ``None`` (default) is the perfect
+    machine, byte-identical to the pre-resilience behaviour.
+    """
+
+    def __init__(
+        self,
+        spec: MachineSpec | None = None,
+        env: Environment | None = None,
+        faults: FaultInjector | None = None,
+    ):
         self.spec = spec if spec is not None else MachineSpec()
         self.env = env if env is not None else Environment()
-        self.pfs = ParallelFileSystem(self.env, self.spec)
+        self.faults = faults
+        self.pfs = ParallelFileSystem(self.env, self.spec, faults=faults)
 
     # Convenience pass-throughs -------------------------------------------
     @property

@@ -19,15 +19,22 @@ from __future__ import annotations
 
 from repro.cluster.disk import Disk
 from repro.cluster.params import MachineSpec
+from repro.faults.inject import FaultInjector
 from repro.sim import Environment
 
 
 class ParallelFileSystem:
     """A set of disks plus a file → disk placement function."""
 
-    def __init__(self, env: Environment, spec: MachineSpec):
+    def __init__(
+        self,
+        env: Environment,
+        spec: MachineSpec,
+        faults: FaultInjector | None = None,
+    ):
         self.env = env
         self.spec = spec
+        self.faults = faults
         self.disks = [
             Disk(
                 env,
@@ -36,6 +43,7 @@ class ParallelFileSystem:
                 theta=spec.theta,
                 concurrency=spec.disk_concurrency,
                 granularity=spec.disk_granularity,
+                faults=faults,
             )
             for d in range(spec.n_storage_nodes)
         ]
@@ -63,7 +71,9 @@ class ParallelFileSystem:
 
             outcome = yield from pfs.read(file_id=k, seeks=1, nbytes=bar_bytes)
         """
-        outcome = yield from self.disk_of(file_id).read(seeks, nbytes)
+        outcome = yield from self.disk_of(file_id).read(
+            seeks, nbytes, file_id=file_id
+        )
         return outcome
 
     def totals(self) -> dict[str, float]:

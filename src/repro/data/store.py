@@ -18,6 +18,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.grid import Grid
+from repro.faults.errors import CorruptMemberError
 from repro.io.layout import FileLayout
 from repro.io.plan import ReadPlan
 
@@ -71,14 +72,20 @@ class EnsembleStore:
         return len(list(self.directory.glob("member_*.bin")))
 
     def read_member(self, k: int) -> np.ndarray:
-        """Read one full member."""
+        """Read one full member.
+
+        Raises :class:`~repro.faults.errors.CorruptMemberError` (a
+        ``ValueError`` subclass) when the file holds the wrong number of
+        values — a truncated or overgrown member must never silently become
+        a wrong-shape ensemble column.
+        """
         path = self.member_path(k)
         if not path.exists():
             raise FileNotFoundError(path)
         data = np.fromfile(path, dtype=_DTYPE)
         if data.size != self.grid.n:
-            raise ValueError(
-                f"{path} holds {data.size} values, expected {self.grid.n}"
+            raise CorruptMemberError(
+                k, f"{path} holds {data.size} values, expected {self.grid.n}"
             )
         return data.astype(float)
 
@@ -96,17 +103,38 @@ class EnsembleStore:
 
         One ``seek`` + one ``read`` per extent — the exact disk-addressing
         pattern the simulator charges for.
+
+        Extent bounds are validated against both the logical grid size and
+        the *actual* file size, and every read is checked for shortness, so
+        an undersized member file raises a typed
+        :class:`~repro.faults.errors.CorruptMemberError` instead of
+        yielding a silently wrong-shaped array.
         """
         path = self.member_path(k)
+        if not path.exists():
+            raise FileNotFoundError(path)
+        item = _DTYPE.itemsize
+        file_elems = path.stat().st_size // item
         pieces = []
         with open(path, "rb") as fh:
             for start, length in extents:
                 if start < 0 or length <= 0 or start + length > self.grid.n:
                     raise ValueError(f"extent ({start}, {length}) out of range")
-                fh.seek(start * _DTYPE.itemsize)
-                buf = fh.read(length * _DTYPE.itemsize)
-                if len(buf) != length * _DTYPE.itemsize:
-                    raise IOError(f"short read on {path}")
+                if start + length > file_elems:
+                    raise CorruptMemberError(
+                        k,
+                        f"extent ({start}, {length}) beyond end of {path} "
+                        f"({file_elems} of {self.grid.n} expected values "
+                        f"present)",
+                    )
+                fh.seek(start * item)
+                buf = fh.read(length * item)
+                if len(buf) != length * item:
+                    raise CorruptMemberError(
+                        k,
+                        f"short read on {path}: got {len(buf)} of "
+                        f"{length * item} bytes at element {start}",
+                    )
                 pieces.append(np.frombuffer(buf, dtype=_DTYPE))
         return np.concatenate(pieces).astype(float)
 

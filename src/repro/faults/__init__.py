@@ -1,0 +1,72 @@
+"""Deterministic fault injection and resilience for S-EnKF runs.
+
+The paper's operating point — thousands of ranks against a shared parallel
+file system — is a regime where slow disks, straggler ranks and lost
+member files are routine, so this package makes degraded hardware a
+first-class, *replayable* input:
+
+- :class:`FaultSchedule` — a seeded, pure-function fault plan (disk
+  faults/slowdowns, storage-node outages, stragglers, message delay/drop,
+  rank kills, corrupted member files).  Same seed ⇒ byte-identical faults.
+- :class:`RetryPolicy` — bounded exponential backoff with deadlines,
+  shared by the simulated executors and the real-file readers.
+- :class:`FaultInjector` — binds a schedule to one run and records into a
+  :class:`ResilienceReport` (faults injected, retries, failovers, members
+  dropped, slowdown vs clean).
+- :class:`DegradedResult` — the record filters return when they proceed
+  with ``N - k`` surviving members instead of crashing.
+- ``repro.faults.store`` — the real-file side: :class:`FaultyStore` plus
+  resilient plan/ensemble readers (imported lazily to keep this package a
+  light dependency for the machine layers).
+
+See ``docs/RESILIENCE.md`` for the fault model and guarantees.
+"""
+
+from repro.faults.errors import (
+    CorruptMemberError,
+    DeadlockError,
+    DiskFaultError,
+    FaultError,
+    MemberUnrecoverableError,
+    TransientIOError,
+)
+from repro.faults.inject import FaultInjector
+from repro.faults.policy import RetryPolicy
+from repro.faults.report import DegradedResult, ResilienceReport
+from repro.faults.schedule import DiskFault, DiskOutage, FaultSchedule
+
+__all__ = [
+    "CorruptMemberError",
+    "DeadlockError",
+    "DegradedResult",
+    "DiskFault",
+    "DiskFaultError",
+    "DiskOutage",
+    "FaultError",
+    "FaultInjector",
+    "FaultSchedule",
+    "FaultyStore",
+    "MemberUnrecoverableError",
+    "ResilienceReport",
+    "RetryPolicy",
+    "TransientIOError",
+    "read_ensemble_resilient",
+    "read_plan_from_disk_resilient",
+]
+
+_LAZY_STORE = (
+    "FaultyStore",
+    "read_ensemble_resilient",
+    "read_plan_from_disk_resilient",
+)
+
+
+def __getattr__(name):
+    # The store helpers pull in numpy + repro.data; loading them lazily keeps
+    # `repro.faults` importable from the low-level machine layers
+    # (cluster.disk, mpisim) without creating import cycles.
+    if name in _LAZY_STORE:
+        from repro.faults import store as _store
+
+        return getattr(_store, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,79 @@
+"""Typed exceptions raised by the fault-injection and resilience layer.
+
+The hierarchy separates *transient* faults (worth retrying) from
+*permanent* ones (give up, degrade):
+
+- :class:`DiskFaultError` / :class:`TransientIOError` — one attempt failed;
+  a :class:`~repro.faults.policy.RetryPolicy` decides whether to try again.
+- :class:`CorruptMemberError` — the bytes on disk are wrong (truncated file,
+  extent past EOF, short read); retrying re-reads the same bad bytes, so
+  resilient readers drop the member immediately.
+- :class:`MemberUnrecoverableError` — retries/failover exhausted for one
+  ensemble member; filters catch this to proceed with ``N - k`` members.
+
+:class:`~repro.sim.errors.DeadlockError` (re-exported here) is the kernel's
+liveness failure: raised by watchdogs and drain hooks, not by I/O.
+"""
+
+from __future__ import annotations
+
+from repro.sim.errors import DeadlockError
+
+__all__ = [
+    "CorruptMemberError",
+    "DeadlockError",
+    "DiskFaultError",
+    "FaultError",
+    "MemberUnrecoverableError",
+    "TransientIOError",
+]
+
+
+class FaultError(Exception):
+    """Base class for injected-fault and resilience errors."""
+
+
+class DiskFaultError(FaultError):
+    """A simulated disk request failed (transient fault or node outage)."""
+
+    def __init__(self, disk_id: int, file_id: int | None = None,
+                 reason: str = "transient fault"):
+        self.disk_id = int(disk_id)
+        self.file_id = file_id
+        target = f" reading file {file_id}" if file_id is not None else ""
+        super().__init__(f"disk {disk_id}{target}: {reason}")
+
+
+class TransientIOError(FaultError, OSError):
+    """A real-file read attempt failed in a retryable way.
+
+    Subclasses ``OSError`` so code that already guards real I/O with
+    ``except OSError`` treats injected faults exactly like genuine ones.
+    """
+
+
+class CorruptMemberError(FaultError, ValueError):
+    """A member file's content is invalid: truncated, short, or out of range.
+
+    Subclasses ``ValueError`` for backwards compatibility with callers that
+    guarded the old untyped shape checks.
+    """
+
+    def __init__(self, member: int, detail: str):
+        self.member = int(member)
+        super().__init__(f"member {member} corrupt: {detail}")
+
+
+class MemberUnrecoverableError(FaultError):
+    """All retries (and failover, where applicable) failed for one member."""
+
+    def __init__(self, member: int, rank: int | None = None,
+                 cause: BaseException | None = None):
+        self.member = int(member)
+        self.rank = rank
+        self.cause = cause
+        where = f" on rank {rank}" if rank is not None else ""
+        why = f" ({cause})" if cause is not None else ""
+        super().__init__(
+            f"member {member} unrecoverable{where}: retries exhausted{why}"
+        )

@@ -1,0 +1,67 @@
+"""Runtime glue between a schedule and the simulated machine.
+
+A :class:`FaultInjector` binds one :class:`~repro.faults.schedule.FaultSchedule`
+to one :class:`~repro.faults.report.ResilienceReport` and exposes the query
+surface the machine layers call (disk model, message layer).  The injector
+is where *recording* happens, so the schedule itself stays a pure function
+and can be shared across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.faults.report import ResilienceReport
+from repro.faults.schedule import DiskFault, FaultSchedule
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """One run's fault source: schedule queries + report recording."""
+
+    def __init__(
+        self,
+        schedule: FaultSchedule,
+        report: ResilienceReport | None = None,
+    ):
+        self.schedule = schedule
+        self.report = report if report is not None else ResilienceReport()
+
+    @property
+    def is_null(self) -> bool:
+        return self.schedule.is_null
+
+    # -- disk model ---------------------------------------------------------
+    def disk_request(self, disk_id: int, serial: int) -> Optional[DiskFault]:
+        fault = self.schedule.disk_request(disk_id, serial)
+        if fault is not None:
+            if fault.fail:
+                self.report.disk_faults += 1
+            if fault.slowdown > 1.0:
+                self.report.disk_slowdowns += 1
+        return fault
+
+    def disk_available(self, disk_id: int, t: float) -> bool:
+        ok = self.schedule.disk_available(disk_id, t)
+        if not ok:
+            self.report.outage_hits += 1
+        return ok
+
+    # -- message layer ------------------------------------------------------
+    def message_fault(
+        self, source: int, dest: int, tag: int, serial: int
+    ) -> tuple[float, bool]:
+        delay, drop = self.schedule.message_fault(source, dest, tag, serial)
+        if delay > 0.0:
+            self.report.messages_delayed += 1
+        if drop:
+            self.report.messages_dropped += 1
+        return delay, drop
+
+    # -- rank-level faults ---------------------------------------------------
+    def straggler_factor(self, rank: int) -> float:
+        return self.schedule.straggler_factor(rank)
+
+    def kill_time(self, rank: int) -> Optional[float]:
+        return self.schedule.kill_time(rank)

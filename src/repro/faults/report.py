@@ -1,0 +1,107 @@
+"""Per-run resilience accounting: what was injected, what it cost.
+
+A :class:`ResilienceReport` is threaded through every fault-aware path of
+one run (disk model, message layer, executors, filters) and summarises the
+chaos a run absorbed: faults injected, retries spent, failovers performed,
+members dropped, and — once ``finalize`` is called with a clean baseline —
+the slowdown the faults caused.  :class:`DegradedResult` records the
+ensemble-level outcome when a filter proceeded with ``N - k`` members.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["DegradedResult", "ResilienceReport"]
+
+
+@dataclass
+class ResilienceReport:
+    """Mutable counters filled in while a fault-aware run executes."""
+
+    #: injected events, by class
+    disk_faults: int = 0
+    disk_slowdowns: int = 0
+    outage_hits: int = 0
+    messages_delayed: int = 0
+    messages_dropped: int = 0
+    #: responses
+    retries: int = 0
+    failed_ops: int = 0
+    failovers: int = 0
+    members_dropped: list[int] = field(default_factory=list)
+    ranks_killed: list[int] = field(default_factory=list)
+    #: timing (filled by finalize)
+    makespan: float | None = None
+    clean_makespan: float | None = None
+
+    @property
+    def faults_injected(self) -> int:
+        """Total injected fault events across all classes."""
+        return (
+            self.disk_faults
+            + self.disk_slowdowns
+            + self.outage_hits
+            + self.messages_delayed
+            + self.messages_dropped
+            + len(self.ranks_killed)
+        )
+
+    @property
+    def slowdown(self) -> float | None:
+        """Makespan relative to the clean run (1.0 = no overhead)."""
+        if self.makespan is None or not self.clean_makespan:
+            return None
+        return self.makespan / self.clean_makespan
+
+    def drop_member(self, member: int) -> None:
+        if member not in self.members_dropped:
+            self.members_dropped.append(member)
+
+    def finalize(
+        self, makespan: float, clean_makespan: float | None = None
+    ) -> "ResilienceReport":
+        self.makespan = float(makespan)
+        if clean_makespan is not None:
+            self.clean_makespan = float(clean_makespan)
+        return self
+
+    def summary(self) -> dict[str, float]:
+        """Flat numeric view for tables and benches."""
+        out = {
+            "faults_injected": float(self.faults_injected),
+            "disk_faults": float(self.disk_faults),
+            "disk_slowdowns": float(self.disk_slowdowns),
+            "outage_hits": float(self.outage_hits),
+            "messages_delayed": float(self.messages_delayed),
+            "messages_dropped": float(self.messages_dropped),
+            "retries": float(self.retries),
+            "failed_ops": float(self.failed_ops),
+            "failovers": float(self.failovers),
+            "members_dropped": float(len(self.members_dropped)),
+            "ranks_killed": float(len(self.ranks_killed)),
+        }
+        if self.makespan is not None:
+            out["makespan"] = self.makespan
+        if self.slowdown is not None:
+            out["slowdown"] = self.slowdown
+        return out
+
+
+@dataclass(frozen=True)
+class DegradedResult:
+    """Outcome of an analysis that proceeded with surviving members only."""
+
+    n_requested: int
+    surviving: tuple[int, ...]
+    dropped: tuple[int, ...]
+    #: multiplicative inflation applied to compensate the lost spread
+    compensation: float = 1.0
+
+    @property
+    def n_surviving(self) -> int:
+        return len(self.surviving)
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.dropped)

@@ -10,6 +10,7 @@ from repro.core.domain import Decomposition
 from repro.core.grid import Grid
 from repro.costmodel.calibrate import calibrate_from_machine
 from repro.costmodel.model import CostParams
+from repro.faults.report import ResilienceReport
 from repro.io.layout import FileLayout
 from repro.sim import Timeline
 from repro.sim.trace import PHASE_COMM, PHASE_COMPUTE, PHASE_READ, PHASE_WAIT
@@ -103,6 +104,8 @@ class SimReport:
     n_sdy: int
     n_layers: int = 1
     n_cg: int = 0
+    #: chaos accounting when the run executed under a fault schedule
+    resilience: ResilienceReport | None = None
 
     @property
     def n_processors(self) -> int:
@@ -158,4 +161,7 @@ class SimReport:
         for phase in (PHASE_READ, PHASE_COMM, PHASE_COMPUTE, PHASE_WAIT):
             out[f"compute_{phase}"] = compute.get(phase, 0.0)
             out[f"io_{phase}"] = io.get(phase, 0.0)
+        if self.resilience is not None:
+            for key, value in self.resilience.summary().items():
+                out[f"chaos_{key}"] = value
         return out

@@ -9,12 +9,16 @@ S-EnKF, the multi-stage (layered) analysis schedule.
 
 from __future__ import annotations
 
+import copy
+import math
+
 import numpy as np
 
 from repro.core.analysis import local_analysis
 from repro.core.domain import Decomposition, SubDomain
 from repro.core.inflation import inflate
 from repro.core.observations import ObservationNetwork, perturb_observations
+from repro.faults.report import DegradedResult
 from repro.util.seeding import spawn_rng
 from repro.util.validation import check_positive
 
@@ -92,6 +96,64 @@ class DistributedEnKF:
                     sparse_solver=self.sparse_solver,
                 )
         return analysed
+
+    def assimilate_degraded(
+        self,
+        decomp: Decomposition,
+        states: np.ndarray,
+        network: ObservationNetwork,
+        y: np.ndarray,
+        dropped=(),
+        rng=None,
+    ) -> tuple[np.ndarray, DegradedResult]:
+        """Analyse with surviving members only (graceful degradation).
+
+        When member reads prove unrecoverable, the filter proceeds with the
+        ``M = N - k`` surviving columns and compensates the lost spread with
+        extra multiplicative inflation ``sqrt((N-1)/(M-1))`` — the factor
+        that restores the expected sample variance of an ``N``-member
+        ensemble.  The analysis is *literally* a clean ``M``-member run with
+        ``inflation * compensation``: the returned columns are bit-identical
+        to ``assimilate`` on ``states[:, surviving]`` under that inflation,
+        which is what the resilience tests pin down.
+
+        Returns ``(analysed, result)``: the ``(n, M)`` analysis over the
+        surviving columns (in member order) and the :class:`DegradedResult`
+        naming survivors, dropped members and the compensation applied.
+        """
+        states = np.asarray(states, dtype=float)
+        if states.ndim != 2:
+            raise ValueError(f"ensemble must be 2-D, got shape {states.shape}")
+        n_total = states.shape[1]
+        dropped = tuple(sorted({int(k) for k in dropped}))
+        for k in dropped:
+            if not 0 <= k < n_total:
+                raise ValueError(
+                    f"dropped member {k} out of range [0, {n_total})"
+                )
+        surviving = tuple(k for k in range(n_total) if k not in dropped)
+        if len(surviving) < 2:
+            raise ValueError(
+                f"cannot analyse with {len(surviving)} surviving member(s); "
+                f"an ensemble needs at least 2"
+            )
+        if not dropped:
+            analysed = self.assimilate(decomp, states, network, y, rng=rng)
+            return analysed, DegradedResult(
+                n_requested=n_total, surviving=surviving, dropped=()
+            )
+        compensation = math.sqrt((n_total - 1) / (len(surviving) - 1))
+        degraded = copy.copy(self)
+        degraded.inflation = self.inflation * compensation
+        analysed = degraded.assimilate(
+            decomp, states[:, surviving], network, y, rng=rng
+        )
+        return analysed, DegradedResult(
+            n_requested=n_total,
+            surviving=surviving,
+            dropped=dropped,
+            compensation=compensation,
+        )
 
     def _analysis_pieces(self, sd: SubDomain):
         """The units of local analysis within one sub-domain.

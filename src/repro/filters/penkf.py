@@ -11,11 +11,15 @@ from __future__ import annotations
 
 from repro.cluster.machine import Machine
 from repro.cluster.params import MachineSpec
+from repro.faults.inject import FaultInjector
+from repro.faults.policy import RetryPolicy
+from repro.faults.schedule import FaultSchedule
 from repro.filters.base import PerfScenario, SimReport
 from repro.filters.distributed import DistributedEnKF
+from repro.io.execute import simulate_op_read
 from repro.io.strategies import block_read_plan
 from repro.sim import Timeline
-from repro.sim.trace import PHASE_COMPUTE, PHASE_READ, PHASE_WAIT
+from repro.sim.trace import PHASE_COMPUTE
 
 
 class PEnKF(DistributedEnKF):
@@ -25,16 +29,40 @@ class PEnKF(DistributedEnKF):
 
     @staticmethod
     def simulate(
-        spec: MachineSpec, scenario: PerfScenario, n_sdx: int, n_sdy: int
+        spec: MachineSpec,
+        scenario: PerfScenario,
+        n_sdx: int,
+        n_sdy: int,
+        faults: "FaultSchedule | FaultInjector | None" = None,
+        retry: RetryPolicy | None = None,
     ) -> SimReport:
-        return simulate_penkf(spec, scenario, n_sdx, n_sdy)
+        return simulate_penkf(
+            spec, scenario, n_sdx, n_sdy, faults=faults, retry=retry
+        )
 
 
 def simulate_penkf(
-    spec: MachineSpec, scenario: PerfScenario, n_sdx: int, n_sdy: int
+    spec: MachineSpec,
+    scenario: PerfScenario,
+    n_sdx: int,
+    n_sdy: int,
+    faults: "FaultSchedule | FaultInjector | None" = None,
+    retry: RetryPolicy | None = None,
 ) -> SimReport:
-    """Simulate one P-EnKF assimilation on ``n_sdx × n_sdy`` processors."""
-    machine = Machine(spec)
+    """Simulate one P-EnKF assimilation on ``n_sdx × n_sdy`` processors.
+
+    Under a ``faults`` schedule, failed block reads are retried under
+    ``retry``; a member whose reads stay unrecoverable is dropped (P-EnKF
+    has no I/O peers, so there is no failover — degradation is its only
+    resilient posture).  ``faults=None`` keeps the fault-free event stream.
+    """
+    injector = None
+    if faults is not None:
+        injector = (
+            faults if isinstance(faults, FaultInjector) else FaultInjector(faults)
+        )
+    report = injector.report if injector is not None else None
+    machine = Machine(spec, faults=injector)
     env = machine.env
     decomp = scenario.decomposition(n_sdx, n_sdy)
     plan = block_read_plan(decomp, scenario.layout, scenario.n_members)
@@ -48,21 +76,26 @@ def simulate_penkf(
         op_seeks = first.seeks
         op_bytes = first.nbytes(scenario.layout)
         for op in rank_plan.reads:
-            t0 = env.now
-            outcome = yield from machine.pfs.read(
-                op.file_id, seeks=op_seeks, nbytes=op_bytes
+            outcome = yield from simulate_op_read(
+                machine, timeline, rank, op.file_id, op_seeks, op_bytes,
+                retry=retry, report=report,
             )
-            timeline.add(rank, PHASE_WAIT, t0, outcome.granted_at)
-            timeline.add(rank, PHASE_READ, outcome.granted_at, outcome.completed_at)
+            if outcome is None and report is not None:
+                report.drop_member(op.file_id)
         # Phase 2: local analysis (no overlap with phase 1 by construction).
+        cost = compute_cost
+        if injector is not None:
+            cost = compute_cost * injector.straggler_factor(rank)
         t0 = env.now
-        yield env.timeout(compute_cost)
+        yield env.timeout(cost)
         timeline.add(rank, PHASE_COMPUTE, t0, env.now)
 
     for rank, rank_plan in sorted(plan.per_rank.items()):
         env.process(rank_process(rank, rank_plan), name=f"penkf[{rank}]")
     env.run()
 
+    if report is not None:
+        report.finalize(env.now)
     return SimReport(
         filter_name="p-enkf",
         timeline=timeline,
@@ -71,4 +104,5 @@ def simulate_penkf(
         io_ranks=[],
         n_sdx=n_sdx,
         n_sdy=n_sdy,
+        resilience=report,
     )

@@ -26,11 +26,22 @@ from __future__ import annotations
 from repro.cluster.machine import Machine
 from repro.cluster.params import MachineSpec
 from repro.core.domain import SubDomain
+from repro.faults.errors import FaultError
+from repro.faults.inject import FaultInjector
+from repro.faults.policy import RetryPolicy
+from repro.faults.schedule import FaultSchedule
 from repro.filters.base import PerfScenario, SimReport
 from repro.filters.distributed import DistributedEnKF
+from repro.io.execute import simulate_op_read
 from repro.mpisim import Communicator
 from repro.sim import Store, Timeline
-from repro.sim.trace import PHASE_COMM, PHASE_COMPUTE, PHASE_READ, PHASE_WAIT
+from repro.sim.trace import (
+    PHASE_COMM,
+    PHASE_COMPUTE,
+    PHASE_FAILED,
+    PHASE_READ,
+    PHASE_WAIT,
+)
 from repro.tuning.autotune import AutotuneResult, autotune
 from repro.util.validation import check_divides, check_positive
 
@@ -79,8 +90,13 @@ class SEnKF(DistributedEnKF):
         n_sdy: int,
         n_layers: int,
         n_cg: int,
+        faults: "FaultSchedule | FaultInjector | None" = None,
+        retry: RetryPolicy | None = None,
     ) -> SimReport:
-        return simulate_senkf(spec, scenario, n_sdx, n_sdy, n_layers, n_cg)
+        return simulate_senkf(
+            spec, scenario, n_sdx, n_sdy, n_layers, n_cg,
+            faults=faults, retry=retry,
+        )
 
 
 def simulate_senkf(
@@ -91,6 +107,8 @@ def simulate_senkf(
     n_layers: int,
     n_cg: int,
     prefetch_depth: int | None = None,
+    faults: "FaultSchedule | FaultInjector | None" = None,
+    retry: RetryPolicy | None = None,
 ) -> SimReport:
     """Simulate one S-EnKF assimilation with explicit tuning parameters.
 
@@ -102,6 +120,28 @@ def simulate_senkf(
     acknowledgement per band and stage (compute rank ``(0, j)`` acks its
     band's I/O ranks when it finishes a stage — the band's ranks advance
     in lockstep, so one ack per band is representative).
+
+    ``faults`` runs the whole orchestration under a seeded
+    :class:`~repro.faults.schedule.FaultSchedule` (or a pre-bound
+    :class:`~repro.faults.inject.FaultInjector`), with ``retry`` governing
+    how disk faults are retried.  The resilient posture is:
+
+    * failed bar reads are retried under ``retry``; once exhausted, the
+      member is *dropped* (recorded in the report) and the run continues
+      with smaller stage messages — graceful degradation;
+    * an I/O rank whose kill time arrives crashes at its next read or
+      send boundary; a per-group failover worker hands its remaining
+      stages to the group's next surviving band peer, which re-reads the
+      crashed stage in full and sends in the victim's stead (helper
+      threads therefore receive by tag, not source, under faults);
+    * straggler compute ranks run their local analyses slower by the
+      schedule's factor;
+    * dropped messages surface at drain time as a
+      :class:`~repro.sim.errors.DeadlockError` naming the stuck ranks.
+
+    With ``faults=None`` the code path is event-for-event identical to the
+    fault-free simulator.  The returned report carries the run's
+    :class:`~repro.faults.report.ResilienceReport` in ``resilience``.
     """
     check_positive("n_layers", n_layers)
     check_positive("n_cg", n_cg)
@@ -109,7 +149,15 @@ def simulate_senkf(
     if prefetch_depth is not None and prefetch_depth < 1:
         raise ValueError(f"prefetch_depth must be >= 1, got {prefetch_depth}")
 
-    machine = Machine(spec)
+    injector = None
+    if faults is not None:
+        injector = (
+            faults if isinstance(faults, FaultInjector) else FaultInjector(faults)
+        )
+    resilient = injector is not None
+    report = injector.report if resilient else None
+
+    machine = Machine(spec, faults=injector)
     env = machine.env
     decomp = scenario.decomposition(n_sdx, n_sdy)
     layout = scenario.layout
@@ -121,59 +169,140 @@ def simulate_senkf(
     def io_rank_id(g: int, j: int) -> int:
         return n_compute + g * n_sdy + j
 
+    if resilient:
+        for r, _t in injector.schedule.killed_ranks:
+            if not n_compute <= r < n_compute + n_io:
+                raise ValueError(
+                    f"killed rank {r} is not an S-EnKF I/O rank (I/O ranks "
+                    f"are {n_compute}..{n_compute + n_io - 1}); only I/O "
+                    f"processors support kill + failover"
+                )
+
     # Stage geometry is identical across longitudes: take column 0's layers.
     band_layers = {
         j: decomp.subdomain(0, j).layers(n_layers) for j in range(n_sdy)
     }
-    files_per_group = scenario.n_members // n_cg
     # Per-stage compute: c × layer points (Eq. 9).
     layer_points = decomp.block_cols * (decomp.block_rows // n_layers)
     compute_cost = spec.c_point * layer_points
 
     ACK_TAG = -100  #: flow-control acks (distinct from stage-data tags >= 0)
 
-    def io_process(ctx, g: int, j: int):
+    # Failover plumbing: one mailbox per concurrent group.  A crashing I/O
+    # rank deposits (band, stage, surviving files) and returns; the group's
+    # worker re-runs the remaining stages on a surviving peer.
+    failover_boxes = (
+        {g: Store(env) for g in range(n_cg)} if resilient else None
+    )
+
+    def io_crash(rank: int, g: int, j: int, l: int, files_ok: list[int]):
+        report.ranks_killed.append(rank)
+        timeline.add(rank, PHASE_FAILED, env.now, env.now)
+        yield failover_boxes[g].put((j, l, files_ok))
+
+    def io_stages(ctx, g: int, j: int, files_ok: list[int], l_start: int,
+                  kill_at: float | None, flow_control: bool):
+        """Stages ``l_start..`` of band ``j``'s group-``g`` work.
+
+        Runs on the owner rank (``flow_control=True``, honouring its kill
+        time) or on a failover peer replaying a victim's stages
+        (``flow_control=False`` — adopted stages skip the staging-credit
+        protocol, whose acks are addressed to the dead owner).
+        """
         rank = ctx.rank
-        files = range(g, scenario.n_members, n_cg)
+
+        def killed() -> bool:
+            return kill_at is not None and env.now >= kill_at
+
         acks_received = 0
-        for l, layer in enumerate(band_layers[j]):
-            if prefetch_depth is not None and l >= prefetch_depth:
+        for l in range(l_start, n_layers):
+            if killed():
+                yield from io_crash(rank, g, j, l, files_ok)
+                return
+            layer = band_layers[j][l]
+            if flow_control and prefetch_depth is not None and l >= prefetch_depth:
                 # Stall until the band has consumed stage l - depth.
                 while acks_received < l - prefetch_depth + 1:
                     t0 = env.now
                     yield from ctx.recv(source=decomp.rank_of(0, j), tag=ACK_TAG)
                     acks_received += 1
                     timeline.add(rank, PHASE_WAIT, t0, env.now)
+                if killed():
+                    yield from io_crash(rank, g, j, l, files_ok)
+                    return
             rows = layer.n_read_rows
             bar_bytes = layout.nbytes(rows * decomp.grid.n_x)
-            for f in files:
-                t0 = env.now
-                outcome = yield from machine.pfs.read(f, seeks=1, nbytes=bar_bytes)
-                timeline.add(rank, PHASE_WAIT, t0, outcome.granted_at)
-                timeline.add(
-                    rank, PHASE_READ, outcome.granted_at, outcome.completed_at
+            for f in list(files_ok):
+                if killed():
+                    yield from io_crash(rank, g, j, l, files_ok)
+                    return
+                outcome = yield from simulate_op_read(
+                    machine, timeline, rank, f, 1, bar_bytes,
+                    retry=retry, report=report,
                 )
+                if outcome is None:
+                    # Retries exhausted: degrade — drop the member and
+                    # shrink this band's stage messages from here on.
+                    report.drop_member(f)
+                    files_ok.remove(f)
+            if killed():
+                yield from io_crash(rank, g, j, l, files_ok)
+                return
             # One aggregated block message per compute rank of this band.
             t0 = env.now
             for i in range(n_sdx):
                 sd = decomp.subdomain(i, j)
-                elems = len(sd.exp_x_indices) * rows * files_per_group
+                elems = len(sd.exp_x_indices) * rows * len(files_ok)
                 yield from ctx.send(
                     decomp.rank_of(i, j), layout.nbytes(elems), tag=l
                 )
             timeline.add(rank, PHASE_COMM, t0, env.now)
 
+    def io_process(ctx, g: int, j: int):
+        kill_at = injector.kill_time(ctx.rank) if resilient else None
+        files_ok = list(range(g, scenario.n_members, n_cg))
+        yield from io_stages(ctx, g, j, files_ok, 0, kill_at, True)
+
+    def failover_worker(g: int):
+        box = failover_boxes[g]
+        while True:
+            j, l_start, files_ok = yield box.get()
+            backup = None
+            for off in range(1, n_sdy):
+                cand = io_rank_id(g, (j + off) % n_sdy)
+                if injector.kill_time(cand) is None:
+                    backup = cand
+                    break
+            if backup is None:
+                raise FaultError(
+                    f"no surviving I/O peer in concurrent group {g} to "
+                    f"adopt band {j}'s reads (all {n_sdy} peers scheduled "
+                    f"to die)"
+                )
+            report.failovers += 1
+            yield from io_stages(
+                comm.rank(backup), g, j, files_ok, l_start, None, False
+            )
+
     def helper_thread(ctx, stage_ready: Store):
         """The helper thread of Fig. 8: drains stage data, signals main."""
+        _, j = decomp.ij_of(ctx.rank)
         for l in range(n_layers):
             for g in range(n_cg):
-                _, j = decomp.ij_of(ctx.rank)
-                yield from ctx.recv(source=io_rank_id(g, j), tag=l)
+                if resilient:
+                    # Under failover a stage message may arrive from a
+                    # band peer acting for the dead owner: match by tag.
+                    yield from ctx.recv(source=None, tag=l)
+                else:
+                    yield from ctx.recv(source=io_rank_id(g, j), tag=l)
             yield stage_ready.put(l)
 
     def compute_process(ctx):
         rank = ctx.rank
         i, j = decomp.ij_of(rank)
+        cost = compute_cost
+        if resilient:
+            cost = compute_cost * injector.straggler_factor(rank)
         stage_ready = Store(env)
         env.process(helper_thread(ctx, stage_ready), name=f"helper[{rank}]")
         for l in range(n_layers):
@@ -181,7 +310,7 @@ def simulate_senkf(
             yield stage_ready.get()
             timeline.add(rank, PHASE_WAIT, t0, env.now)
             t0 = env.now
-            yield env.timeout(compute_cost)
+            yield env.timeout(cost)
             timeline.add(rank, PHASE_COMPUTE, t0, env.now)
             if prefetch_depth is not None and i == 0 and l < n_layers - 1:
                 # Band representative releases one staging-buffer credit
@@ -201,8 +330,13 @@ def simulate_senkf(
                 return runner
 
             comm.spawn(make(), ranks=[io_rank_id(g, j)], name="senkf-io")
+    if resilient:
+        for g in range(n_cg):
+            env.process(failover_worker(g), name=f"senkf-failover[{g}]")
     env.run()
 
+    if resilient:
+        report.finalize(env.now)
     return SimReport(
         filter_name="s-enkf",
         timeline=timeline,
@@ -213,6 +347,7 @@ def simulate_senkf(
         n_sdy=n_sdy,
         n_layers=n_layers,
         n_cg=n_cg,
+        resilience=report,
     )
 
 

@@ -19,7 +19,12 @@ two substrates (DESIGN.md §6.1).
 
 from repro.io.layout import FileLayout, contiguous_runs
 from repro.io.plan import ReadOp, SendOp, RankReadPlan, ReadPlan
-from repro.io.execute import execute_read_plan_inline, simulate_read_plan
+from repro.io.execute import (
+    execute_read_plan_inline,
+    simulate_op_read,
+    simulate_read_plan,
+)
+from repro.io.failover import failover_replan
 from repro.io.writers import (
     bar_gather_write_plan,
     block_write_plan,
@@ -45,6 +50,8 @@ __all__ = [
     "concurrent_access_plan",
     "contiguous_runs",
     "execute_read_plan_inline",
+    "failover_replan",
+    "simulate_op_read",
     "simulate_read_plan",
     "simulate_write_plan",
     "single_reader_plan",

@@ -15,27 +15,91 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cluster.machine import Machine
+from repro.faults.errors import DiskFaultError, MemberUnrecoverableError
+from repro.faults.policy import RetryPolicy
+from repro.faults.report import ResilienceReport
 from repro.io.plan import ReadPlan
 from repro.sim import Timeline
-from repro.sim.trace import PHASE_READ, PHASE_WAIT
+from repro.sim.trace import PHASE_FAILED, PHASE_READ, PHASE_RETRY, PHASE_WAIT
+
+
+def simulate_op_read(machine, timeline, rank, file_id, seeks, nbytes,
+                     retry=None, report=None):
+    """Process: one fault-aware read with bounded-backoff retries.
+
+    Shared by the plan executor and the filter orchestrations.  Returns the
+    :class:`~repro.cluster.disk.DiskReadOutcome` of the successful attempt
+    (recording wait/read intervals), or ``None`` once retries are exhausted
+    (recording the terminal interval as ``PHASE_FAILED``).  Each failed
+    attempt plus its backoff is recorded as ``PHASE_RETRY``.
+    """
+    env = machine.env
+    attempt = 0
+    first_try = env.now
+    while True:
+        t0 = env.now
+        try:
+            outcome = yield from machine.pfs.read(
+                file_id, seeks=seeks, nbytes=nbytes
+            )
+        except DiskFaultError:
+            if retry is None or not retry.should_retry(
+                attempt, env.now - first_try
+            ):
+                timeline.add(rank, PHASE_FAILED, t0, env.now)
+                if report is not None:
+                    report.failed_ops += 1
+                return None
+            if report is not None:
+                report.retries += 1
+            delay = retry.delay(attempt)
+            attempt += 1
+            if delay > 0:
+                yield env.timeout(delay)
+            timeline.add(rank, PHASE_RETRY, t0, env.now)
+        else:
+            timeline.add(rank, PHASE_WAIT, t0, outcome.granted_at)
+            timeline.add(
+                rank, PHASE_READ, outcome.granted_at, outcome.completed_at
+            )
+            return outcome
 
 
 def simulate_read_plan(
-    machine: Machine, plan: ReadPlan
+    machine: Machine,
+    plan: ReadPlan,
+    retry: RetryPolicy | None = None,
+    on_unrecoverable: str = "raise",
+    report: ResilienceReport | None = None,
 ) -> tuple[Timeline, float]:
-    """Run every reader rank's op list on the DES; return (timeline, makespan)."""
+    """Run every reader rank's op list on the DES; return (timeline, makespan).
+
+    On a fault-injecting machine, each failed read is retried under
+    ``retry`` (``None`` = fail on first error).  Once retries are exhausted,
+    ``on_unrecoverable`` picks the posture: ``"raise"`` surfaces a
+    :class:`MemberUnrecoverableError` from :meth:`Environment.run`;
+    ``"drop"`` records the member in ``report.members_dropped`` and carries
+    on — the degraded-mode posture of the filters.
+    """
+    if on_unrecoverable not in ("raise", "drop"):
+        raise ValueError(f"unknown on_unrecoverable {on_unrecoverable!r}")
+    if report is None and machine.faults is not None:
+        report = machine.faults.report
     timeline = Timeline()
     env = machine.env
     start_time = env.now
 
     def reader(rank: int, rank_plan):
         for op in rank_plan.reads:
-            t0 = env.now
-            outcome = yield from machine.pfs.read(
-                op.file_id, seeks=op.seeks, nbytes=op.nbytes(plan.layout)
+            outcome = yield from simulate_op_read(
+                machine, timeline, rank, op.file_id, op.seeks,
+                op.nbytes(plan.layout), retry=retry, report=report,
             )
-            timeline.add(rank, PHASE_WAIT, t0, outcome.granted_at)
-            timeline.add(rank, PHASE_READ, outcome.granted_at, outcome.completed_at)
+            if outcome is None:
+                if on_unrecoverable == "raise":
+                    raise MemberUnrecoverableError(op.file_id, rank=rank)
+                if report is not None:
+                    report.drop_member(op.file_id)
 
     for rank, rank_plan in plan.per_rank.items():
         if rank_plan.reads:

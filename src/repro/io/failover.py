@@ -1,0 +1,99 @@
+"""Failover re-planning: reassign a dead I/O processor's work to peers.
+
+When an I/O processor crashes (or its reads stay unrecoverable), its bars
+must still reach the compute ranks — the paper's concurrent-access layout
+makes this natural, because every concurrent group has ``n_sdy`` peers that
+already hold open paths to the same compute band structure.  This module
+implements that as a *pure re-planning step* over the existing
+:class:`~repro.io.plan.ReadPlan`: the failed ranks' :class:`ReadOp`s are
+dealt round-robin to surviving peers, and each displaced :class:`SendOp`
+follows the read of its file (send tags are file ids in every shipped
+planner), re-sourced to the adopting rank.
+
+The same-total invariant is what the tests pin down: the failover plan
+reads exactly the same extents of the same files and delivers exactly the
+same elements to the same destinations — only *who* does the work changes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.io.plan import ReadPlan, SendOp
+
+__all__ = ["failover_replan"]
+
+
+def failover_replan(
+    plan: ReadPlan,
+    failed_ranks: Iterable[int],
+    peers_of: Callable[[int], list[int]] | None = None,
+) -> ReadPlan:
+    """Return a new plan with ``failed_ranks``' work moved to live peers.
+
+    ``peers_of(rank)`` names the candidate adopters for one failed rank
+    (e.g. its concurrent-group peers); by default every surviving reader
+    rank is a candidate.  Work is dealt round-robin in op order, so the
+    reassignment is deterministic and roughly balanced.
+
+    Raises ``ValueError`` when no surviving peer exists to adopt the work.
+    """
+    failed = {int(r) for r in failed_ranks}
+    out = ReadPlan(
+        strategy=f"{plan.strategy}+failover",
+        layout=plan.layout,
+        n_files=plan.n_files,
+    )
+    # Surviving ranks keep their own work (copied; plans are mutable).
+    for rank, rank_plan in plan.per_rank.items():
+        if rank in failed:
+            continue
+        rp = out.rank_plan(rank)
+        rp.reads.extend(rank_plan.reads)
+        rp.sends.extend(rank_plan.sends)
+
+    for rank in sorted(failed):
+        victim = plan.per_rank.get(rank)
+        if victim is None or (not victim.reads and not victim.sends):
+            continue
+        candidates = peers_of(rank) if peers_of is not None else plan.reader_ranks
+        peers = [p for p in candidates if p not in failed]
+        if not peers:
+            raise ValueError(
+                f"no surviving peer to adopt rank {rank}'s I/O work"
+            )
+        # Sends follow the read of their file (tags are file ids).
+        sends_by_tag: dict[int, list[SendOp]] = {}
+        for send in victim.sends:
+            sends_by_tag.setdefault(send.tag, []).append(send)
+        adopted_files = set()
+        for idx, op in enumerate(victim.reads):
+            adopter = peers[idx % len(peers)]
+            rp = out.rank_plan(adopter)
+            rp.reads.append(op)
+            adopted_files.add(op.file_id)
+            for send in sends_by_tag.get(op.file_id, ()):
+                rp.sends.append(
+                    SendOp(
+                        source=adopter,
+                        dest=send.dest,
+                        n_elems=send.n_elems,
+                        tag=send.tag,
+                    )
+                )
+        # Orphan sends (tags not matching any of the victim's reads) go to
+        # the first peer so no communication is ever silently lost.
+        orphans = [
+            s for tag, sends in sends_by_tag.items() for s in sends
+            if tag not in adopted_files
+        ]
+        for send in orphans:
+            out.rank_plan(peers[0]).sends.append(
+                SendOp(
+                    source=peers[0],
+                    dest=send.dest,
+                    n_elems=send.n_elems,
+                    tag=send.tag,
+                )
+            )
+    return out

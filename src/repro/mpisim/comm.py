@@ -9,7 +9,7 @@ from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.cluster.machine import Machine
 from repro.sim import Environment, Event, Process
-from repro.sim.errors import SimulationError
+from repro.sim.errors import DeadlockError, SimulationError
 
 #: Wildcards for receive matching.
 ANY_SOURCE: Optional[int] = None
@@ -106,6 +106,13 @@ class _Mailbox:
             return
         self._waiters.append(waiter)
 
+    def unregister(self, waiter: _Waiter) -> None:
+        """Withdraw a pending receive (watchdog timeout fired)."""
+        try:
+            self._waiters.remove(waiter)
+        except ValueError:
+            pass
+
 
 class Communicator:
     """A group of ``size`` simulated ranks on a :class:`Machine`."""
@@ -118,6 +125,37 @@ class Communicator:
         self._mailboxes = [_Mailbox() for _ in range(self.size)]
         self._barrier_count = 0
         self._barrier_event: Optional[Event] = None
+        self._msg_serial = 0
+        # Liveness watchdog: if the event queue fully drains while any rank
+        # is still blocked in a receive, that receive can never be matched —
+        # raise a typed DeadlockError naming the stuck ranks instead of
+        # letting Environment.run return as if the program had finished.
+        self.env.add_drain_hook(self._check_deadlock)
+
+    def _next_msg_serial(self) -> int:
+        self._msg_serial += 1
+        return self._msg_serial
+
+    def _check_deadlock(self, env: Environment) -> None:
+        stuck: dict[int, list[str]] = {}
+        for rank, mailbox in enumerate(self._mailboxes):
+            for waiter in mailbox._waiters:
+                # Only waiters a process is actually blocked on (the event
+                # has a resume callback registered); a bare irecv that was
+                # never yielded is not a deadlock.
+                if waiter.event.callbacks:
+                    src = "ANY" if waiter.source is None else waiter.source
+                    tag = "ANY" if waiter.tag is None else waiter.tag
+                    stuck.setdefault(rank, []).append(
+                        f"recv(source={src}, tag={tag})"
+                    )
+        if stuck:
+            detail = "; ".join(
+                f"rank {r}: {', '.join(ws)}" for r, ws in sorted(stuck.items())
+            )
+            raise DeadlockError(
+                stuck, f"event queue drained with unmatched receives — {detail}"
+            )
 
     @property
     def env(self) -> Environment:
@@ -209,6 +247,12 @@ class RankContext:
 
         The message becomes visible to the receiver when the transfer
         completes (eager protocol; the paper's model has no rendezvous).
+
+        When the machine carries a fault injector, a message may incur an
+        extra in-flight delay or be dropped: the transfer still costs the
+        sender its full time (eager buffer handed to the NIC) but nothing
+        is ever deposited — the loss surfaces at the receiver as a recv
+        watchdog timeout or a drain-time :class:`DeadlockError`.
         """
         self.comm._check_rank("dest", dest)
         if dest == self.rank:
@@ -216,7 +260,17 @@ class RankContext:
         if nbytes < 0:
             raise ValueError(f"nbytes must be >= 0, got {nbytes}")
         sent_at = self.env.now
-        yield self.env.timeout(self.comm.machine.message_time(nbytes))
+        extra_delay, dropped = 0.0, False
+        injector = self.comm.machine.faults
+        if injector is not None:
+            extra_delay, dropped = injector.message_fault(
+                self.rank, dest, tag, self.comm._next_msg_serial()
+            )
+        yield self.env.timeout(
+            self.comm.machine.message_time(nbytes) + extra_delay
+        )
+        if dropped:
+            return
         msg = Message(
             source=self.rank,
             dest=dest,
@@ -245,10 +299,47 @@ class RankContext:
         self.comm._mailboxes[self.rank].register(waiter)
         return waiter.event
 
-    def recv(self, source: Optional[int] = ANY_SOURCE, tag: Optional[int] = ANY_TAG):
-        """Blocking receive; returns the matched :class:`Message`."""
-        msg = yield self.irecv(source=source, tag=tag)
-        return msg
+    def recv(
+        self,
+        source: Optional[int] = ANY_SOURCE,
+        tag: Optional[int] = ANY_TAG,
+        timeout: float | None = None,
+    ):
+        """Blocking receive; returns the matched :class:`Message`.
+
+        ``timeout`` arms a watchdog: if no matching message arrives within
+        that much simulated time, the pending receive is withdrawn and a
+        :class:`DeadlockError` naming this rank is raised — the unmatched-
+        receive failure mode surfaces as a typed error at the stuck rank
+        instead of a silent drain of the event heap.  A receive that wins
+        the race cancels the watchdog timer, so armed watchdogs never
+        inflate the measured makespan.
+        """
+        if timeout is None:
+            msg = yield self.irecv(source=source, tag=tag)
+            return msg
+        if timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {timeout}")
+        if source is not None:
+            self.comm._check_rank("source", source)
+        waiter = _Waiter(event=self.env.event(), source=source, tag=tag)
+        self.comm._mailboxes[self.rank].register(waiter)
+        if waiter.event.triggered:
+            msg = yield waiter.event
+            return msg
+        timer = self.env.timeout(timeout)
+        yield self.env.any_of([waiter.event, timer])
+        if waiter.event.triggered:
+            timer.cancel()
+            return waiter.event.value
+        self.comm._mailboxes[self.rank].unregister(waiter)
+        src = "ANY" if source is None else source
+        tg = "ANY" if tag is None else tag
+        raise DeadlockError(
+            [self.rank],
+            f"rank {self.rank} recv(source={src}, tag={tg}) unmatched after "
+            f"{timeout} s watchdog",
+        )
 
     # -- collectives (delegated) ----------------------------------------------
     def barrier(self):
@@ -306,9 +397,34 @@ class RankContext:
         result = yield from alltoall(self, nbytes_per_pair, payloads, tag)
         return result
 
-    def waitall(self, requests):
-        """Block until every request (e.g. isend process) completes."""
-        yield self.env.all_of(list(requests))
+    def waitall(self, requests, timeout: float | None = None):
+        """Block until every request (e.g. isend process) completes.
+
+        ``timeout`` arms a watchdog like :meth:`recv`: if any request is
+        still pending after that much simulated time, a
+        :class:`DeadlockError` is raised naming this rank and the stuck
+        requests.
+        """
+        requests = list(requests)
+        if timeout is None:
+            yield self.env.all_of(requests)
+            return
+        if timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {timeout}")
+        done = self.env.all_of(requests)
+        timer = self.env.timeout(timeout)
+        yield self.env.any_of([done, timer])
+        if done.triggered:
+            timer.cancel()
+            return
+        pending = [
+            getattr(r, "name", repr(r)) for r in requests if not r.triggered
+        ]
+        raise DeadlockError(
+            [self.rank],
+            f"rank {self.rank} waitall incomplete after {timeout} s watchdog; "
+            f"pending: {pending}",
+        )
 
 
 class SubCommunicator:

@@ -18,7 +18,7 @@ Public surface:
   regenerate the paper's per-phase breakdowns (Figs. 9 and 11).
 """
 
-from repro.sim.errors import Interrupt, SimulationError
+from repro.sim.errors import DeadlockError, Interrupt, SimulationError
 from repro.sim.core import AllOf, AnyOf, Environment, Event, Process, Timeout
 from repro.sim.resources import Resource, Store
 from repro.sim.trace import (
@@ -32,6 +32,7 @@ from repro.sim.trace import (
 __all__ = [
     "AllOf",
     "AnyOf",
+    "DeadlockError",
     "Environment",
     "Event",
     "Interrupt",

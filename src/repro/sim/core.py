@@ -50,7 +50,10 @@ class Event:
     result of ``yield event`` inside a process.
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_processed", "_defused")
+    __slots__ = (
+        "env", "callbacks", "_value", "_ok", "_processed", "_defused",
+        "_cancelled",
+    )
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -59,6 +62,7 @@ class Event:
         self._ok: Optional[bool] = None
         self._processed = False
         self._defused = False
+        self._cancelled = False
 
     # -- state ------------------------------------------------------------
     @property
@@ -144,6 +148,19 @@ class Timeout(Event):
         self._ok = True
         self._value = value
         env._schedule(self, delay, PRIORITY_NORMAL)
+
+    def cancel(self) -> None:
+        """Void this timeout: it never fires and never advances the clock.
+
+        Used by watchdog races (``recv``/``waitall`` with ``timeout=``): when
+        the awaited event wins, the losing timer must not keep the simulation
+        alive until its deadline, or every watchdog would inflate the measured
+        makespan.  The queue entry is discarded lazily (see ``_purge_head``).
+        """
+        if self._processed:
+            raise SimulationError("cannot cancel a processed timeout")
+        self._cancelled = True
+        self.callbacks = None
 
 
 class Initialize(Event):
@@ -323,6 +340,21 @@ class Environment:
         self._queue: list[tuple[float, int, int, Event]] = []
         self._seq = 0
         self._active_process: Optional[Process] = None
+        self._drain_hooks: list[Callable[["Environment"], None]] = []
+
+    def add_drain_hook(self, fn: Callable[["Environment"], None]) -> None:
+        """Register ``fn(env)`` to run whenever the queue fully drains.
+
+        Hooks are liveness checks: they may raise (e.g.
+        :class:`~repro.sim.errors.DeadlockError` from the simulated MPI layer
+        when ranks are still blocked in ``recv``) to turn a silent drain into
+        a typed failure naming the stuck parties.
+        """
+        self._drain_hooks.append(fn)
+
+    def _run_drain_hooks(self) -> None:
+        for fn in self._drain_hooks:
+            fn(self)
 
     @property
     def now(self) -> float:
@@ -364,12 +396,19 @@ class Environment:
         self._seq += 1
         heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
 
+    def _purge_head(self) -> None:
+        """Drop cancelled events sitting at the queue head (lazy deletion)."""
+        while self._queue and self._queue[0][3]._cancelled:
+            heapq.heappop(self._queue)
+
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if the queue is empty."""
+        self._purge_head()
         return self._queue[0][0] if self._queue else float("inf")
 
     def step(self) -> None:
         """Process exactly one event (advancing the clock to it)."""
+        self._purge_head()
         if not self._queue:
             raise SimulationError("step() on an empty queue")
         when, _prio, _seq, event = heapq.heappop(self._queue)
@@ -392,7 +431,9 @@ class Environment:
         if isinstance(until, Event):
             stop = until
             while not stop.processed:
+                self._purge_head()
                 if not self._queue:
+                    self._run_drain_hooks()
                     raise SimulationError(
                         "queue drained before the awaited event triggered"
                     )
@@ -405,10 +446,21 @@ class Environment:
             horizon = float(until)
             if horizon < self._now:
                 raise ValueError("cannot run() backwards in time")
-            while self._queue and self._queue[0][0] <= horizon:
+            while True:
+                self._purge_head()
+                if not self._queue or self._queue[0][0] > horizon:
+                    break
                 self.step()
+            if not self._queue:
+                # A full drain before the horizon is a real drain: give the
+                # liveness hooks a chance to flag stuck processes.
+                self._run_drain_hooks()
             self._now = horizon
             return None
-        while self._queue:
+        while True:
+            self._purge_head()
+            if not self._queue:
+                break
             self.step()
+        self._run_drain_hooks()
         return None

@@ -24,8 +24,15 @@ PHASE_READ = "read"
 PHASE_COMM = "comm"
 PHASE_COMPUTE = "compute"
 PHASE_WAIT = "wait"
+#: Resilience phases: time lost to failed attempts + backoff before a retry,
+#: and the terminal interval of an operation whose retries were exhausted.
+PHASE_RETRY = "retry"
+PHASE_FAILED = "failed"
 
-ALL_PHASES = (PHASE_READ, PHASE_COMM, PHASE_COMPUTE, PHASE_WAIT)
+ALL_PHASES = (
+    PHASE_READ, PHASE_COMM, PHASE_COMPUTE, PHASE_WAIT, PHASE_RETRY,
+    PHASE_FAILED,
+)
 
 
 @dataclass(frozen=True)
