@@ -1,0 +1,90 @@
+"""Pricing checkpoint I/O: overhead vs. MTTF, and Young's optimal interval.
+
+On the simulated machine a checkpoint is a bar-parallel streaming write
+of the analysis ensemble — byte-for-byte the same traffic as the
+background output phase, so it is priced by the same
+:meth:`~repro.filters.cycling.CycleCosts.output_time` formula (exposed as
+``CycleCosts.checkpoint_time``).  This module adds the campaign-level
+economics:
+
+* :func:`expected_overhead` — the fraction of useful compute a campaign
+  spends on checkpointing every ``k`` cycles *plus* the expected rework
+  replayed after a failure, under an exponential failure model with mean
+  time to failure ``mttf``;
+* :func:`young_interval` — the classic first-order optimum (Young 1974):
+  checkpoint every ``sqrt(2 · C · MTTF)`` seconds of work, converted to
+  cycles.
+
+These are deliberately closed-form: the point is the *shape* of the
+trade-off (frequent checkpoints burn I/O, rare ones burn rework), which
+:meth:`~repro.filters.cycling.ReanalysisCampaign.checkpoint_tradeoff`
+tabulates for a concrete machine/scenario pair.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.util.validation import check_nonnegative, check_positive
+
+__all__ = ["expected_overhead", "tradeoff_table", "young_interval"]
+
+
+def young_interval(
+    cycle_time: float, checkpoint_time: float, mttf: float
+) -> float:
+    """Young's optimal checkpoint interval, in cycles (possibly fractional).
+
+    Minimises first-order expected overhead ``C/(kT) + kT/(2·MTTF)``,
+    giving ``k·T = sqrt(2 · C · MTTF)``.  Callers round and clamp to at
+    least one cycle for practical schedules.
+    """
+    check_positive("cycle_time", cycle_time)
+    check_positive("checkpoint_time", checkpoint_time)
+    check_positive("mttf", mttf)
+    return math.sqrt(2.0 * checkpoint_time * mttf) / cycle_time
+
+
+def expected_overhead(
+    cycle_time: float,
+    checkpoint_time: float,
+    interval_cycles: float,
+    mttf: float | None = None,
+) -> float:
+    """Expected fractional overhead of checkpointing every ``k`` cycles.
+
+    The commit cost ``C / (k·T)`` is always paid; with an ``mttf``, each
+    failure additionally replays on average half a checkpoint period
+    (plus the interrupted commit), charged at rate ``1/MTTF``::
+
+        overhead = C/(k·T) + (k·T + C) / (2·MTTF)
+
+    Returned as a fraction of useful cycle time (0.1 = 10 % slower than
+    a checkpoint-free, failure-free campaign).
+    """
+    check_positive("cycle_time", cycle_time)
+    check_nonnegative("checkpoint_time", checkpoint_time)
+    check_positive("interval_cycles", interval_cycles)
+    work = interval_cycles * cycle_time
+    overhead = checkpoint_time / work
+    if mttf is not None:
+        check_positive("mttf", mttf)
+        overhead += (work + checkpoint_time) / (2.0 * mttf)
+    return overhead
+
+
+def tradeoff_table(
+    cycle_time: float,
+    checkpoint_time: float,
+    mttf: float,
+    intervals: tuple[int, ...] = (1, 2, 5, 10, 20, 50),
+) -> list[dict]:
+    """Overhead at each candidate interval, for bench tables and docs."""
+    return [
+        {
+            "interval": k,
+            "overhead": expected_overhead(cycle_time, checkpoint_time, k, mttf),
+            "commit_share": checkpoint_time / (k * cycle_time),
+        }
+        for k in intervals
+    ]

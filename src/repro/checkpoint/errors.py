@@ -1,0 +1,53 @@
+"""Typed errors of the checkpoint/restart subsystem.
+
+The split mirrors ``repro.faults``: *content* damage inside a member file
+keeps raising the existing
+:class:`~repro.faults.errors.CorruptMemberError`, while damage to the
+checkpoint *as a unit* (missing/unparsable manifest, schema mismatch) is a
+:class:`CorruptCheckpointError`.  Resume treats both the same way: the
+checkpoint is distrusted and the previous complete one becomes
+authoritative.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CheckpointError",
+    "CorruptCheckpointError",
+    "NoCheckpointError",
+    "ScheduleMismatchError",
+]
+
+
+class CheckpointError(Exception):
+    """Base class for checkpoint format and restart errors."""
+
+
+class CorruptCheckpointError(CheckpointError):
+    """A checkpoint directory exists but cannot be trusted.
+
+    Raised for a missing or unparsable manifest, an unsupported schema
+    version, missing payload files, or an auxiliary-array checksum
+    mismatch.  (A *member* checksum mismatch raises the existing
+    :class:`~repro.faults.errors.CorruptMemberError` instead; resume
+    catches both.)
+    """
+
+    def __init__(self, cycle: int | None, detail: str):
+        self.cycle = cycle
+        where = f"cycle {cycle}" if cycle is not None else "checkpoint"
+        super().__init__(f"{where} corrupt: {detail}")
+
+
+class NoCheckpointError(CheckpointError):
+    """No complete, loadable checkpoint exists in the campaign directory."""
+
+
+class ScheduleMismatchError(CheckpointError):
+    """The resume-time fault schedule disagrees with the manifest's.
+
+    Resuming under a different chaos regime than the interrupted run
+    would silently break the bit-identity guarantee, so the mismatch is
+    a hard error: pass the original schedule (the manifest records it)
+    or start a fresh campaign.
+    """

@@ -1,0 +1,127 @@
+"""The versioned on-disk checkpoint format.
+
+One checkpoint is one directory::
+
+    cycle-00012/
+        manifest.json           # this module's schema, written last
+        member_00000.bin        # analysis ensemble via EnsembleStore
+        ...
+        aux_truth.bin           # named auxiliary arrays (raw <f8)
+        aux_free.bin
+
+The manifest is the completeness *and* integrity witness: it is written
+last inside the staging directory (so a directory without one is by
+definition incomplete) and records a SHA-256 per payload file, the cycle
+index, the RNG master seed, the serialised
+:class:`~repro.faults.schedule.FaultSchedule`, free-form filter
+configuration and the per-cycle diagnostics accumulated so far.  All
+floats ride through JSON via ``repr`` and therefore round-trip exactly —
+a resumed campaign's diagnostics are bit-identical, not approximately
+equal.
+
+``SCHEMA_VERSION`` gates evolution: a manifest with an unknown version is
+*corrupt by definition* (we cannot know how to read it) and resume falls
+back to the previous complete checkpoint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.checkpoint.errors import CorruptCheckpointError
+
+__all__ = [
+    "CheckpointManifest",
+    "MANIFEST_NAME",
+    "SCHEMA_VERSION",
+    "sha256_file",
+]
+
+SCHEMA_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+
+
+def sha256_file(path: str | Path, chunk_bytes: int = 1 << 20) -> str:
+    """SHA-256 hex digest of a file's raw bytes."""
+    h = hashlib.sha256()
+    with open(path, "rb") as fh:
+        while True:
+            chunk = fh.read(chunk_bytes)
+            if not chunk:
+                break
+            h.update(chunk)
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class CheckpointManifest:
+    """Everything needed to verify and resume from one checkpoint."""
+
+    schema_version: int
+    cycle: int
+    master_seed: int
+    n_state: int
+    n_members: int
+    #: member index (as written by the store) -> SHA-256 of the file bytes
+    member_sha256: dict[str, str]
+    #: auxiliary array name -> SHA-256 of its ``aux_<name>.bin`` bytes
+    aux_sha256: dict[str, str] = field(default_factory=dict)
+    #: serialised FaultSchedule of the campaign, or None for fault-free
+    faults: dict | None = None
+    #: free-form filter/campaign configuration for provenance
+    config: dict = field(default_factory=dict)
+    #: per-cycle diagnostic series accumulated up to ``cycle``
+    diagnostics: dict = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str, cycle: int | None = None) -> "CheckpointManifest":
+        """Parse and validate a manifest; corrupt input raises typed errors."""
+        try:
+            raw = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise CorruptCheckpointError(cycle, f"unparsable manifest: {exc}")
+        if not isinstance(raw, dict):
+            raise CorruptCheckpointError(cycle, "manifest is not an object")
+        version = raw.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise CorruptCheckpointError(
+                cycle,
+                f"unsupported schema version {version!r} "
+                f"(this build reads version {SCHEMA_VERSION})",
+            )
+        required = {
+            "cycle", "master_seed", "n_state", "n_members", "member_sha256",
+        }
+        missing = sorted(required - raw.keys())
+        if missing:
+            raise CorruptCheckpointError(cycle, f"manifest missing {missing}")
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = sorted(set(raw) - known)
+        if unknown:
+            raise CorruptCheckpointError(cycle, f"manifest has unknown fields {unknown}")
+        manifest = cls(**raw)
+        if cycle is not None and manifest.cycle != cycle:
+            raise CorruptCheckpointError(
+                cycle, f"manifest says cycle {manifest.cycle}"
+            )
+        if len(manifest.member_sha256) != manifest.n_members:
+            raise CorruptCheckpointError(
+                cycle,
+                f"manifest lists {len(manifest.member_sha256)} member "
+                f"checksums for {manifest.n_members} members",
+            )
+        return manifest
+
+    @classmethod
+    def read(cls, path: str | Path, cycle: int | None = None) -> "CheckpointManifest":
+        """Read + validate ``manifest.json``; absence is corruption."""
+        path = Path(path)
+        if not path.exists():
+            raise CorruptCheckpointError(cycle, f"no {MANIFEST_NAME} in {path.parent}")
+        return cls.from_json(path.read_text(), cycle=cycle)

@@ -1,0 +1,232 @@
+"""Durable multi-cycle campaigns: checkpoint every ``k`` cycles, resume after a crash.
+
+:class:`CampaignRunner` wraps a :class:`~repro.models.twin.TwinExperiment`
+(and therefore any assimilation callable, including the
+domain-decomposed :class:`~repro.filters.distributed.DistributedEnKF`
+family) and drives its resumable stepping API:
+
+* ``run(truth0, ensemble0, n_cycles)`` cycles from scratch, committing a
+  checkpoint through :class:`~repro.checkpoint.store.CheckpointStore`
+  every ``interval`` cycles and at the final cycle;
+* ``resume(n_cycles)`` finds the newest checkpoint that verifies,
+  restores the :class:`~repro.models.twin.CampaignState`, fast-forwards
+  the cycle-seed stream past the completed cycles and continues.
+
+Determinism contract (test-pinned): *crash at any point — between
+cycles or mid-checkpoint-write — followed by* ``resume()`` *yields a
+final analysis ensemble bit-identical to the uninterrupted run*, with or
+without an active :class:`~repro.faults.schedule.FaultSchedule`.  The
+three ingredients: per-cycle RNG seeds are a pure function of
+``(master_seed, cycle index)`` via the replayed root stream; the fault
+schedule is a pure function of ``(seed, site)`` and is persisted in the
+manifest (resuming under a different schedule is a typed error); and the
+ensemble/truth/free arrays round-trip losslessly as raw float64.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro.checkpoint.errors import NoCheckpointError, ScheduleMismatchError
+from repro.checkpoint.store import Checkpoint, CheckpointStore, RetentionPolicy
+from repro.data.store import EnsembleStore
+from repro.faults.policy import RetryPolicy
+from repro.faults.report import ResilienceReport
+from repro.faults.schedule import FaultSchedule
+from repro.models.twin import CampaignState, TwinExperiment, TwinResult
+from repro.util.validation import check_positive
+
+__all__ = ["CampaignRunner", "SimulatedCrash"]
+
+_DIAGNOSTIC_SERIES = ("background_rmse", "analysis_rmse", "free_rmse", "spread")
+
+
+class SimulatedCrash(RuntimeError):
+    """Raised by kill hooks to take a campaign down mid-flight (demos/tests)."""
+
+
+class CampaignRunner:
+    """Checkpointed driver for a cycling twin experiment.
+
+    Parameters
+    ----------
+    experiment:
+        The cycling harness; its ``master_seed`` seeds the replayable
+        per-cycle RNG stream.
+    directory:
+        Campaign checkpoint root (one campaign per directory).
+    interval:
+        Commit a checkpoint every this many completed cycles (the final
+        cycle is always committed so a finished campaign is inspectable).
+    retention:
+        Passed to the :class:`CheckpointStore`; ``None`` keeps everything.
+    faults:
+        Optional chaos regime.  Checkpoint reads *and* writes then run
+        through a :class:`~repro.faults.store.FaultyStore` under this
+        schedule, and the schedule is recorded in every manifest so
+        ``resume`` can verify it replays the same regime.
+    retry:
+        Transient-fault policy for checkpoint I/O.
+    config:
+        Free-form provenance recorded in each manifest (filter settings,
+        experiment name, ...).
+    """
+
+    def __init__(
+        self,
+        experiment: TwinExperiment,
+        directory: str | Path,
+        *,
+        interval: int = 1,
+        retention: RetentionPolicy | None = None,
+        faults: FaultSchedule | None = None,
+        retry: RetryPolicy | None = None,
+        config: dict | None = None,
+    ):
+        check_positive("interval", interval)
+        self.experiment = experiment
+        self.interval = int(interval)
+        self.faults = faults
+        self.config = dict(config or {})
+        self.report = ResilienceReport()
+        store_factory = None
+        if faults is not None and not faults.is_null:
+            from repro.faults.store import FaultyStore
+
+            def store_factory(d, g):
+                return FaultyStore(EnsembleStore(d, g), faults, self.report)
+
+        self.store = CheckpointStore(
+            directory,
+            retry=retry,
+            retention=retention,
+            store_factory=store_factory,
+        )
+
+    # -- fresh and resumed drives -------------------------------------------
+    def run(
+        self,
+        truth0: np.ndarray,
+        ensemble0: np.ndarray,
+        n_cycles: int,
+        track_free_run: bool = True,
+        on_cycle: Callable[[CampaignState], None] | None = None,
+    ) -> TwinResult:
+        """Run a fresh campaign with periodic checkpoints."""
+        check_positive("n_cycles", n_cycles)
+        state = self.experiment.initial_state(truth0, ensemble0, track_free_run)
+        return self._drive(state, n_cycles, on_cycle)
+
+    def resume(
+        self,
+        n_cycles: int,
+        on_cycle: Callable[[CampaignState], None] | None = None,
+    ) -> TwinResult:
+        """Continue from the newest verifiable checkpoint up to ``n_cycles``.
+
+        Completed cycles are *skipped*, not recomputed: only the seeds of
+        the finished cycles are burned from the root RNG stream, which is
+        what makes the continuation bit-identical to a run that never
+        crashed.
+        """
+        check_positive("n_cycles", n_cycles)
+        state = self.restore(self.store.load_best())
+        return self._drive(state, n_cycles, on_cycle)
+
+    def run_or_resume(
+        self,
+        truth0: np.ndarray,
+        ensemble0: np.ndarray,
+        n_cycles: int,
+        track_free_run: bool = True,
+        on_cycle: Callable[[CampaignState], None] | None = None,
+    ) -> TwinResult:
+        """Resume when any checkpoint verifies, else start fresh."""
+        try:
+            return self.resume(n_cycles, on_cycle=on_cycle)
+        except NoCheckpointError:
+            return self.run(
+                truth0, ensemble0, n_cycles, track_free_run, on_cycle=on_cycle
+            )
+
+    def _drive(
+        self,
+        state: CampaignState,
+        n_cycles: int,
+        on_cycle: Callable[[CampaignState], None] | None,
+    ) -> TwinResult:
+        seeds = self.experiment.cycle_seeds(skip=state.cycle)
+        while state.cycle < n_cycles:
+            self.experiment.run_cycle(state, next(seeds))
+            if state.cycle % self.interval == 0 or state.cycle == n_cycles:
+                self.checkpoint(state)
+            if on_cycle is not None:
+                on_cycle(state)
+        return state.result
+
+    # -- state <-> checkpoint mapping ---------------------------------------
+    def checkpoint(self, state: CampaignState) -> Path:
+        """Commit the current campaign state as one checkpoint."""
+        aux = {"truth": state.truth}
+        if state.free is not None:
+            aux["free"] = state.free
+        diagnostics = {
+            name: list(getattr(state.result, name))
+            for name in _DIAGNOSTIC_SERIES
+        }
+        return self.store.save(
+            state.cycle,
+            state.states,
+            aux=aux,
+            master_seed=self.experiment.master_seed,
+            faults=self.faults.to_dict() if self.faults is not None else None,
+            config=self.config,
+            diagnostics=diagnostics,
+        )
+
+    def restore(self, checkpoint: Checkpoint) -> CampaignState:
+        """Rebuild the in-memory campaign state from a loaded checkpoint."""
+        manifest = checkpoint.manifest
+        if manifest.master_seed != self.experiment.master_seed:
+            raise ScheduleMismatchError(
+                f"checkpoint was cut under master_seed "
+                f"{manifest.master_seed}, runner has "
+                f"{self.experiment.master_seed}"
+            )
+        self._check_schedule(manifest.faults)
+        diagnostics = manifest.diagnostics or {}
+        result = TwinResult(
+            **{
+                name: list(diagnostics.get(name, ()))
+                for name in _DIAGNOSTIC_SERIES
+            }
+        )
+        return CampaignState(
+            cycle=checkpoint.cycle,
+            truth=checkpoint.aux["truth"],
+            states=checkpoint.ensemble,
+            free=checkpoint.aux.get("free"),
+            result=result,
+        )
+
+    def _check_schedule(self, recorded: dict | None) -> None:
+        """The resumed chaos regime must be the interrupted run's, exactly."""
+        if recorded is None and self.faults is None:
+            return
+        if recorded is None or self.faults is None:
+            raise ScheduleMismatchError(
+                "manifest records "
+                + ("no fault schedule" if recorded is None else "a fault schedule")
+                + " but the runner was built with "
+                + ("one" if self.faults is not None else "none")
+            )
+        manifest_schedule = FaultSchedule.from_dict(recorded)
+        if manifest_schedule != self.faults:
+            raise ScheduleMismatchError(
+                "manifest fault schedule differs from the runner's "
+                f"(manifest fingerprint {manifest_schedule.fingerprint(64)}, "
+                f"runner {self.faults.fingerprint(64)})"
+            )

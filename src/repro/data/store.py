@@ -13,6 +13,7 @@ keeps one 2-D level per file (``h = 8``) because the numerics operate on
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import numpy as np
@@ -45,14 +46,27 @@ class EnsembleStore:
 
     # -- writing -----------------------------------------------------------
     def write_member(self, k: int, state: np.ndarray) -> Path:
-        """Write one member's flat state vector."""
+        """Write one member's flat state vector atomically.
+
+        The bytes land in a sibling ``member_*.bin.tmp`` file which is
+        fsynced and then ``os.replace``d over the real name, so a crashed
+        writer can never leave a torn member file: a reader sees either
+        the previous complete member or the new complete one, never a
+        partial write.  A stale ``.tmp`` from an earlier crash is simply
+        overwritten (and never matches the ``member_*.bin`` glob).
+        """
         state = np.asarray(state, dtype=float)
         if state.shape != (self.grid.n,):
             raise ValueError(
                 f"state must have shape ({self.grid.n},), got {state.shape}"
             )
         path = self.member_path(k)
-        state.astype(_DTYPE).tofile(path)
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "wb") as fh:
+            fh.write(state.astype(_DTYPE).tobytes())
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
         return path
 
     def write_ensemble(self, states: np.ndarray) -> list[Path]:

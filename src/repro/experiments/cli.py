@@ -5,6 +5,13 @@ Examples::
     senkf-experiments fig13          # one figure, reduced scale
     senkf-experiments all            # every figure
     senkf-experiments fig9 --full    # paper-scale run (slow)
+
+Besides figures, ``campaign`` runs a checkpointed mini reanalysis
+campaign (real numpy cycling on a small ocean) and demonstrates durable
+restart::
+
+    senkf-experiments campaign --cycles 12 --kill-at 8   # crash mid-campaign
+    senkf-experiments campaign --cycles 12 --resume      # pick it back up
 """
 
 from __future__ import annotations
@@ -17,6 +24,103 @@ from repro.experiments.registry import FIGURES, get_figure
 from repro.experiments.report import format_result
 
 
+def _campaign_problem():
+    """The CLI's fixed mini reanalysis: tiny ocean, P-EnKF numerics.
+
+    Deterministic by construction — every invocation builds the same
+    truth, ensemble and experiment, so ``--resume`` continues the exact
+    run a crashed invocation left behind.
+    """
+    import numpy as np
+
+    from repro.core import (
+        Decomposition,
+        Grid,
+        ObservationNetwork,
+        radius_to_halo,
+    )
+    from repro.filters import PEnKF
+    from repro.models import (
+        AdvectionDiffusionModel,
+        TwinExperiment,
+        correlated_ensemble,
+    )
+
+    grid = Grid(n_x=24, n_y=12, dx_km=2.5, dy_km=5.0)
+    model = AdvectionDiffusionModel(grid, u_max=1.0, kappa=0.05, dt=0.2)
+    radius_km = 6.0
+    xi, eta = radius_to_halo(radius_km, grid.dx_km, grid.dy_km)
+    decomp = Decomposition(grid, n_sdx=2, n_sdy=2, xi=xi, eta=eta)
+    network = ObservationNetwork.random(
+        grid, m=60, obs_error_std=0.2, rng=np.random.default_rng(1)
+    )
+    filt = PEnKF(radius_km=radius_km, inflation=1.05, ridge=1e-2)
+    twin = TwinExperiment(
+        model,
+        network,
+        lambda states, y, rng: filt.assimilate(
+            decomp, states, network, y, rng=rng
+        ),
+        steps_per_cycle=5,
+        master_seed=3,
+    )
+    rng = np.random.default_rng(7)
+    truth0 = correlated_ensemble(grid, 1, length_scale_km=12.0, rng=rng)[:, 0]
+    ensemble0 = correlated_ensemble(
+        grid, 16, length_scale_km=12.0, mean=np.zeros(grid.n), std=0.8, rng=rng
+    )
+    return twin, truth0, ensemble0
+
+
+def _run_campaign(args) -> int:
+    """``senkf-experiments campaign``: checkpointed cycling with restart."""
+    from repro.checkpoint import CampaignRunner, NoCheckpointError, SimulatedCrash
+
+    twin, truth0, ensemble0 = _campaign_problem()
+    runner = CampaignRunner(
+        twin,
+        args.dir,
+        interval=args.interval,
+        config={"experiment": "cli-campaign", "filter": "p-enkf"},
+    )
+    on_cycle = None
+    if args.kill_at is not None:
+        def on_cycle(state):
+            if state.cycle == args.kill_at:
+                raise SimulatedCrash(f"simulated crash after cycle {state.cycle}")
+
+    if args.resume:
+        resumed_from = runner.store.latest()
+        try:
+            result = runner.resume(args.cycles, on_cycle=on_cycle)
+        except NoCheckpointError as exc:
+            print(f"nothing to resume: {exc}", file=sys.stderr)
+            return 2
+        print(f"resumed from checkpoint at cycle {resumed_from}")
+    else:
+        try:
+            result = runner.run(
+                truth0, ensemble0, args.cycles, on_cycle=on_cycle
+            )
+        except SimulatedCrash as exc:
+            print(f"{exc}")
+            print(
+                f"checkpoints on disk: {runner.store.cycles()} "
+                f"(in {args.dir})"
+            )
+            print("rerun with `campaign --resume` to continue the campaign")
+            return 0
+
+    print(f"campaign complete: {result.n_cycles} cycles "
+          f"(checkpoints at {runner.store.cycles()})")
+    print("  cycle   background-RMSE   analysis-RMSE")
+    for k in range(0, result.n_cycles, max(1, args.interval)):
+        print(f"  {k + 1:5d}   {result.background_rmse[k]:15.3f}   "
+              f"{result.analysis_rmse[k]:13.3f}")
+    print(f"  mean analysis RMSE: {result.mean_analysis_rmse(skip=2):.4f}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="senkf-experiments",
@@ -27,7 +131,8 @@ def main(argv: list[str] | None = None) -> int:
         "figures",
         nargs="*",
         default=["all"],
-        help="figure ids (fig01 fig05 fig09 fig10 fig11 fig12 fig13), 'all', or 'scorecard'",
+        help="figure ids (fig01 fig05 fig09 fig10 fig11 fig12 fig13), "
+             "'all', 'scorecard', or 'campaign'",
     )
     parser.add_argument(
         "--full",
@@ -45,10 +150,36 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="write each figure's data as CSV + JSON into DIR",
     )
+    campaign = parser.add_argument_group("campaign (checkpointed reanalysis)")
+    campaign.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume the campaign from its newest complete checkpoint",
+    )
+    campaign.add_argument(
+        "--cycles", type=int, default=12, help="total campaign cycles"
+    )
+    campaign.add_argument(
+        "--interval", type=int, default=3, help="checkpoint every K cycles"
+    )
+    campaign.add_argument(
+        "--dir",
+        default="campaign-checkpoints",
+        help="campaign checkpoint directory",
+    )
+    campaign.add_argument(
+        "--kill-at",
+        type=int,
+        default=None,
+        metavar="CYCLE",
+        help="simulate a crash after this cycle completes",
+    )
     args = parser.parse_args(argv)
 
     config = default_config(full=args.full or None)
     names = args.figures
+    if "campaign" in names:
+        return _run_campaign(args)
     if "scorecard" in names:
         from repro.experiments.scorecard import format_scorecard, run_scorecard
 

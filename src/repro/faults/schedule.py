@@ -23,6 +23,9 @@ rank kill             a processor crashes at a given simulated time
 member read faults    the *real-file* path: the first ``k`` read attempts
                       of a member fail transiently, or the member is
                       permanently corrupt
+member write faults   the *real-file* path: the first ``k`` write attempts
+                      of a member die mid-file (a checkpoint writer torn
+                      down by a crash)
 ====================  =====================================================
 
 The zero-argument schedule (``FaultSchedule(seed)``) injects nothing and
@@ -102,6 +105,10 @@ class FaultSchedule:
     member_fault_attempts: int = 2
     #: real-file path: probability a member file is permanently corrupt
     member_corrupt_rate: float = 0.0
+    #: real-file path: probability a member's *writes* fail (a checkpoint
+    #: writer dying mid-file), and how many attempts fail before one lands
+    member_write_fault_rate: float = 0.0
+    member_write_attempts: int = 1
 
     def __post_init__(self) -> None:
         _rate("disk_fault_rate", self.disk_fault_rate)
@@ -110,6 +117,8 @@ class FaultSchedule:
         _rate("message_drop_rate", self.message_drop_rate)
         _rate("member_fault_rate", self.member_fault_rate)
         _rate("member_corrupt_rate", self.member_corrupt_rate)
+        _rate("member_write_fault_rate", self.member_write_fault_rate)
+        check_nonnegative("member_write_attempts", self.member_write_attempts)
         if self.disk_slowdown_factor < 1.0:
             raise ValueError(
                 f"disk_slowdown_factor must be >= 1, got {self.disk_slowdown_factor}"
@@ -156,6 +165,7 @@ class FaultSchedule:
             and not self.killed_ranks
             and self.member_fault_rate == 0.0
             and self.member_corrupt_rate == 0.0
+            and self.member_write_fault_rate == 0.0
         )
 
     # -- query surface ------------------------------------------------------
@@ -229,6 +239,52 @@ class FaultSchedule:
             and self._unit("member_corrupt", member) < self.member_corrupt_rate
         )
 
+    def member_write_failures(self, member: int) -> int:
+        """How many leading write attempts of a member die mid-file."""
+        if (
+            self.member_write_fault_rate > 0.0
+            and self._unit("member_write", member) < self.member_write_fault_rate
+        ):
+            return self.member_write_attempts
+        return 0
+
+    # -- serialisation ------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe dict capturing the full chaos regime.
+
+        Checkpoint manifests persist this so a resumed campaign replays
+        the *exact* fault plan of the interrupted run;
+        :meth:`from_dict` round-trips it decision-for-decision (the
+        property tests pin ``fingerprint`` equality).
+        """
+        out: dict = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name == "outages":
+                value = [
+                    {"disk_id": o.disk_id, "start": o.start, "end": o.end}
+                    for o in value
+                ]
+            elif isinstance(value, tuple):
+                value = [list(item) for item in value]
+            out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSchedule":
+        """Rebuild a schedule from :meth:`to_dict` output (or parsed JSON)."""
+        data = dict(data)
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown FaultSchedule fields: {unknown}")
+        if "outages" in data:
+            data["outages"] = tuple(
+                o if isinstance(o, DiskOutage) else DiskOutage(**o)
+                for o in data["outages"]
+            )
+        return cls(**data)
+
     # -- reproducibility ----------------------------------------------------
     def fingerprint(self, n_samples: int = 512) -> str:
         """Stable digest of the configuration plus a decision-stream sample.
@@ -244,6 +300,7 @@ class FaultSchedule:
             h.update(repr(self.disk_request(i % 7, i)).encode())
             h.update(repr(self.message_fault(i % 5, (i + 1) % 5, i % 3, i)).encode())
             h.update(struct.pack("<i", self.member_failures(i)))
+            h.update(struct.pack("<i", self.member_write_failures(i)))
             h.update(b"\x01" if self.member_corrupt(i) else b"\x00")
             h.update(b"\x01" if self.disk_available(i % 7, float(i)) else b"\x00")
         return h.hexdigest()

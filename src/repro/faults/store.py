@@ -51,6 +51,7 @@ class FaultyStore:
         self.schedule = schedule
         self.report = report if report is not None else ResilienceReport()
         self._attempts: dict[int, int] = {}
+        self._write_attempts: dict[int, int] = {}
         self._truncated: set[int] = set()
 
     # Delegated surface (what the resilient readers and plans need).
@@ -69,10 +70,39 @@ class FaultyStore:
         return self.inner.n_members()
 
     def write_member(self, k: int, state: np.ndarray) -> Path:
+        """Write one member, subject to scheduled torn-write faults.
+
+        An injected write fault emulates a writer killed mid-file under
+        the store's atomic protocol: a *partial* payload is left in the
+        ``.tmp`` sibling (never the real member file) and the attempt
+        raises :class:`TransientIOError`.  Attempts are counted per
+        member, so a retrying writer succeeds once the schedule's
+        ``member_write_attempts`` leading failures are spent.
+        """
+        attempt = self._write_attempts.get(k, 0) + 1
+        self._write_attempts[k] = attempt
+        if attempt <= self.schedule.member_write_failures(k):
+            state = np.asarray(state, dtype=float)
+            path = self.inner.member_path(k)
+            torn = state[: max(1, state.size // 2)].astype("<f8").tobytes()
+            with open(path.with_name(path.name + ".tmp"), "wb") as fh:
+                fh.write(torn)
+            self.report.disk_faults += 1
+            raise TransientIOError(
+                f"injected torn write of member {k} (attempt {attempt})"
+            )
         return self.inner.write_member(k, state)
 
     def write_ensemble(self, states: np.ndarray) -> list[Path]:
-        return self.inner.write_ensemble(states)
+        states = np.asarray(states, dtype=float)
+        if states.ndim != 2 or states.shape[0] != self.inner.grid.n:
+            raise ValueError(
+                f"ensemble must be ({self.inner.grid.n}, N), got {states.shape}"
+            )
+        # Route through write_member so scheduled write faults apply.
+        return [
+            self.write_member(k, states[:, k]) for k in range(states.shape[1])
+        ]
 
     # -- fault machinery ----------------------------------------------------
     def _truncate_on_disk(self, k: int) -> None:

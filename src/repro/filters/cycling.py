@@ -17,6 +17,14 @@ structure that makes assimilation interesting).
 This is the view a centre planning a reanalysis actually cares about:
 S-EnKF's 3x assimilation speedup translates into campaign-level savings
 that depend on the forecast/assimilation cost ratio.
+
+Durable campaigns additionally pay for checkpoints
+(``repro.checkpoint``): a checkpoint is a second bar-parallel streaming
+write of the analysis ensemble, priced by the same formula as the
+background output and amortised over the checkpoint interval
+(``checkpoint_interval=`` on ``run_penkf``/``run_senkf``);
+:meth:`ReanalysisCampaign.checkpoint_tradeoff` tabulates the resulting
+overhead/MTTF trade-off and Young's optimal interval.
 """
 
 from __future__ import annotations
@@ -62,6 +70,15 @@ class CycleCosts:
             + scenario.n_members * spec.seek_time
         )
 
+    def checkpoint_time(self, spec: MachineSpec, scenario: PerfScenario) -> float:
+        """Durable checkpoint of the analysis ensemble.
+
+        Same bytes, same bar-parallel streaming write as the background
+        output (the manifest is noise next to the member files), so the
+        same pricing applies.
+        """
+        return self.output_time(spec, scenario)
+
 
 @dataclass
 class CampaignReport:
@@ -73,11 +90,33 @@ class CampaignReport:
     forecast_time: float
     output_time: float
     assimilation_time: float
+    #: one checkpoint commit (s); amortised over ``checkpoint_interval``
+    checkpoint_time: float = 0.0
+    #: cycles between checkpoints; None prices a checkpoint-free campaign
+    checkpoint_interval: int | None = None
     extra: dict = field(default_factory=dict)
 
     @property
+    def checkpoint_time_per_cycle(self) -> float:
+        """Amortised checkpoint cost folded into each cycle."""
+        if self.checkpoint_interval is None:
+            return 0.0
+        return self.checkpoint_time / self.checkpoint_interval
+
+    @property
     def cycle_time(self) -> float:
-        return self.forecast_time + self.output_time + self.assimilation_time
+        return (
+            self.forecast_time
+            + self.output_time
+            + self.assimilation_time
+            + self.checkpoint_time_per_cycle
+        )
+
+    @property
+    def checkpoint_overhead(self) -> float:
+        """Amortised checkpoint cost as a fraction of the checkpoint-free cycle."""
+        base = self.forecast_time + self.output_time + self.assimilation_time
+        return self.checkpoint_time_per_cycle / base if base else 0.0
 
     @property
     def total_time(self) -> float:
@@ -104,8 +143,21 @@ class ReanalysisCampaign:
         self.costs = costs if costs is not None else CycleCosts()
         self.epsilon = epsilon
 
+    def _checkpoint_fields(self, checkpoint_interval: int | None) -> dict:
+        if checkpoint_interval is None:
+            return {}
+        check_positive("checkpoint_interval", checkpoint_interval)
+        return {
+            "checkpoint_time": self.costs.checkpoint_time(self.spec, self.scenario),
+            "checkpoint_interval": int(checkpoint_interval),
+        }
+
     def run_penkf(
-        self, n_sdx: int, n_sdy: int, n_cycles: int
+        self,
+        n_sdx: int,
+        n_sdy: int,
+        n_cycles: int,
+        checkpoint_interval: int | None = None,
     ) -> CampaignReport:
         """Campaign with P-EnKF assimilation (cycles are identical, so the
         assimilation is simulated once and amortised)."""
@@ -119,9 +171,15 @@ class ReanalysisCampaign:
             forecast_time=self.costs.forecast_time(self.scenario, n_p),
             output_time=self.costs.output_time(self.spec, self.scenario),
             assimilation_time=report.total_time,
+            **self._checkpoint_fields(checkpoint_interval),
         )
 
-    def run_senkf(self, n_p: int, n_cycles: int) -> CampaignReport:
+    def run_senkf(
+        self,
+        n_p: int,
+        n_cycles: int,
+        checkpoint_interval: int | None = None,
+    ) -> CampaignReport:
         """Campaign with auto-tuned S-EnKF assimilation."""
         check_positive("n_cycles", n_cycles)
         report, tuned = simulate_senkf_autotuned(
@@ -140,7 +198,36 @@ class ReanalysisCampaign:
                 "n_layers": tuned.choice.n_layers,
                 "n_cg": tuned.choice.n_cg,
             },
+            **self._checkpoint_fields(checkpoint_interval),
         )
+
+    def checkpoint_tradeoff(
+        self,
+        report: CampaignReport,
+        mttf: float,
+        intervals: tuple[int, ...] = (1, 2, 5, 10, 20, 50),
+    ) -> dict:
+        """Overhead/MTTF trade-off for checkpointing this campaign.
+
+        Returns ``{"rows": [...], "optimal_interval": k*, "checkpoint_time": C}``
+        where each row prices one candidate interval via
+        :func:`repro.checkpoint.costs.expected_overhead` and ``k*`` is
+        Young's first-order optimum in cycles for the report's
+        (checkpoint-free) cycle time under the given mean time to failure.
+        """
+        from repro.checkpoint.costs import tradeoff_table, young_interval
+
+        base = (
+            report.forecast_time
+            + report.output_time
+            + report.assimilation_time
+        )
+        c = self.costs.checkpoint_time(self.spec, self.scenario)
+        return {
+            "rows": tradeoff_table(base, c, mttf, intervals),
+            "optimal_interval": young_interval(base, c, mttf),
+            "checkpoint_time": c,
+        }
 
     def speedup(
         self, n_sdx: int, n_sdy: int, n_cycles: int

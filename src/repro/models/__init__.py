@@ -19,12 +19,13 @@ from repro.models.grf import gaussian_random_field, correlated_ensemble
 from repro.models.advection import AdvectionDiffusionModel
 from repro.models.lorenz96 import Lorenz96
 from repro.models.shallow_water import ShallowWaterModel
-from repro.models.twin import TwinExperiment, TwinResult
+from repro.models.twin import CampaignState, TwinExperiment, TwinResult
 
 __all__ = [
     "AdvectionDiffusionModel",
     "Lorenz96",
     "ShallowWaterModel",
+    "CampaignState",
     "TwinExperiment",
     "TwinResult",
     "correlated_ensemble",

@@ -13,7 +13,7 @@ model, and the filter is a callable ``(states, y, cycle_rng) -> states``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Protocol
+from typing import Callable, Iterator, Protocol
 
 import numpy as np
 
@@ -56,6 +56,25 @@ class TwinResult:
         return float(np.mean(vals))
 
 
+@dataclass
+class CampaignState:
+    """Mutable snapshot of a cycling campaign between two cycles.
+
+    Everything the next cycle depends on lives here — the hidden truth,
+    the analysis ensemble, the optional free-running mean and the
+    per-cycle diagnostics — plus the number of completed cycles.  This is
+    exactly the object ``repro.checkpoint`` persists: restoring a
+    ``CampaignState`` and replaying the cycle-seed stream from
+    ``state.cycle`` reproduces an uninterrupted run bit-for-bit.
+    """
+
+    cycle: int
+    truth: np.ndarray
+    states: np.ndarray
+    free: np.ndarray | None
+    result: TwinResult
+
+
 class TwinExperiment:
     """Cycle a filter against a hidden truth.
 
@@ -88,6 +107,61 @@ class TwinExperiment:
         self.steps_per_cycle = int(steps_per_cycle)
         self.master_seed = int(master_seed)
 
+    def initial_state(
+        self,
+        truth0: np.ndarray,
+        ensemble0: np.ndarray,
+        track_free_run: bool = True,
+    ) -> CampaignState:
+        """Validate and copy the initial conditions into a cycle-0 state."""
+        truth = np.asarray(truth0, dtype=float).copy()
+        states = np.asarray(ensemble0, dtype=float).copy()
+        if states.ndim != 2 or states.shape[0] != truth.shape[0]:
+            raise ValueError(
+                f"ensemble shape {states.shape} incompatible with truth "
+                f"{truth.shape}"
+            )
+        free = states.mean(axis=1).copy() if track_free_run else None
+        return CampaignState(
+            cycle=0, truth=truth, states=states, free=free, result=TwinResult()
+        )
+
+    def cycle_seeds(self, skip: int = 0) -> Iterator[int]:
+        """Stream of per-cycle RNG seeds, fast-forwarded past ``skip`` cycles.
+
+        The stream is a pure function of ``master_seed``: recreating it
+        and burning ``skip`` draws yields exactly the seeds an
+        uninterrupted run would use from cycle ``skip`` onwards — the
+        determinism contract checkpoint resume relies on.
+        """
+        if skip < 0:
+            raise ValueError(f"skip must be >= 0, got {skip}")
+        rng_root = spawn_rng(self.master_seed)
+        for _ in range(skip):
+            rng_root.integers(2**31)
+        while True:
+            yield int(rng_root.integers(2**31))
+
+    def run_cycle(self, state: CampaignState, cycle_seed: int) -> CampaignState:
+        """Advance one forecast/observe/analyse cycle in place."""
+        truth = self.model.step(state.truth, self.steps_per_cycle)
+        states = self.model.step_ensemble(state.states, self.steps_per_cycle)
+        result = state.result
+        if state.free is not None:
+            state.free = self.model.step(state.free, self.steps_per_cycle)
+            result.free_rmse.append(rmse(state.free, truth))
+
+        cycle_rng = spawn_rng(cycle_seed)
+        y = self.network.observe(truth, rng=cycle_rng)
+        result.background_rmse.append(rmse(states.mean(axis=1), truth))
+        states = self.assimilate(states, y, cycle_rng)
+        result.analysis_rmse.append(rmse(states.mean(axis=1), truth))
+        result.spread.append(ensemble_spread(states))
+        state.truth = truth
+        state.states = states
+        state.cycle += 1
+        return state
+
     def run(
         self,
         truth0: np.ndarray,
@@ -97,30 +171,8 @@ class TwinExperiment:
     ) -> TwinResult:
         """Run ``n_cycles`` forecast/analysis cycles; return diagnostics."""
         check_positive("n_cycles", n_cycles)
-        truth = np.asarray(truth0, dtype=float).copy()
-        states = np.asarray(ensemble0, dtype=float).copy()
-        if states.ndim != 2 or states.shape[0] != truth.shape[0]:
-            raise ValueError(
-                f"ensemble shape {states.shape} incompatible with truth "
-                f"{truth.shape}"
-            )
-        free = states.mean(axis=1).copy() if track_free_run else None
-
-        result = TwinResult()
-        rng_root = spawn_rng(self.master_seed)
-        for cycle in range(n_cycles):
-            # Forecast.
-            truth = self.model.step(truth, self.steps_per_cycle)
-            states = self.model.step_ensemble(states, self.steps_per_cycle)
-            if free is not None:
-                free = self.model.step(free, self.steps_per_cycle)
-                result.free_rmse.append(rmse(free, truth))
-
-            # Observe and analyse.
-            cycle_rng = spawn_rng(rng_root.integers(2**31))
-            y = self.network.observe(truth, rng=cycle_rng)
-            result.background_rmse.append(rmse(states.mean(axis=1), truth))
-            states = self.assimilate(states, y, cycle_rng)
-            result.analysis_rmse.append(rmse(states.mean(axis=1), truth))
-            result.spread.append(ensemble_spread(states))
-        return result
+        state = self.initial_state(truth0, ensemble0, track_free_run)
+        seeds = self.cycle_seeds()
+        for _ in range(n_cycles):
+            self.run_cycle(state, next(seeds))
+        return state.result

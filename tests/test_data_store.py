@@ -114,3 +114,38 @@ class TestReadPlanFromDisk:
                 got = np.sort(staged[rank][f])
                 want = np.sort(states[sd.expansion_flat, f])
                 assert np.allclose(got, want)
+
+
+class TestAtomicWrites:
+    """write_member stages + fsyncs + os.replace: no torn member is visible."""
+
+    def test_crash_before_commit_keeps_previous_member(self, store, monkeypatch):
+        import repro.data.store as store_mod
+
+        original = np.arange(float(store.grid.n))
+        store.write_member(0, original)
+
+        def crash(src, dst):
+            raise OSError("injected crash between stage and commit")
+
+        monkeypatch.setattr(store_mod.os, "replace", crash)
+        with pytest.raises(OSError):
+            store.write_member(0, original + 1.0)
+        monkeypatch.undo()
+        # The staged bytes never replaced the committed file: a reader
+        # still sees the previous complete member, bit for bit.
+        assert np.array_equal(store.read_member(0), original)
+
+    def test_staging_litter_invisible_to_readers(self, filled):
+        store, states = filled
+        litter = store.member_path(2).with_name("member_00002.bin.tmp")
+        litter.write_bytes(b"torn half-write")
+        assert store.n_members() == 5
+        assert np.allclose(store.read_ensemble(), states)
+
+    def test_commit_overwrites_stale_staging(self, store):
+        stale = store.member_path(0).with_name("member_00000.bin.tmp")
+        stale.write_bytes(b"stale staging from an earlier crash")
+        state = np.arange(float(store.grid.n))
+        store.write_member(0, state)
+        assert np.array_equal(store.read_member(0), state)

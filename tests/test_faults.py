@@ -598,3 +598,74 @@ class TestPEnKFChaos:
         assert res.disk_faults > 0
         assert res.failed_ops == 0
         assert not res.members_dropped
+
+
+# ---------------------------------------------------------------------------
+# FaultSchedule serialisation (checkpoint manifests persist schedules as JSON)
+# ---------------------------------------------------------------------------
+_rates = st.floats(0.0, 1.0, allow_nan=False)
+_times = st.floats(0.0, 10.0, allow_nan=False)
+
+
+def _schedules():
+    """Arbitrary valid schedules, every field exercised."""
+    outages = st.lists(
+        st.tuples(st.integers(0, 7), _times, st.floats(0.5, 5.0, allow_nan=False)),
+        max_size=3,
+    ).map(lambda xs: tuple(DiskOutage(d, s, s + w) for d, s, w in xs))
+    rank_factors = st.lists(
+        st.tuples(st.integers(0, 63), st.floats(1.0, 8.0, allow_nan=False)),
+        max_size=3,
+    ).map(tuple)
+    rank_times = st.lists(
+        st.tuples(st.integers(0, 63), _times), max_size=3
+    ).map(tuple)
+    return st.builds(
+        FaultSchedule,
+        seed=SEEDS,
+        disk_fault_rate=_rates,
+        disk_slowdown_rate=_rates,
+        disk_slowdown_factor=st.floats(1.0, 16.0, allow_nan=False),
+        outages=outages,
+        stragglers=rank_factors,
+        message_delay_rate=_rates,
+        message_delay=_times,
+        message_drop_rate=_rates,
+        killed_ranks=rank_times,
+        member_fault_rate=_rates,
+        member_fault_attempts=st.integers(0, 5),
+        member_corrupt_rate=_rates,
+        member_write_fault_rate=_rates,
+        member_write_attempts=st.integers(0, 5),
+    )
+
+
+class TestScheduleSerialisation:
+    @settings(max_examples=60, deadline=None)
+    @given(schedule=_schedules())
+    def test_json_roundtrip_is_decision_identical(self, schedule):
+        """to_dict -> JSON -> from_dict rebuilds the *same* schedule.
+
+        Equality of the frozen dataclass covers every field; equality of
+        the fingerprints covers the actual fault *decisions* (the
+        fingerprint hashes sampled draws from every injection site), so a
+        resumed campaign replays fault-for-fault what the manifest froze.
+        """
+        import json
+
+        wire = json.loads(json.dumps(schedule.to_dict()))
+        rebuilt = FaultSchedule.from_dict(wire)
+        assert rebuilt == schedule
+        assert rebuilt.fingerprint() == schedule.fingerprint()
+
+    @settings(max_examples=20, deadline=None)
+    @given(schedule=_schedules())
+    def test_dict_survives_double_roundtrip(self, schedule):
+        once = FaultSchedule.from_dict(schedule.to_dict())
+        assert once.to_dict() == schedule.to_dict()
+
+    def test_from_dict_rejects_unknown_fields(self):
+        data = FaultSchedule(1).to_dict()
+        data["surprise"] = 1.0
+        with pytest.raises(ValueError):
+            FaultSchedule.from_dict(data)
