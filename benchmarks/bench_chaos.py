@@ -147,7 +147,7 @@ def test_chaos_sweep():
     assert len(rows) == 7
 
 
-def test_chaos_bench(benchmark):
+def test_chaos_bench(benchmark, bench_telemetry):
     """pytest-benchmark entry used by the bench suite."""
     rows, clean = benchmark.pedantic(
         run_chaos_sweep, kwargs=dict(smoke=True), rounds=1, iterations=1

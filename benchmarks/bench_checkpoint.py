@@ -194,7 +194,7 @@ def test_checkpoint_resume():
     assert stats["skipped"] > 0
 
 
-def test_checkpoint_bench(benchmark):
+def test_checkpoint_bench(benchmark, bench_telemetry):
     """pytest-benchmark entry used by the bench suite."""
     stats = benchmark.pedantic(run_resume_check, rounds=1, iterations=1)
     report, tradeoff = run_overhead_check()

@@ -25,6 +25,7 @@ ensemble/truth/free arrays round-trip losslessly as raw float64.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from pathlib import Path
 from typing import Callable
 
@@ -37,6 +38,9 @@ from repro.faults.policy import RetryPolicy
 from repro.faults.report import ResilienceReport
 from repro.faults.schedule import FaultSchedule
 from repro.models.twin import CampaignState, TwinExperiment, TwinResult
+from repro.telemetry.metrics import get_metrics
+from repro.telemetry.report import RunReport
+from repro.telemetry.tracer import Tracer, get_tracer, use_tracer
 from repro.util.validation import check_positive
 
 __all__ = ["CampaignRunner", "SimulatedCrash"]
@@ -73,6 +77,13 @@ class CampaignRunner:
     config:
         Free-form provenance recorded in each manifest (filter settings,
         experiment name, ...).
+    tracer:
+        Optional :class:`~repro.telemetry.tracer.Tracer`.  When given it
+        is installed as the process-global tracer for the duration of
+        ``run``/``resume`` so every instrumented layer underneath
+        (stores, filters, fault retries, checkpoint commits) records
+        into one capture; when omitted the ambient global tracer (null
+        by default) applies.
     """
 
     def __init__(
@@ -85,12 +96,14 @@ class CampaignRunner:
         faults: FaultSchedule | None = None,
         retry: RetryPolicy | None = None,
         config: dict | None = None,
+        tracer: Tracer | None = None,
     ):
         check_positive("interval", interval)
         self.experiment = experiment
         self.interval = int(interval)
         self.faults = faults
         self.config = dict(config or {})
+        self.tracer = tracer
         self.report = ResilienceReport()
         store_factory = None
         if faults is not None and not faults.is_null:
@@ -133,7 +146,9 @@ class CampaignRunner:
         crashed.
         """
         check_positive("n_cycles", n_cycles)
-        state = self.restore(self.store.load_best())
+        with use_tracer(self.tracer) if self.tracer is not None \
+                else nullcontext():
+            state = self.restore(self.store.load_best())
         return self._drive(state, n_cycles, on_cycle)
 
     def run_or_resume(
@@ -158,13 +173,23 @@ class CampaignRunner:
         n_cycles: int,
         on_cycle: Callable[[CampaignState], None] | None,
     ) -> TwinResult:
-        seeds = self.experiment.cycle_seeds(skip=state.cycle)
-        while state.cycle < n_cycles:
-            self.experiment.run_cycle(state, next(seeds))
-            if state.cycle % self.interval == 0 or state.cycle == n_cycles:
-                self.checkpoint(state)
-            if on_cycle is not None:
-                on_cycle(state)
+        with use_tracer(self.tracer) if self.tracer is not None \
+                else nullcontext():
+            tracer = get_tracer()
+            with tracer.span(
+                "campaign.drive", category="cycle",
+                from_cycle=state.cycle, n_cycles=n_cycles,
+            ):
+                seeds = self.experiment.cycle_seeds(skip=state.cycle)
+                while state.cycle < n_cycles:
+                    self.experiment.run_cycle(state, next(seeds))
+                    if (
+                        state.cycle % self.interval == 0
+                        or state.cycle == n_cycles
+                    ):
+                        self.checkpoint(state)
+                    if on_cycle is not None:
+                        on_cycle(state)
         return state.result
 
     # -- state <-> checkpoint mapping ---------------------------------------
@@ -210,6 +235,48 @@ class CampaignRunner:
             states=checkpoint.ensemble,
             free=checkpoint.aux.get("free"),
             result=result,
+        )
+
+    # -- telemetry artifact ---------------------------------------------------
+    def run_report(
+        self,
+        result: TwinResult | None = None,
+        notes: list[str] | None = None,
+    ) -> RunReport:
+        """Roll the campaign's telemetry into a versioned :class:`RunReport`.
+
+        Combines the runner's provenance (config, seeds, fault-schedule
+        fingerprint), the :class:`ResilienceReport` counters, the
+        per-cycle diagnostic series of ``result`` (when given), the
+        active capture's per-category phase totals and the global
+        metrics snapshot.  Call after ``run``/``resume`` with the same
+        tracer still installed (or injected via ``tracer=``).
+        """
+        tracer = self.tracer if self.tracer is not None else get_tracer()
+        seeds: dict = {"master_seed": self.experiment.master_seed}
+        if self.faults is not None:
+            seeds["fault_seed"] = self.faults.seed
+            seeds["fault_fingerprint"] = self.faults.fingerprint(64)
+        diagnostics: dict[str, list[float]] = {}
+        n_cycles = 0
+        if result is not None:
+            n_cycles = result.n_cycles
+            for name in _DIAGNOSTIC_SERIES:
+                series = list(getattr(result, name))
+                if series:
+                    diagnostics[name] = [float(v) for v in series]
+        return RunReport(
+            kind="twin-campaign",
+            config=dict(self.config),
+            seeds=seeds,
+            n_cycles=n_cycles,
+            fault_counts=self.report.summary(),
+            phase_totals=(
+                tracer.phase_totals() if tracer.enabled else {}
+            ),
+            metrics=get_metrics().snapshot() if tracer.enabled else {},
+            diagnostics=diagnostics,
+            notes=list(notes or []),
         )
 
     def _check_schedule(self, recorded: dict | None) -> None:

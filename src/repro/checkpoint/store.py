@@ -51,6 +51,8 @@ from repro.faults.errors import (
     MemberUnrecoverableError,
 )
 from repro.faults.policy import RetryPolicy
+from repro.telemetry.metrics import get_metrics
+from repro.telemetry.tracer import get_tracer
 from repro.util.validation import check_positive
 
 __all__ = ["Checkpoint", "CheckpointStore", "RetentionPolicy"]
@@ -183,16 +185,25 @@ class CheckpointStore:
     # -- writing ------------------------------------------------------------
     def _retrying(self, operation):
         """Run ``operation()`` under the store's transient-fault policy."""
+        tracer = get_tracer()
         attempt = 0
         while True:
+            t0 = tracer.now()
             try:
                 return operation()
             except CorruptMemberError:
                 raise  # permanent: same bad bytes on every retry
-            except OSError:
+            except OSError as exc:
                 if not self.retry.should_retry(attempt):
                     raise
                 attempt += 1
+                if tracer.enabled:
+                    tracer.record(
+                        "fault.retry", t0, tracer.now(), category="fault",
+                        site="checkpoint", attempt=attempt,
+                        error=type(exc).__name__,
+                    )
+                    get_metrics().counter("fault.retries").inc()
 
     def save(
         self,
@@ -220,44 +231,59 @@ class CheckpointStore:
             return final
         aux = dict(aux or {})
 
-        tmp = self._tmp_dir(cycle)
-        if tmp.exists():
-            shutil.rmtree(tmp)  # stale staging from an earlier crash
+        tracer = get_tracer()
         n_state, n_members = ensemble.shape
-        grid = Grid(n_x=n_state, n_y=1)
-        members = self.store_factory(tmp, grid)
-        member_sha: dict[str, str] = {}
-        for k in range(n_members):
-            self._retrying(lambda k=k: members.write_member(k, ensemble[:, k]))
-            member_sha[f"{k:05d}"] = sha256_file(members.member_path(k))
-        aux_sha: dict[str, str] = {}
-        for name, values in sorted(aux.items()):
-            path = tmp / f"aux_{name}.bin"
-            _write_array_atomic(path, values)
-            aux_sha[name] = sha256_file(path)
+        with tracer.span(
+            "checkpoint.save", category="checkpoint",
+            cycle=int(cycle), n_members=n_members,
+        ):
+            tmp = self._tmp_dir(cycle)
+            if tmp.exists():
+                shutil.rmtree(tmp)  # stale staging from an earlier crash
+            grid = Grid(n_x=n_state, n_y=1)
+            members = self.store_factory(tmp, grid)
+            member_sha: dict[str, str] = {}
+            with tracer.span("checkpoint.stage", category="checkpoint"):
+                for k in range(n_members):
+                    self._retrying(
+                        lambda k=k: members.write_member(k, ensemble[:, k])
+                    )
+                    member_sha[f"{k:05d}"] = sha256_file(members.member_path(k))
+                aux_sha: dict[str, str] = {}
+                for name, values in sorted(aux.items()):
+                    path = tmp / f"aux_{name}.bin"
+                    _write_array_atomic(path, values)
+                    aux_sha[name] = sha256_file(path)
 
-        manifest = CheckpointManifest(
-            schema_version=SCHEMA_VERSION,
-            cycle=int(cycle),
-            master_seed=int(master_seed),
-            n_state=int(n_state),
-            n_members=int(n_members),
-            member_sha256=member_sha,
-            aux_sha256=aux_sha,
-            faults=faults,
-            config=dict(config or {}),
-            diagnostics=dict(diagnostics or {}),
-        )
-        manifest_tmp = tmp / (MANIFEST_NAME + ".tmp")
-        with open(manifest_tmp, "w") as fh:
-            fh.write(manifest.to_json())
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(manifest_tmp, tmp / MANIFEST_NAME)  # written last
-        _fsync_dir(tmp)
-        os.rename(tmp, final)  # the commit point
-        _fsync_dir(self.directory)
-        self.gc()
+            manifest = CheckpointManifest(
+                schema_version=SCHEMA_VERSION,
+                cycle=int(cycle),
+                master_seed=int(master_seed),
+                n_state=int(n_state),
+                n_members=int(n_members),
+                member_sha256=member_sha,
+                aux_sha256=aux_sha,
+                faults=faults,
+                config=dict(config or {}),
+                diagnostics=dict(diagnostics or {}),
+            )
+            with tracer.span("checkpoint.commit", category="checkpoint"):
+                manifest_tmp = tmp / (MANIFEST_NAME + ".tmp")
+                with open(manifest_tmp, "w") as fh:
+                    fh.write(manifest.to_json())
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                os.replace(manifest_tmp, tmp / MANIFEST_NAME)  # written last
+                _fsync_dir(tmp)
+                os.rename(tmp, final)  # the commit point
+                _fsync_dir(self.directory)
+            if tracer.enabled:
+                metrics = get_metrics()
+                metrics.counter("checkpoint.commits").inc()
+                metrics.counter("checkpoint.bytes_committed").inc(
+                    ensemble.nbytes
+                )
+            self.gc()
         return final
 
     # -- reading ------------------------------------------------------------
@@ -273,43 +299,55 @@ class CheckpointStore:
         final = self.cycle_dir(cycle)
         if not final.exists():
             raise NoCheckpointError(f"no committed checkpoint for cycle {cycle}")
-        manifest = CheckpointManifest.read(final / MANIFEST_NAME, cycle=cycle)
-        grid = Grid(n_x=manifest.n_state, n_y=1)
-        members = self.store_factory(final, grid)
-        columns = []
-        for k in range(manifest.n_members):
-            try:
-                columns.append(
-                    self._retrying(lambda k=k: members.read_member(k))
-                )
-            except CorruptMemberError:
-                raise
-            except OSError as exc:
-                raise MemberUnrecoverableError(k, cause=exc) from exc
-            recorded = manifest.member_sha256.get(f"{k:05d}")
-            actual = sha256_file(members.member_path(k))
-            if recorded != actual:
-                raise CorruptMemberError(
-                    k,
-                    f"checksum mismatch in {final.name}: "
-                    f"manifest {recorded}, file {actual}",
-                )
-        aux: dict[str, np.ndarray] = {}
-        for name, recorded in manifest.aux_sha256.items():
-            path = final / f"aux_{name}.bin"
-            if not path.exists():
-                raise CorruptCheckpointError(cycle, f"missing aux array {name!r}")
-            if sha256_file(path) != recorded:
-                raise CorruptCheckpointError(
-                    cycle, f"aux array {name!r} checksum mismatch"
-                )
-            aux[name] = np.fromfile(path, dtype=_DTYPE).astype(float)
-        ensemble = np.column_stack(columns) if columns else np.empty(
-            (manifest.n_state, 0)
-        )
-        return Checkpoint(
-            cycle=cycle, manifest=manifest, ensemble=ensemble, aux=aux
-        )
+        tracer = get_tracer()
+        with tracer.span(
+            "checkpoint.load", category="checkpoint", cycle=int(cycle)
+        ):
+            manifest = CheckpointManifest.read(final / MANIFEST_NAME, cycle=cycle)
+            grid = Grid(n_x=manifest.n_state, n_y=1)
+            members = self.store_factory(final, grid)
+            columns = []
+            with tracer.span(
+                "checkpoint.verify", category="checkpoint",
+                n_members=manifest.n_members,
+            ):
+                for k in range(manifest.n_members):
+                    try:
+                        columns.append(
+                            self._retrying(lambda k=k: members.read_member(k))
+                        )
+                    except CorruptMemberError:
+                        raise
+                    except OSError as exc:
+                        raise MemberUnrecoverableError(k, cause=exc) from exc
+                    recorded = manifest.member_sha256.get(f"{k:05d}")
+                    actual = sha256_file(members.member_path(k))
+                    if recorded != actual:
+                        raise CorruptMemberError(
+                            k,
+                            f"checksum mismatch in {final.name}: "
+                            f"manifest {recorded}, file {actual}",
+                        )
+                aux: dict[str, np.ndarray] = {}
+                for name, recorded in manifest.aux_sha256.items():
+                    path = final / f"aux_{name}.bin"
+                    if not path.exists():
+                        raise CorruptCheckpointError(
+                            cycle, f"missing aux array {name!r}"
+                        )
+                    if sha256_file(path) != recorded:
+                        raise CorruptCheckpointError(
+                            cycle, f"aux array {name!r} checksum mismatch"
+                        )
+                    aux[name] = np.fromfile(path, dtype=_DTYPE).astype(float)
+            if tracer.enabled:
+                get_metrics().counter("checkpoint.loads").inc()
+            ensemble = np.column_stack(columns) if columns else np.empty(
+                (manifest.n_state, 0)
+            )
+            return Checkpoint(
+                cycle=cycle, manifest=manifest, ensemble=ensemble, aux=aux
+            )
 
     def load_best(self) -> Checkpoint:
         """Newest checkpoint that verifies, walking past corrupt ones.
@@ -327,15 +365,31 @@ class CheckpointStore:
         quarantine — the bytes on disk may be intact and only the reads
         transiently faulty.
         """
+        tracer = get_tracer()
         failures: list[str] = []
         for cycle in reversed(self.cycles()):
+            t0 = tracer.now()
             try:
                 return self.load(cycle)
             except (CorruptCheckpointError, CorruptMemberError) as exc:
                 failures.append(f"cycle {cycle}: {exc}")
+                if tracer.enabled:
+                    tracer.record(
+                        "checkpoint.failover", t0, tracer.now(),
+                        category="checkpoint", cycle=int(cycle),
+                        error=type(exc).__name__, quarantined=True,
+                    )
+                    get_metrics().counter("checkpoint.failovers").inc()
                 self._quarantine(cycle)
             except MemberUnrecoverableError as exc:
                 failures.append(f"cycle {cycle}: {exc}")
+                if tracer.enabled:
+                    tracer.record(
+                        "checkpoint.failover", t0, tracer.now(),
+                        category="checkpoint", cycle=int(cycle),
+                        error=type(exc).__name__, quarantined=False,
+                    )
+                    get_metrics().counter("checkpoint.failovers").inc()
         detail = "; ".join(failures) if failures else "store is empty"
         raise NoCheckpointError(
             f"no loadable checkpoint in {self.directory} ({detail})"

@@ -22,6 +22,8 @@ from repro.core.grid import Grid
 from repro.faults.errors import CorruptMemberError
 from repro.io.layout import FileLayout
 from repro.io.plan import ReadPlan
+from repro.telemetry.metrics import get_metrics
+from repro.telemetry.tracer import get_tracer
 
 _DTYPE = np.dtype("<f8")
 
@@ -60,6 +62,20 @@ class EnsembleStore:
             raise ValueError(
                 f"state must have shape ({self.grid.n},), got {state.shape}"
             )
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return self._write_member(k, state)
+        nbytes = state.size * _DTYPE.itemsize
+        with tracer.span(
+            "store.write_member", category="io", member=k, bytes=nbytes
+        ):
+            path = self._write_member(k, state)
+        metrics = get_metrics()
+        metrics.counter("io.members_written").inc()
+        metrics.counter("io.bytes_written").inc(nbytes)
+        return path
+
+    def _write_member(self, k: int, state: np.ndarray) -> Path:
         path = self.member_path(k)
         tmp = path.with_name(path.name + ".tmp")
         with open(tmp, "wb") as fh:
@@ -93,6 +109,18 @@ class EnsembleStore:
         values — a truncated or overgrown member must never silently become
         a wrong-shape ensemble column.
         """
+        tracer = get_tracer()
+        if not tracer.enabled:  # hot path: no span/dict allocations
+            return self._read_member(k)
+        with tracer.span("store.read_member", category="io", member=k) as span:
+            data = self._read_member(k)
+            span.set(bytes=data.size * _DTYPE.itemsize)
+        metrics = get_metrics()
+        metrics.counter("io.members_read").inc()
+        metrics.counter("io.bytes_read").inc(data.size * _DTYPE.itemsize)
+        return data
+
+    def _read_member(self, k: int) -> np.ndarray:
         path = self.member_path(k)
         if not path.exists():
             raise FileNotFoundError(path)
@@ -124,6 +152,23 @@ class EnsembleStore:
         :class:`~repro.faults.errors.CorruptMemberError` instead of
         yielding a silently wrong-shaped array.
         """
+        tracer = get_tracer()
+        if not tracer.enabled:  # hot path: no span/dict allocations
+            return self._read_extents(k, extents)
+        with tracer.span(
+            "store.read_extents", category="io", member=k, seeks=len(extents)
+        ) as span:
+            data = self._read_extents(k, extents)
+            span.set(bytes=data.size * _DTYPE.itemsize)
+        metrics = get_metrics()
+        metrics.counter("io.extent_reads").inc()
+        metrics.counter("io.seeks").inc(len(extents))
+        metrics.counter("io.bytes_read").inc(data.size * _DTYPE.itemsize)
+        return data
+
+    def _read_extents(
+        self, k: int, extents: list[tuple[int, int]]
+    ) -> np.ndarray:
         path = self.member_path(k)
         if not path.exists():
             raise FileNotFoundError(path)
@@ -163,12 +208,20 @@ def read_plan_from_disk(
     ``seek``/``read`` calls against the store — end-to-end proof that the
     plans' extents are valid on the real layout.
     """
+    tracer = get_tracer()
     out: dict[int, dict[int, np.ndarray]] = {}
-    for rank, rank_plan in plan.per_rank.items():
-        per_file: dict[int, np.ndarray] = {}
-        for op in rank_plan.reads:
-            per_file[op.file_id] = store.read_extents(
-                op.file_id, list(op.extents)
-            )
-        out[rank] = per_file
+    with tracer.span(
+        "io.read_plan", category="io", n_ranks=len(plan.per_rank)
+    ):
+        for rank, rank_plan in plan.per_rank.items():
+            per_file: dict[int, np.ndarray] = {}
+            with tracer.span(
+                "io.read_plan.rank", category="io", rank=rank,
+                n_ops=len(rank_plan.reads),
+            ):
+                for op in rank_plan.reads:
+                    per_file[op.file_id] = store.read_extents(
+                        op.file_id, list(op.extents)
+                    )
+            out[rank] = per_file
     return out

@@ -116,6 +116,50 @@ def bar_chart(
     return "\n".join(lines)
 
 
+def gantt_chart(
+    rows: list[tuple[str, float, float]],
+    width: int = 60,
+    title: str = "",
+    t0: float | None = None,
+    t1: float | None = None,
+) -> str:
+    """Horizontal timeline: one labelled ``[start, end)`` bar per row.
+
+    Rows are drawn in the order given (callers encode nesting by
+    indenting labels); the shared time axis spans ``[t0, t1]``
+    (defaulting to the extremes of the rows).  Used by
+    :mod:`repro.telemetry.ascii` to render span trees and phase
+    timelines in the terminal.
+    """
+    if not rows:
+        raise ValueError("need at least one row")
+    lo = min(start for _, start, _ in rows) if t0 is None else t0
+    hi = max(end for _, _, end in rows) if t1 is None else t1
+    if hi <= lo:
+        hi = lo + 1.0
+    scale = width / (hi - lo)
+    label_width = max(len(label) for label, _, _ in rows)
+    lines = [title] if title else []
+    for label, start, end in rows:
+        col0 = int((max(start, lo) - lo) * scale)
+        col1 = int(math.ceil((min(end, hi) - lo) * scale))
+        col1 = max(col1, col0 + 1)  # zero-width work stays visible
+        bar = " " * col0 + "█" * (col1 - col0)
+        lines.append(
+            f"{label.ljust(label_width)} |{bar.ljust(width)}| "
+            f"{_format_value(end - start)}"
+        )
+    axis = " " * label_width + " +" + "-" * width + "+"
+    lines.append(axis)
+    lines.append(
+        " " * label_width
+        + "  "
+        + _format_value(lo)
+        + _format_value(hi).rjust(width - len(_format_value(lo)))
+    )
+    return "\n".join(lines)
+
+
 def plot_figure(result: FigureResult, width: int = 60) -> str:
     """Figure-specific terminal rendering of a regenerated result."""
     name = result.name

@@ -12,6 +12,13 @@ restart::
 
     senkf-experiments campaign --cycles 12 --kill-at 8   # crash mid-campaign
     senkf-experiments campaign --cycles 12 --resume      # pick it back up
+
+and ``trace`` runs a fully instrumented chaos campaign — fault
+injection, a mid-flight crash, a corrupted newest checkpoint, resume
+with failover — and writes the capture as a Chrome trace (open in
+Perfetto / chrome://tracing) plus a validated run report::
+
+    senkf-experiments trace --cycles 10 --out trace-out
 """
 
 from __future__ import annotations
@@ -121,6 +128,125 @@ def _run_campaign(args) -> int:
     return 0
 
 
+def _run_trace(args) -> int:
+    """``senkf-experiments trace``: traced chaos campaign -> Chrome trace.
+
+    One invocation stages the full resilience story so every span family
+    lands in a single capture: a faulty campaign crashes mid-flight, its
+    newest checkpoint is corrupted on disk, and the resumed run has to
+    retry transient read faults and fail over to the previous checkpoint
+    before finishing its analyses.
+    """
+    from pathlib import Path
+
+    from repro.checkpoint import CampaignRunner, SimulatedCrash
+    from repro.experiments.asciiplot import gantt_chart
+    from repro.faults import FaultSchedule
+    from repro.telemetry import (
+        MetricsRegistry,
+        Tracer,
+        render_phase_totals,
+        use_metrics,
+        write_chrome_trace,
+    )
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    ckpt_dir = out / "checkpoints"
+    # Crash just after the second checkpoint boundary by default, so the
+    # corrupted newest checkpoint always has an older sibling to fail
+    # over to.
+    kill_at = args.kill_at if args.kill_at is not None else 2 * args.interval
+    if not 0 < kill_at < args.cycles:
+        print(
+            f"--kill-at must fall inside the campaign (0, {args.cycles}), "
+            f"got {kill_at}",
+            file=sys.stderr,
+        )
+        return 2
+
+    twin, truth0, ensemble0 = _campaign_problem()
+    # High enough that transient read faults reliably fire across the few
+    # dozen member reads a resume performs (the schedule is a pure
+    # function of (seed, site), so a given seed is reproducible).
+    faults = FaultSchedule(
+        seed=args.fault_seed, member_fault_rate=0.3, member_fault_attempts=1
+    )
+    metrics = MetricsRegistry()
+    tracer = Tracer(metrics=metrics)
+
+    def build_runner():
+        return CampaignRunner(
+            twin,
+            ckpt_dir,
+            interval=args.interval,
+            faults=faults,
+            config={"experiment": "cli-trace", "filter": "p-enkf"},
+            tracer=tracer,
+        )
+
+    def kill_hook(state):
+        if state.cycle == kill_at:
+            raise SimulatedCrash(f"simulated crash after cycle {state.cycle}")
+
+    with use_metrics(metrics):
+        runner = build_runner()
+        try:
+            runner.run(truth0, ensemble0, args.cycles, on_cycle=kill_hook)
+            raise RuntimeError("kill hook never fired")  # pragma: no cover
+        except SimulatedCrash as exc:
+            print(f"{exc} (checkpoints at {runner.store.cycles()})")
+
+        # Damage the newest checkpoint so resume exercises the failover
+        # path: load_best must quarantine it and fall back one interval.
+        newest = runner.store.latest()
+        if len(runner.store.cycles()) > 1:
+            victim = sorted(
+                runner.store.cycle_dir(newest).glob("member_*.bin")
+            )[0]
+            blob = bytearray(victim.read_bytes())
+            blob[: min(64, len(blob))] = b"\xff" * min(64, len(blob))
+            victim.write_bytes(bytes(blob))
+            print(f"corrupted checkpoint {newest} ({victim.name})")
+        else:
+            print(
+                f"only one checkpoint on disk ({newest}); skipping the "
+                "corruption step so the resume has something to load"
+            )
+
+        runner = build_runner()
+        result = runner.resume(args.cycles)
+        report = runner.run_report(
+            result,
+            notes=[
+                f"simulated crash after cycle {kill_at}",
+                f"checkpoint {newest} corrupted before resume",
+            ],
+        )
+
+    trace_path = out / "trace.json"
+    write_chrome_trace(trace_path, tracer=tracer)
+    report_path = out / "run_report.json"
+    report.write(report_path)
+
+    print(f"resumed and finished: {result.n_cycles} cycles, "
+          f"mean analysis RMSE {result.mean_analysis_rmse(skip=2):.4f}")
+    print(f"fault counts: {report.fault_counts}")
+    print()
+    print(render_phase_totals(tracer))
+    print()
+    rows = [
+        (f"cycle {s.attrs['cycle']}", s.start, s.end)
+        for s in tracer.spans
+        if s.name == "cycle"
+    ]
+    print(gantt_chart(rows, title="cycle spans (wall clock)"))
+    print()
+    print(f"wrote {trace_path}  (open in Perfetto or chrome://tracing)")
+    print(f"wrote {report_path}  (schema {report.schema})")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="senkf-experiments",
@@ -132,7 +258,7 @@ def main(argv: list[str] | None = None) -> int:
         nargs="*",
         default=["all"],
         help="figure ids (fig01 fig05 fig09 fig10 fig11 fig12 fig13), "
-             "'all', 'scorecard', or 'campaign'",
+             "'all', 'scorecard', 'campaign', or 'trace'",
     )
     parser.add_argument(
         "--full",
@@ -174,12 +300,27 @@ def main(argv: list[str] | None = None) -> int:
         metavar="CYCLE",
         help="simulate a crash after this cycle completes",
     )
+    trace = parser.add_argument_group("trace (instrumented chaos campaign)")
+    trace.add_argument(
+        "--out",
+        default="trace-out",
+        metavar="DIR",
+        help="directory for trace.json, run_report.json and checkpoints",
+    )
+    trace.add_argument(
+        "--fault-seed",
+        type=int,
+        default=11,
+        help="seed of the deterministic fault schedule",
+    )
     args = parser.parse_args(argv)
 
     config = default_config(full=args.full or None)
     names = args.figures
     if "campaign" in names:
         return _run_campaign(args)
+    if "trace" in names:
+        return _run_trace(args)
     if "scorecard" in names:
         from repro.experiments.scorecard import format_scorecard, run_scorecard
 
@@ -189,27 +330,33 @@ def main(argv: list[str] | None = None) -> int:
     if "all" in names:
         names = sorted(FIGURES)
 
+    from repro.util.timing import WallTimer
+
     all_passed = True
-    for name in names:
-        try:
-            runner = get_figure(name)
-        except KeyError as exc:
-            print(exc, file=sys.stderr)
-            return 2
-        result = runner(config)
-        print(format_result(result))
-        if args.export:
-            from repro.experiments.export import export_result
+    with WallTimer() as timer:
+        for name in names:
+            try:
+                runner = get_figure(name)
+            except KeyError as exc:
+                print(exc, file=sys.stderr)
+                return 2
+            result = runner(config)
+            print(format_result(result))
+            if args.export:
+                from repro.experiments.export import export_result
 
-            for path in export_result(result, args.export):
-                print(f"wrote {path}")
-        if args.plot:
-            from repro.experiments.asciiplot import plot_figure
+                for path in export_result(result, args.export):
+                    print(f"wrote {path}")
+            if args.plot:
+                from repro.experiments.asciiplot import plot_figure
 
+                print()
+                print(plot_figure(result))
+            print(f"  [{name}: {timer.lap():.2f}s]")
             print()
-            print(plot_figure(result))
-        print()
-        all_passed &= result.passed
+            all_passed &= result.passed
+    if len(names) > 1:
+        print(f"total: {sum(timer.laps):.2f}s over {len(names)} figures")
     return 0 if all_passed else 1
 
 

@@ -30,6 +30,8 @@ from repro.faults.policy import RetryPolicy
 from repro.faults.report import ResilienceReport
 from repro.faults.schedule import FaultSchedule
 from repro.io.plan import ReadPlan
+from repro.telemetry.metrics import get_metrics
+from repro.telemetry.tracer import get_tracer
 
 __all__ = [
     "FaultyStore",
@@ -88,6 +90,13 @@ class FaultyStore:
             with open(path.with_name(path.name + ".tmp"), "wb") as fh:
                 fh.write(torn)
             self.report.disk_faults += 1
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.event(
+                    "fault.injected", category="fault",
+                    kind="torn_write", member=k, attempt=attempt,
+                )
+                get_metrics().counter("fault.injected").inc()
             raise TransientIOError(
                 f"injected torn write of member {k} (attempt {attempt})"
             )
@@ -124,6 +133,13 @@ class FaultyStore:
         self._attempts[k] = attempt
         if attempt <= self.schedule.member_failures(k):
             self.report.disk_faults += 1
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.event(
+                    "fault.injected", category="fault",
+                    kind="transient_read", member=k, attempt=attempt,
+                )
+                get_metrics().counter("fault.injected").inc()
             raise TransientIOError(
                 f"injected transient failure reading member {k} "
                 f"(attempt {attempt})"
@@ -141,20 +157,41 @@ class FaultyStore:
 def _read_with_retry(store, member: int, reader, retry: RetryPolicy,
                      report: ResilienceReport):
     """Run ``reader()`` with the retry loop; raise MemberUnrecoverableError."""
+    tracer = get_tracer()
     attempt = 0
     while True:
+        t0 = tracer.now()
         try:
             return reader()
         except CorruptMemberError as exc:
             # Retrying re-reads the same bad bytes: permanent, drop now.
             report.failed_ops += 1
+            if tracer.enabled:
+                tracer.record(
+                    "fault.unrecoverable", t0, tracer.now(), category="fault",
+                    member=member, error=type(exc).__name__,
+                )
+                get_metrics().counter("fault.members_unrecoverable").inc()
             raise MemberUnrecoverableError(member, cause=exc) from exc
         except OSError as exc:
             if not retry.should_retry(attempt):
                 report.failed_ops += 1
+                if tracer.enabled:
+                    tracer.record(
+                        "fault.unrecoverable", t0, tracer.now(),
+                        category="fault", member=member,
+                        error=type(exc).__name__, attempts=attempt + 1,
+                    )
+                    get_metrics().counter("fault.members_unrecoverable").inc()
                 raise MemberUnrecoverableError(member, cause=exc) from exc
             report.retries += 1
             attempt += 1
+            if tracer.enabled:
+                tracer.record(
+                    "fault.retry", t0, tracer.now(), category="fault",
+                    member=member, attempt=attempt,
+                )
+                get_metrics().counter("fault.retries").inc()
             # Real-file path: retry immediately; wall-clock sleeps would only
             # slow the reproduction down (the DES paths charge simulated
             # backoff instead).

@@ -122,6 +122,35 @@ class CampaignReport:
     def total_time(self) -> float:
         return self.n_cycles * self.cycle_time
 
+    def cycle_timeline(self, rank: int = 0) -> "Timeline":
+        """One priced cycle as a :class:`~repro.sim.trace.Timeline`.
+
+        The analytic phases are laid out back-to-back on a single rank —
+        forecast (compute), background output (read bar: it is the
+        streaming I/O phase of the cycle), assimilation (compute) and the
+        amortised checkpoint share (checkpoint) — so campaign pricing
+        can be exported through the same Chrome-trace/ASCII renderers as
+        measured spans and simulated DES timelines.
+        """
+        from repro.sim.trace import (
+            PHASE_CHECKPOINT,
+            PHASE_COMPUTE,
+            PHASE_READ,
+            Timeline,
+        )
+
+        timeline = Timeline()
+        t = 0.0
+        for phase, duration in (
+            (PHASE_COMPUTE, self.forecast_time),
+            (PHASE_READ, self.output_time),
+            (PHASE_COMPUTE, self.assimilation_time),
+            (PHASE_CHECKPOINT, self.checkpoint_time_per_cycle),
+        ):
+            timeline.add(rank, phase, t, t + duration)
+            t += duration
+        return timeline
+
     @property
     def assimilation_share(self) -> float:
         """Fraction of a cycle spent assimilating."""

@@ -19,6 +19,8 @@ from repro.core.domain import Decomposition, SubDomain
 from repro.core.inflation import inflate
 from repro.core.observations import ObservationNetwork, perturb_observations
 from repro.faults.report import DegradedResult
+from repro.telemetry.metrics import get_metrics
+from repro.telemetry.tracer import get_tracer
 from repro.util.seeding import spawn_rng
 from repro.util.validation import check_positive
 
@@ -74,27 +76,42 @@ class DistributedEnKF:
                 f"ensemble has {states.shape[0]} components, grid has "
                 f"{decomp.grid.n}"
             )
-        rng = spawn_rng(rng)
-        if self.inflation != 1.0:
-            states = inflate(states, self.inflation)
-        ys = perturb_observations(
-            np.asarray(y, dtype=float),
-            network.obs_error_std,
-            states.shape[1],
-            rng=rng,
-        )
-        analysed = np.empty_like(states)
-        for sd in decomp:
-            for piece in self._analysis_pieces(sd):
-                analysed[piece.interior_flat] = local_analysis(
-                    piece,
-                    states[piece.expansion_flat],
-                    network,
-                    ys,
-                    radius_km=self.radius_km,
-                    ridge=self.ridge,
-                    sparse_solver=self.sparse_solver,
-                )
+        tracer = get_tracer()
+        with tracer.span(
+            "filter.assimilate",
+            category="filter",
+            filter=self.name,
+            n_members=states.shape[1],
+            n_subdomains=decomp.n_subdomains,
+        ):
+            rng = spawn_rng(rng)
+            if self.inflation != 1.0:
+                states = inflate(states, self.inflation)
+            ys = perturb_observations(
+                np.asarray(y, dtype=float),
+                network.obs_error_std,
+                states.shape[1],
+                rng=rng,
+            )
+            analysed = np.empty_like(states)
+            n_local = 0
+            for sd in decomp:
+                for piece in self._analysis_pieces(sd):
+                    analysed[piece.interior_flat] = local_analysis(
+                        piece,
+                        states[piece.expansion_flat],
+                        network,
+                        ys,
+                        radius_km=self.radius_km,
+                        ridge=self.ridge,
+                        sparse_solver=self.sparse_solver,
+                    )
+                    n_local += 1
+            if tracer.enabled:
+                metrics = get_metrics()
+                metrics.counter("filter.analyses").inc()
+                metrics.counter("filter.local_analyses").inc(n_local)
+                metrics.gauge("filter.inflation").set(self.inflation)
         return analysed
 
     def assimilate_degraded(
@@ -142,12 +159,25 @@ class DistributedEnKF:
             return analysed, DegradedResult(
                 n_requested=n_total, surviving=surviving, dropped=()
             )
+        tracer = get_tracer()
         compensation = math.sqrt((n_total - 1) / (len(surviving) - 1))
         degraded = copy.copy(self)
         degraded.inflation = self.inflation * compensation
-        analysed = degraded.assimilate(
-            decomp, states[:, surviving], network, y, rng=rng
-        )
+        with tracer.span(
+            "filter.assimilate_degraded",
+            category="filter",
+            filter=self.name,
+            n_dropped=len(dropped),
+            compensation=compensation,
+        ):
+            analysed = degraded.assimilate(
+                decomp, states[:, surviving], network, y, rng=rng
+            )
+        if tracer.enabled:
+            metrics = get_metrics()
+            metrics.counter("filter.degraded_analyses").inc()
+            metrics.counter("filter.members_dropped").inc(len(dropped))
+            metrics.gauge("filter.last_compensation").set(compensation)
         return analysed, DegradedResult(
             n_requested=n_total,
             surviving=surviving,

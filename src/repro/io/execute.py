@@ -21,6 +21,8 @@ from repro.faults.report import ResilienceReport
 from repro.io.plan import ReadPlan
 from repro.sim import Timeline
 from repro.sim.trace import PHASE_FAILED, PHASE_READ, PHASE_RETRY, PHASE_WAIT
+from repro.telemetry.metrics import get_metrics
+from repro.telemetry.tracer import get_tracer
 
 
 def simulate_op_read(machine, timeline, rank, file_id, seeks, nbytes,
@@ -125,17 +127,25 @@ def execute_read_plan_inline(
     ``rank -> file_id -> element values`` (in extent order).  Ranks reading
     the same file twice would get concatenated values; strategies never do.
     """
+    tracer = get_tracer()
     out: dict[int, dict[int, np.ndarray]] = {}
-    for rank, rank_plan in plan.per_rank.items():
-        per_file: dict[int, np.ndarray] = {}
-        for op in rank_plan.reads:
-            if op.file_id not in members:
-                raise KeyError(f"plan reads file {op.file_id} not provided")
-            vec = np.asarray(members[op.file_id])
-            if op.indices().max(initial=-1) >= vec.size:
-                raise ValueError(
-                    f"extent beyond file end for file {op.file_id}"
-                )
-            per_file[op.file_id] = vec[op.indices()]
-        out[rank] = per_file
+    with tracer.span(
+        "io.execute_inline", category="io", n_ranks=len(plan.per_rank)
+    ):
+        n_elements = 0
+        for rank, rank_plan in plan.per_rank.items():
+            per_file: dict[int, np.ndarray] = {}
+            for op in rank_plan.reads:
+                if op.file_id not in members:
+                    raise KeyError(f"plan reads file {op.file_id} not provided")
+                vec = np.asarray(members[op.file_id])
+                if op.indices().max(initial=-1) >= vec.size:
+                    raise ValueError(
+                        f"extent beyond file end for file {op.file_id}"
+                    )
+                per_file[op.file_id] = vec[op.indices()]
+                n_elements += per_file[op.file_id].size
+            out[rank] = per_file
+        if tracer.enabled:
+            get_metrics().counter("io.inline_elements_read").inc(n_elements)
     return out

@@ -19,6 +19,8 @@ import numpy as np
 
 from repro.core.observations import ObservationNetwork
 from repro.core.verification import ensemble_spread, rmse
+from repro.telemetry.metrics import get_metrics
+from repro.telemetry.tracer import get_tracer
 from repro.util.seeding import spawn_rng
 from repro.util.validation import check_positive
 
@@ -144,23 +146,50 @@ class TwinExperiment:
 
     def run_cycle(self, state: CampaignState, cycle_seed: int) -> CampaignState:
         """Advance one forecast/observe/analyse cycle in place."""
-        truth = self.model.step(state.truth, self.steps_per_cycle)
-        states = self.model.step_ensemble(state.states, self.steps_per_cycle)
+        tracer = get_tracer()
         result = state.result
-        if state.free is not None:
-            state.free = self.model.step(state.free, self.steps_per_cycle)
-            result.free_rmse.append(rmse(state.free, truth))
+        with tracer.span("cycle", category="cycle", cycle=state.cycle):
+            with tracer.span("cycle.forecast", category="model"):
+                truth = self.model.step(state.truth, self.steps_per_cycle)
+                states = self.model.step_ensemble(
+                    state.states, self.steps_per_cycle
+                )
+                if state.free is not None:
+                    state.free = self.model.step(
+                        state.free, self.steps_per_cycle
+                    )
+                    result.free_rmse.append(rmse(state.free, truth))
 
-        cycle_rng = spawn_rng(cycle_seed)
-        y = self.network.observe(truth, rng=cycle_rng)
-        result.background_rmse.append(rmse(states.mean(axis=1), truth))
-        states = self.assimilate(states, y, cycle_rng)
-        result.analysis_rmse.append(rmse(states.mean(axis=1), truth))
-        result.spread.append(ensemble_spread(states))
+            cycle_rng = spawn_rng(cycle_seed)
+            with tracer.span("cycle.observe", category="model"):
+                y = self.network.observe(truth, rng=cycle_rng)
+            result.background_rmse.append(rmse(states.mean(axis=1), truth))
+            with tracer.span("cycle.analysis", category="filter"):
+                states = self.assimilate(states, y, cycle_rng)
+            result.analysis_rmse.append(rmse(states.mean(axis=1), truth))
+            result.spread.append(ensemble_spread(states))
+            if tracer.enabled:
+                self._record_diagnostics(result)
         state.truth = truth
         state.states = states
         state.cycle += 1
         return state
+
+    @staticmethod
+    def _record_diagnostics(result: TwinResult) -> None:
+        """Publish the newest cycle's assimilation diagnostics as metrics."""
+        metrics = get_metrics()
+        metrics.counter("cycle.count").inc()
+        metrics.gauge("cycle.background_rmse").set(result.background_rmse[-1])
+        metrics.gauge("cycle.analysis_rmse").set(result.analysis_rmse[-1])
+        metrics.gauge("cycle.spread").set(result.spread[-1])
+        rmse_buckets = (0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0)
+        metrics.histogram("cycle.analysis_rmse", rmse_buckets).observe(
+            result.analysis_rmse[-1]
+        )
+        metrics.histogram("cycle.spread", rmse_buckets).observe(
+            result.spread[-1]
+        )
 
     def run(
         self,
@@ -176,3 +205,33 @@ class TwinExperiment:
         for _ in range(n_cycles):
             self.run_cycle(state, next(seeds))
         return state.result
+
+    def run_report(
+        self,
+        result: TwinResult,
+        config: dict | None = None,
+        notes: list[str] | None = None,
+    ):
+        """Roll one run's telemetry into a versioned
+        :class:`~repro.telemetry.report.RunReport` (config, seeds,
+        per-cycle diagnostics, phase totals and metrics of the active
+        capture)."""
+        from repro.telemetry.report import RunReport
+
+        tracer = get_tracer()
+        diagnostics = {
+            name: [float(v) for v in getattr(result, name)]
+            for name in ("background_rmse", "analysis_rmse", "free_rmse", "spread")
+            if getattr(result, name)
+        }
+        return RunReport(
+            kind="twin-experiment",
+            config=dict(config or {}),
+            seeds={"master_seed": self.master_seed},
+            n_cycles=result.n_cycles,
+            fault_counts={},
+            phase_totals=tracer.phase_totals() if tracer.enabled else {},
+            metrics=get_metrics().snapshot() if tracer.enabled else {},
+            diagnostics=diagnostics,
+            notes=list(notes or []),
+        )

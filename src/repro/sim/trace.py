@@ -24,14 +24,19 @@ PHASE_READ = "read"
 PHASE_COMM = "comm"
 PHASE_COMPUTE = "compute"
 PHASE_WAIT = "wait"
+#: Durable-campaign phase: committing a checkpoint of the analysis
+#: ensemble (a second streaming write, amortised over the checkpoint
+#: interval) — so overlap accounting and Fig-9-style stacks can carry
+#: checkpoint I/O as a first-class bar.
+PHASE_CHECKPOINT = "checkpoint"
 #: Resilience phases: time lost to failed attempts + backoff before a retry,
 #: and the terminal interval of an operation whose retries were exhausted.
 PHASE_RETRY = "retry"
 PHASE_FAILED = "failed"
 
 ALL_PHASES = (
-    PHASE_READ, PHASE_COMM, PHASE_COMPUTE, PHASE_WAIT, PHASE_RETRY,
-    PHASE_FAILED,
+    PHASE_READ, PHASE_COMM, PHASE_COMPUTE, PHASE_WAIT, PHASE_CHECKPOINT,
+    PHASE_RETRY, PHASE_FAILED,
 )
 
 

@@ -1,0 +1,86 @@
+"""Unified telemetry: spans + metrics across the simulated and real paths.
+
+The simulator has always produced :class:`~repro.sim.trace.PhaseRecord`
+timelines; this package gives the *real* execution path (ensemble
+stores, filters, fault retries, checkpoint commits) the same substrate
+and a common export surface:
+
+- :class:`Tracer` / :class:`Span` / :class:`TraceEvent` — nestable
+  wall-clock spans and instant events, thread-safe, injectable or
+  process-global with a zero-overhead :data:`NULL_TRACER` default;
+- :class:`MetricsRegistry` — counters, gauges, fixed-bucket histograms
+  with a JSON snapshot;
+- :mod:`repro.telemetry.chrome` — Chrome trace-event JSON from real
+  spans *and* simulated timelines (open in Perfetto);
+- :mod:`repro.telemetry.ascii` — terminal Gantt/bar rendering;
+- :class:`RunReport` — the versioned JSON artifact a campaign emits
+  (config, seeds, fault counts, phase totals, metrics, diagnostics).
+
+See ``docs/OBSERVABILITY.md`` for the span/metric taxonomy.
+"""
+
+from repro.telemetry.ascii import (
+    render_phase_totals,
+    render_spans,
+    render_timeline,
+)
+from repro.telemetry.chrome import (
+    chrome_trace,
+    spans_from_chrome,
+    spans_from_timeline,
+    write_chrome_trace,
+)
+from repro.telemetry.metrics import (
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+    set_metrics,
+    use_metrics,
+)
+from repro.telemetry.report import (
+    RUN_REPORT_SCHEMA,
+    RunReport,
+    validate_run_report,
+)
+from repro.telemetry.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    TraceEvent,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_TIME_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "RUN_REPORT_SCHEMA",
+    "RunReport",
+    "Span",
+    "TraceEvent",
+    "Tracer",
+    "chrome_trace",
+    "get_metrics",
+    "get_tracer",
+    "render_phase_totals",
+    "render_spans",
+    "render_timeline",
+    "set_metrics",
+    "set_tracer",
+    "spans_from_chrome",
+    "spans_from_timeline",
+    "use_metrics",
+    "use_tracer",
+    "validate_run_report",
+    "write_chrome_trace",
+]

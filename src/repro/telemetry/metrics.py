@@ -1,0 +1,202 @@
+"""Counters, gauges and fixed-bucket histograms with a JSON snapshot.
+
+A :class:`MetricsRegistry` is the numeric companion of the
+:class:`~repro.telemetry.tracer.Tracer`: spans say *when*, metrics say
+*how much* (bytes read, seeks issued, retries spent, per-cycle RMSE).
+Instruments are created on first use and are safe to update from many
+threads; :meth:`MetricsRegistry.snapshot` returns a plain JSON-safe dict
+that lands in run reports and ``BENCH_telemetry.json``.
+
+Like the tracer, metric updates at instrumented call sites are guarded by
+``get_tracer().enabled`` so a telemetry-off run pays nothing.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Sequence
+
+__all__ = [
+    "Counter",
+    "DEFAULT_TIME_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_metrics",
+    "set_metrics",
+    "use_metrics",
+]
+
+#: Log-spaced seconds buckets covering 10 µs .. 100 s — wide enough for a
+#: single extent read and a full checkpoint commit alike.
+DEFAULT_TIME_BUCKETS = (
+    1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 10.0, 100.0,
+)
+
+
+class Counter:
+    """Monotonically increasing total."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease by {amount}")
+        with self._lock:
+            self.value += amount
+
+
+class Gauge:
+    """Last-written value (e.g. the newest cycle's analysis RMSE)."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = math.nan
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket histogram: counts per upper bound plus an overflow bin.
+
+    ``bounds`` are ascending upper edges; an observation lands in the
+    first bucket whose bound is >= the value, or in the overflow bin.
+    Running count/sum/min/max ride along so means survive the snapshot.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total", "min", "max", "_lock")
+
+    def __init__(self, name: str, bounds: Sequence[float] = DEFAULT_TIME_BUCKETS):
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ValueError(f"histogram bounds must be ascending, got {bounds}")
+        self.name = name
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        index = bisect.bisect_left(self.bounds, value)
+        with self._lock:
+            self.counts[index] += 1
+            self.count += 1
+            self.total += value
+            self.min = min(self.min, value)
+            self.max = max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else math.nan
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use, snapshotted as JSON."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = DEFAULT_TIME_BUCKETS
+    ) -> Histogram:
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = self._histograms[name] = Histogram(name, bounds)
+        if tuple(float(b) for b in bounds) != instrument.bounds:
+            raise ValueError(
+                f"histogram {name!r} already registered with different bounds"
+            )
+        return instrument
+
+    def snapshot(self) -> dict:
+        """JSON-safe view of every instrument (NaN-free)."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        out: dict = {
+            "counters": {name: c.value for name, c in sorted(counters.items())},
+            "gauges": {
+                name: g.value
+                for name, g in sorted(gauges.items())
+                if not math.isnan(g.value)
+            },
+            "histograms": {},
+        }
+        for name, h in sorted(histograms.items()):
+            entry = {
+                "bounds": list(h.bounds),
+                "counts": list(h.counts),
+                "count": h.count,
+                "sum": h.total,
+            }
+            if h.count:
+                entry["min"] = h.min
+                entry["max"] = h.max
+                entry["mean"] = h.mean
+            out["histograms"][name] = entry
+        return out
+
+
+# -- process-global default ---------------------------------------------------
+_global_metrics = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-global registry (always a real one; updates are cheap
+    and call sites gate on ``get_tracer().enabled`` anyway)."""
+    return _global_metrics
+
+
+def set_metrics(registry: MetricsRegistry | None) -> MetricsRegistry:
+    """Install ``registry`` globally (None resets to a fresh one);
+    returns the previous registry."""
+    global _global_metrics
+    previous = _global_metrics
+    _global_metrics = registry if registry is not None else MetricsRegistry()
+    return previous
+
+
+@contextmanager
+def use_metrics(registry: MetricsRegistry | None) -> Iterator[MetricsRegistry]:
+    """Scope ``registry`` as the process-global default."""
+    previous = set_metrics(registry)
+    try:
+        yield get_metrics()
+    finally:
+        set_metrics(previous)

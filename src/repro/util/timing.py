@@ -8,19 +8,47 @@ import time
 class WallTimer:
     """Context manager measuring elapsed wall time in seconds.
 
+    Uses ``time.perf_counter_ns`` so split timings never lose precision
+    to float accumulation; ``elapsed``/``start`` stay float seconds for
+    backward compatibility.
+
     >>> with WallTimer() as t:
     ...     pass
     >>> t.elapsed >= 0
     True
+
+    ``lap()`` takes a split while the timer is running: it returns the
+    seconds since the previous lap (or since the start for the first
+    one) and appends it to ``laps``.
     """
 
     def __init__(self) -> None:
         self.start = 0.0
         self.elapsed = 0.0
+        self.start_ns = 0
+        self.elapsed_ns = 0
+        self.laps: list[float] = []
+        self._last_ns = 0
+        self._running = False
 
     def __enter__(self) -> "WallTimer":
-        self.start = time.perf_counter()
+        self.start_ns = time.perf_counter_ns()
+        self.start = self.start_ns / 1e9
+        self._last_ns = self.start_ns
+        self._running = True
         return self
 
     def __exit__(self, *exc) -> None:
-        self.elapsed = time.perf_counter() - self.start
+        self.elapsed_ns = time.perf_counter_ns() - self.start_ns
+        self.elapsed = self.elapsed_ns / 1e9
+        self._running = False
+
+    def lap(self) -> float:
+        """Record a split: seconds since the previous ``lap()`` (or start)."""
+        if not self._running:
+            raise RuntimeError("lap() outside the timer's context")
+        now = time.perf_counter_ns()
+        split = (now - self._last_ns) / 1e9
+        self._last_ns = now
+        self.laps.append(split)
+        return split

@@ -9,7 +9,16 @@ from repro.sim import (
     merge_intervals,
     union_total,
 )
-from repro.sim.trace import PHASE_COMM, PHASE_COMPUTE, PHASE_READ, PHASE_WAIT
+from repro.sim.trace import (
+    ALL_PHASES,
+    PHASE_CHECKPOINT,
+    PHASE_COMM,
+    PHASE_COMPUTE,
+    PHASE_FAILED,
+    PHASE_READ,
+    PHASE_RETRY,
+    PHASE_WAIT,
+)
 
 
 class TestIntervals:
@@ -44,6 +53,101 @@ class TestIntervals:
         a = [(0, 4), (6, 9)]
         b = [(2, 7)]
         assert intersect_total(a, b) == pytest.approx(intersect_total(b, a))
+
+
+class TestIntervalEdgeCases:
+    def test_zero_length_intervals_contribute_nothing(self):
+        assert union_total([(3, 3), (0, 2), (2, 2)]) == pytest.approx(2.0)
+
+    def test_all_zero_length_unions_to_zero(self):
+        assert union_total([(1, 1), (5, 5)]) == 0.0
+
+    def test_touching_intervals_merge_without_double_count(self):
+        # [0,1) and [1,2) share only the boundary point (measure zero):
+        # they merge into one interval and the union is exactly 2.
+        assert merge_intervals([(0, 1), (1, 2)]) == [(0, 2)]
+        assert union_total([(0, 1), (1, 2)]) == pytest.approx(2.0)
+
+    def test_touching_chain_collapses_to_one_interval(self):
+        chain = [(k, k + 1) for k in range(5)]
+        assert merge_intervals(chain) == [(0, 5)]
+
+    def test_zero_length_between_touching_intervals(self):
+        # The degenerate (1, 1) must not break the touching merge.
+        assert merge_intervals([(0, 1), (1, 1), (1, 2)]) == [(0, 2)]
+
+    def test_intersect_with_zero_length_interval(self):
+        assert intersect_total([(1, 1)], [(0, 2)]) == 0.0
+
+    def test_intersect_touching_is_zero(self):
+        assert intersect_total([(0, 1)], [(1, 2)]) == 0.0
+
+    def test_union_total_of_retry_phases(self):
+        # Retry backoff windows of two ranks overlap: the union counts
+        # the wall-clock cost once, not per rank.
+        tl = Timeline()
+        tl.add(0, PHASE_RETRY, 1.0, 3.0)
+        tl.add(1, PHASE_RETRY, 2.0, 4.0)
+        assert union_total(tl.intervals(PHASE_RETRY)) == pytest.approx(3.0)
+        assert tl.total(PHASE_RETRY) == pytest.approx(4.0)  # summed view
+
+    def test_union_total_mixes_retry_and_failed(self):
+        tl = Timeline()
+        tl.add(0, PHASE_RETRY, 0.0, 2.0)
+        tl.add(0, PHASE_FAILED, 2.0, 5.0)  # touching: terminal failure
+        lost = union_total(
+            tl.intervals(PHASE_RETRY) + tl.intervals(PHASE_FAILED)
+        )
+        assert lost == pytest.approx(5.0)
+
+
+class TestCheckpointPhase:
+    def test_checkpoint_is_a_canonical_phase(self):
+        assert PHASE_CHECKPOINT in ALL_PHASES
+
+    def test_checkpoint_ordering_in_timeline_phases(self):
+        tl = Timeline()
+        tl.add(0, PHASE_RETRY, 0.0, 1.0)
+        tl.add(0, PHASE_CHECKPOINT, 1.0, 2.0)
+        tl.add(0, PHASE_READ, 2.0, 3.0)
+        assert tl.phases() == [PHASE_READ, PHASE_CHECKPOINT, PHASE_RETRY]
+
+    def test_campaign_report_cycle_timeline(self):
+        from repro.filters.cycling import CampaignReport
+
+        report = CampaignReport(
+            filter_name="s-enkf",
+            n_p=18,
+            n_cycles=10,
+            forecast_time=4.0,
+            output_time=1.0,
+            assimilation_time=2.0,
+            checkpoint_time=3.0,
+            checkpoint_interval=3,
+        )
+        tl = report.cycle_timeline()
+        assert tl.total(PHASE_COMPUTE) == pytest.approx(6.0)
+        assert tl.total(PHASE_READ) == pytest.approx(1.0)
+        assert tl.total(PHASE_CHECKPOINT) == pytest.approx(1.0)
+        assert tl.makespan() == pytest.approx(report.cycle_time)
+        # phases are laid out back to back on one rank
+        assert tl.ranks() == [0]
+        assert union_total(tl.intervals()) == pytest.approx(report.cycle_time)
+
+    def test_cycle_timeline_without_checkpointing(self):
+        from repro.filters.cycling import CampaignReport
+
+        report = CampaignReport(
+            filter_name="p-enkf",
+            n_p=18,
+            n_cycles=10,
+            forecast_time=4.0,
+            output_time=1.0,
+            assimilation_time=2.0,
+        )
+        tl = report.cycle_timeline()
+        assert tl.total(PHASE_CHECKPOINT) == 0.0
+        assert tl.makespan() == pytest.approx(7.0)
 
 
 class TestPhaseRecord:
