@@ -1,0 +1,239 @@
+"""Parallel-engine bench: serial vs thread/process fan-out of the inline
+local analyses, with bit-identity and geometry-cache acceptance baked in.
+
+Runs a 64-sub-domain DistributedEnKF problem for a few cycles under each
+execution strategy of :class:`repro.parallel.AnalysisExecutor` and
+records per-cycle wall times into a schema-versioned
+``BENCH_parallel.json`` (location overridable with the
+``BENCH_PARALLEL_PATH`` env var).  Acceptance, asserted on every run:
+
+* every strategy's analysis is **bit-identical** to the serial engine's,
+  every cycle;
+* the geometry cache serves later cycles entirely from memory (cycle 2+
+  performs zero ``restrict_to_box`` / stencil rebuilds);
+* on a machine with >= 4 cores, the best warm-cycle parallel time beats
+  serial by >= 2x (skipped — and recorded as skipped — on smaller boxes,
+  where the fan-out has nothing to fan onto).
+
+Usable three ways: under pytest (``test_parallel_bench_smoke``), as a
+pytest case collected from this file, and as a CLI for CI smoke runs::
+
+    python benchmarks/bench_parallel.py --smoke
+    python benchmarks/bench_parallel.py --cycles 4
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # CLI use without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+import numpy as np
+
+from repro.core.domain import Decomposition
+from repro.core.grid import Grid
+from repro.core.observations import ObservationNetwork
+from repro.filters.distributed import DistributedEnKF
+from repro.parallel import AnalysisExecutor, GeometryCache
+
+SEED = 2019  # PPoPP'19
+
+#: Version the artifact so downstream tooling can detect layout changes;
+#: bump on any key rename or semantic change.
+BENCH_PARALLEL_SCHEMA = "senkf-bench-parallel/1"
+
+_DEFAULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_parallel.json"
+
+STRATEGIES = ("serial", "thread", "process")
+
+
+def validate_bench_parallel(payload: dict) -> None:
+    """Assert ``payload`` conforms to :data:`BENCH_PARALLEL_SCHEMA`."""
+    if payload.get("schema") != BENCH_PARALLEL_SCHEMA:
+        raise ValueError(
+            f"schema mismatch: {payload.get('schema')!r} != "
+            f"{BENCH_PARALLEL_SCHEMA!r}"
+        )
+    for key in (
+        "cpu_count", "n_subdomains", "n_members", "grid", "cycles",
+        "timings", "identical", "best_speedup", "speedup_asserted",
+        "geometry_cache",
+    ):
+        if key not in payload:
+            raise ValueError(f"missing key {key!r}")
+    if not isinstance(payload["identical"], bool):
+        raise ValueError("identical must be a bool")
+    timings = payload["timings"]
+    if not timings or not isinstance(timings, dict):
+        raise ValueError("timings must be a non-empty mapping")
+    for strategy, seconds in timings.items():
+        if strategy not in STRATEGIES:
+            raise ValueError(f"unknown strategy {strategy!r} in timings")
+        if not seconds or any(
+            not isinstance(s, float) or s <= 0 for s in seconds
+        ):
+            raise ValueError(f"timings[{strategy!r}] must be positive floats")
+    cache = payload["geometry_cache"]
+    for key in ("hits", "misses", "entries"):
+        if not isinstance(cache.get(key), int):
+            raise ValueError(f"geometry_cache.{key} must be an int")
+
+
+def parallel_setup(smoke: bool):
+    """A >= 64-sub-domain problem sized for the parallel engine.
+
+    Smoke keeps the per-piece systems tiny so a 1-core CI box finishes in
+    seconds; the full setting makes each local analysis heavy enough that
+    fan-out dominates dispatch overhead.
+    """
+    if smoke:
+        grid = Grid(n_x=64, n_y=32, dx_km=25.0, dy_km=25.0)
+        n_members, m_obs, radius_km = 12, 256, 60.0
+    else:
+        grid = Grid(n_x=96, n_y=48, dx_km=25.0, dy_km=25.0)
+        n_members, m_obs, radius_km = 24, 768, 80.0
+    decomp = Decomposition(grid, n_sdx=8, n_sdy=8, xi=2, eta=2)
+    network = ObservationNetwork.random(
+        grid, m=m_obs, obs_error_std=0.4, rng=np.random.default_rng(SEED)
+    )
+    rng = np.random.default_rng(SEED + 1)
+    states = rng.normal(size=(grid.n, n_members))
+    y = rng.normal(size=network.m)
+    return grid, decomp, network, states, y, radius_km
+
+
+def run_parallel_bench(smoke: bool = False, cycles: int = 3,
+                       workers: int | None = None) -> dict:
+    """Run the strategy sweep; returns the (validated) artifact payload."""
+    grid, decomp, network, states, y, radius_km = parallel_setup(smoke)
+    n_pieces = decomp.n_subdomains
+    assert n_pieces >= 64, f"bench problem must have >=64 sub-domains, got {n_pieces}"
+    workers = workers or os.cpu_count() or 1
+
+    timings: dict[str, list[float]] = {}
+    references: list[np.ndarray] = []
+    identical = True
+    cache_stats = None
+
+    for strategy in STRATEGIES:
+        cache = GeometryCache()
+        filt = DistributedEnKF(
+            radius_km=radius_km, inflation=1.05, ridge=1e-2,
+            executor=AnalysisExecutor(strategy=strategy, workers=workers),
+            geometry_cache=cache,
+        )
+        try:
+            per_cycle = []
+            for cycle in range(cycles):
+                rng = np.random.default_rng(SEED + 10 + cycle)
+                t0 = time.perf_counter()
+                analysed = filt.assimilate(decomp, states, network, y, rng=rng)
+                per_cycle.append(time.perf_counter() - t0)
+                if strategy == "serial":
+                    references.append(analysed)
+                elif not np.array_equal(references[cycle], analysed):
+                    identical = False
+            timings[strategy] = per_cycle
+            if strategy == "serial":
+                cache_stats = cache.stats
+                # Cycle 1 builds every geometry; cycles 2+ must be pure hits.
+                assert cache_stats["misses"] == n_pieces, cache_stats
+                assert cache_stats["hits"] == n_pieces * (cycles - 1), cache_stats
+        finally:
+            filt.executor.close()
+
+    # Warm-cycle comparison: skip cycle 0 (pool spin-up + geometry build).
+    warm = {s: min(t[1:]) if len(t) > 1 else t[0] for s, t in timings.items()}
+    best_parallel = min(warm["thread"], warm["process"])
+    best_speedup = warm["serial"] / best_parallel
+    speedup_asserted = (os.cpu_count() or 1) >= 4 and not smoke
+
+    payload = {
+        "schema": BENCH_PARALLEL_SCHEMA,
+        "cpu_count": os.cpu_count() or 1,
+        "workers": workers,
+        "smoke": smoke,
+        "grid": {"n_x": grid.n_x, "n_y": grid.n_y},
+        "n_subdomains": n_pieces,
+        "n_members": int(states.shape[1]),
+        "cycles": cycles,
+        "timings": timings,
+        "warm_seconds": warm,
+        "identical": identical,
+        "best_speedup": best_speedup,
+        "speedup_asserted": speedup_asserted,
+        "geometry_cache": cache_stats,
+    }
+    validate_bench_parallel(payload)
+    assert identical, "parallel strategies diverged from the serial engine"
+    if speedup_asserted:
+        assert best_speedup >= 2.0, (
+            f"expected >=2x warm speedup on a {os.cpu_count()}-core box, "
+            f"got {best_speedup:.2f}x (warm seconds: {warm})"
+        )
+    return payload
+
+
+def write_payload(payload: dict) -> Path:
+    path = Path(os.environ.get("BENCH_PARALLEL_PATH", _DEFAULT_PATH))
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def report(payload: dict) -> str:
+    lines = [
+        f"parallel engine bench — {payload['n_subdomains']} sub-domains, "
+        f"N={payload['n_members']}, {payload['cpu_count']} core(s), "
+        f"{payload['workers']} worker(s)",
+        f"  {'strategy':<10} {'cold (s)':>10} {'warm (s)':>10}",
+    ]
+    for strategy in STRATEGIES:
+        t = payload["timings"][strategy]
+        lines.append(
+            f"  {strategy:<10} {t[0]:>10.3f} {payload['warm_seconds'][strategy]:>10.3f}"
+        )
+    lines.append(
+        f"  bit-identical: {payload['identical']}   best speedup: "
+        f"{payload['best_speedup']:.2f}x"
+        + ("" if payload["speedup_asserted"] else "  (not asserted: <4 cores or smoke)")
+    )
+    cache = payload["geometry_cache"]
+    lines.append(
+        f"  geometry cache: {cache['misses']} builds, {cache['hits']} hits "
+        f"({cache['entries']} entries)"
+    )
+    return "\n".join(lines)
+
+
+def test_parallel_bench_smoke():
+    """Pytest entry: smoke-scale sweep with all acceptance checks."""
+    payload = run_parallel_bench(smoke=True, cycles=2, workers=2)
+    assert payload["identical"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny problem for CI smoke runs")
+    parser.add_argument("--cycles", type=int, default=3,
+                        help="assimilation cycles per strategy (default 3)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="pool width (default: cpu count)")
+    args = parser.parse_args(argv)
+    payload = run_parallel_bench(
+        smoke=args.smoke, cycles=max(2, args.cycles), workers=args.workers
+    )
+    path = write_payload(payload)
+    print(report(payload))
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

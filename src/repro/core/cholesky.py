@@ -63,6 +63,7 @@ def modified_cholesky_inverse(
     ridge: float = 1e-8,
     min_variance: float = 1e-12,
     sparse: bool = False,
+    predecessors: list[np.ndarray] | None = None,
 ) -> np.ndarray:
     """Estimate ``B̂⁻¹`` from a (local) ensemble by modified Cholesky.
 
@@ -86,6 +87,11 @@ def modified_cholesky_inverse(
         ``L`` has at most ``O(stencil)`` entries per row, so ``B̂⁻¹`` is
         banded; the sparse representation lets the precision-form solve
         use sparse factorisation on large local domains.
+    predecessors:
+        Pre-computed :func:`neighbour_predecessors` stencil.  The stencil
+        depends only on the coordinates and the radius — never on the
+        ensemble — so callers that analyse the same sub-domain every cycle
+        (the geometry cache) pass it in and skip the O(n²) rebuild.
 
     Returns
     -------
@@ -102,7 +108,14 @@ def modified_cholesky_inverse(
         raise ValueError("coordinate arrays must match the state dimension")
     u = u - u.mean(axis=1, keepdims=True)
 
-    preds = neighbour_predecessors(grid, ix, iy, radius_km)
+    if predecessors is not None:
+        if len(predecessors) != n:
+            raise ValueError(
+                f"predecessors has {len(predecessors)} entries for n={n}"
+            )
+        preds = predecessors
+    else:
+        preds = neighbour_predecessors(grid, ix, iy, radius_km)
     d = np.empty(n)
     dof = max(n_members - 1, 1)
     rows: list[int] = []

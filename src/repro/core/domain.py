@@ -62,6 +62,19 @@ class SubDomain:
     xi: int  #: halo half-width along longitude (ξ)
     eta: int  #: halo half-width along latitude (η)
 
+    def __reduce__(self):
+        # Rebuild from the nine defining fields: the cached_property index
+        # arrays are cheap to re-derive (or come from the geometry cache)
+        # and would otherwise bloat every process-pool task payload.
+        return (
+            self.__class__,
+            (
+                self.grid, self.i, self.j,
+                self.ix0, self.ix1, self.iy0, self.iy1,
+                self.xi, self.eta,
+            ),
+        )
+
     # -- interior -------------------------------------------------------------
     @property
     def n_cols(self) -> int:
@@ -121,8 +134,9 @@ class SubDomain:
         This is the projection ``P_ij`` of Eq. (6) represented as an index
         array: ``x_interior = x_expansion[positions]``.
         """
-        lookup = {int(g): p for p, g in enumerate(self.expansion_flat)}
-        return np.asarray([lookup[int(g)] for g in self.interior_flat])
+        positions = np.full(self.grid.n, -1)
+        positions[self.expansion_flat] = np.arange(self.expansion_flat.size)
+        return positions[self.interior_flat]
 
     @cached_property
     def expansion_coords(self) -> tuple[np.ndarray, np.ndarray]:

@@ -93,12 +93,17 @@ def local_analysis_etkf(
     network,
     y_global: np.ndarray,
     inflation: float = 1.0,
+    geometry=None,
 ) -> np.ndarray:
     """Domain-localized ETKF on one sub-domain expansion (LETKF-style).
 
     Observations inside the expansion box update the interior points; the
     transform is computed in ensemble space from the local innovations.
-    Returns the analysed interior ensemble (n_sd, N).
+    An optional pre-resolved ``geometry``
+    (:class:`~repro.parallel.geometry.PieceGeometry`) replaces every
+    geometric derivation — ``network`` may then be ``None`` — without
+    changing the numerics.  Returns the analysed interior ensemble
+    (n_sd, N).
     """
     xb = np.asarray(expansion_states, dtype=float)
     if xb.shape[0] != subdomain.exp_size:
@@ -106,16 +111,23 @@ def local_analysis_etkf(
             f"expansion ensemble has {xb.shape[0]} rows, expected "
             f"{subdomain.exp_size}"
         )
-    interior = subdomain.interior_positions_in_expansion
-    obs_positions, h_local = network.restrict_to_box(
-        subdomain.exp_x_indices, subdomain.exp_y_indices
-    )
+    if geometry is not None:
+        interior = geometry.interior_positions
+        obs_positions, h_local = geometry.obs_positions, geometry.h_local
+    else:
+        interior = subdomain.interior_positions_in_expansion
+        obs_positions, h_local = network.restrict_to_box(
+            subdomain.exp_x_indices, subdomain.exp_y_indices
+        )
     if obs_positions.size == 0:
         if inflation != 1.0:
             mean = xb.mean(axis=1, keepdims=True)
             xb = mean + inflation * (xb - mean)
         return xb[interior, :]
     y_local = np.asarray(y_global, dtype=float).ravel()[obs_positions]
-    r_diag = np.full(obs_positions.size, network.obs_error_std**2)
+    if geometry is not None:
+        r_diag = geometry.r_diag
+    else:
+        r_diag = np.full(obs_positions.size, network.obs_error_std**2)
     analysed = analysis_etkf(xb, h_local, r_diag, y_local, inflation=inflation)
     return analysed[interior, :]

@@ -95,22 +95,23 @@ class ObservationNetwork:
         (row-major over y_indices × x_indices) to those observations.
         Either may be empty if no observation lies in the box.
         """
-        x_pos = {int(v): p for p, v in enumerate(np.asarray(x_indices))}
-        y_pos = {int(v): p for p, v in enumerate(np.asarray(y_indices))}
-        n_cols = len(x_pos)
-        rows, cols = [], []
-        for obs_idx in range(self.m):
-            px = x_pos.get(int(self.ix[obs_idx]))
-            py = y_pos.get(int(self.iy[obs_idx]))
-            if px is None or py is None:
-                continue
-            rows.append(obs_idx)
-            cols.append(py * n_cols + px)
-        positions = np.asarray(rows, dtype=int)
-        n_local = n_cols * len(y_pos)
+        x_indices = np.asarray(x_indices, dtype=int)
+        y_indices = np.asarray(y_indices, dtype=int)
+        # Inverse maps grid coordinate -> box-local position (-1 = outside);
+        # one vectorised gather per axis instead of a python loop over m.
+        x_map = np.full(self.grid.n_x, -1)
+        x_map[x_indices] = np.arange(x_indices.size)
+        y_map = np.full(self.grid.n_y, -1)
+        y_map[y_indices] = np.arange(y_indices.size)
+        px = x_map[self.ix]
+        py = y_map[self.iy]
+        inside = (px >= 0) & (py >= 0)
+        positions = np.nonzero(inside)[0]
+        cols = py[inside] * x_indices.size + px[inside]
+        n_local = x_indices.size * y_indices.size
         h_local = sp.csr_matrix(
-            (np.ones(len(rows)), (np.arange(len(rows)), cols)),
-            shape=(len(rows), n_local),
+            (np.ones(positions.size), (np.arange(positions.size), cols)),
+            shape=(positions.size, n_local),
         )
         return positions, h_local
 

@@ -31,12 +31,17 @@ from repro.experiments.registry import FIGURES, get_figure
 from repro.experiments.report import format_result
 
 
-def _campaign_problem():
+def _campaign_problem(workers: int | None = None):
     """The CLI's fixed mini reanalysis: tiny ocean, P-EnKF numerics.
 
     Deterministic by construction — every invocation builds the same
     truth, ensemble and experiment, so ``--resume`` continues the exact
-    run a crashed invocation left behind.
+    run a crashed invocation left behind.  ``workers`` fans the local
+    analyses over a filter-owned
+    :class:`~repro.parallel.executor.AnalysisExecutor` — the analysis is
+    bit-identical to the serial default, so resumes may freely mix
+    ``--workers`` values.  Returns ``(twin, truth0, ensemble0, filt)``;
+    callers that set ``workers`` must ``filt.close()`` when done.
     """
     import numpy as np
 
@@ -61,7 +66,8 @@ def _campaign_problem():
     network = ObservationNetwork.random(
         grid, m=60, obs_error_std=0.2, rng=np.random.default_rng(1)
     )
-    filt = PEnKF(radius_km=radius_km, inflation=1.05, ridge=1e-2)
+    filt = PEnKF(radius_km=radius_km, inflation=1.05, ridge=1e-2,
+                 workers=workers)
     twin = TwinExperiment(
         model,
         network,
@@ -76,47 +82,52 @@ def _campaign_problem():
     ensemble0 = correlated_ensemble(
         grid, 16, length_scale_km=12.0, mean=np.zeros(grid.n), std=0.8, rng=rng
     )
-    return twin, truth0, ensemble0
+    return twin, truth0, ensemble0, filt
 
 
 def _run_campaign(args) -> int:
     """``senkf-experiments campaign``: checkpointed cycling with restart."""
     from repro.checkpoint import CampaignRunner, NoCheckpointError, SimulatedCrash
 
-    twin, truth0, ensemble0 = _campaign_problem()
-    runner = CampaignRunner(
-        twin,
-        args.dir,
-        interval=args.interval,
-        config={"experiment": "cli-campaign", "filter": "p-enkf"},
-    )
-    on_cycle = None
-    if args.kill_at is not None:
-        def on_cycle(state):
-            if state.cycle == args.kill_at:
-                raise SimulatedCrash(f"simulated crash after cycle {state.cycle}")
+    twin, truth0, ensemble0, filt = _campaign_problem(workers=args.workers)
+    try:
+        runner = CampaignRunner(
+            twin,
+            args.dir,
+            interval=args.interval,
+            config={"experiment": "cli-campaign", "filter": "p-enkf"},
+        )
+        on_cycle = None
+        if args.kill_at is not None:
+            def on_cycle(state):
+                if state.cycle == args.kill_at:
+                    raise SimulatedCrash(
+                        f"simulated crash after cycle {state.cycle}"
+                    )
 
-    if args.resume:
-        resumed_from = runner.store.latest()
-        try:
-            result = runner.resume(args.cycles, on_cycle=on_cycle)
-        except NoCheckpointError as exc:
-            print(f"nothing to resume: {exc}", file=sys.stderr)
-            return 2
-        print(f"resumed from checkpoint at cycle {resumed_from}")
-    else:
-        try:
-            result = runner.run(
-                truth0, ensemble0, args.cycles, on_cycle=on_cycle
-            )
-        except SimulatedCrash as exc:
-            print(f"{exc}")
-            print(
-                f"checkpoints on disk: {runner.store.cycles()} "
-                f"(in {args.dir})"
-            )
-            print("rerun with `campaign --resume` to continue the campaign")
-            return 0
+        if args.resume:
+            resumed_from = runner.store.latest()
+            try:
+                result = runner.resume(args.cycles, on_cycle=on_cycle)
+            except NoCheckpointError as exc:
+                print(f"nothing to resume: {exc}", file=sys.stderr)
+                return 2
+            print(f"resumed from checkpoint at cycle {resumed_from}")
+        else:
+            try:
+                result = runner.run(
+                    truth0, ensemble0, args.cycles, on_cycle=on_cycle
+                )
+            except SimulatedCrash as exc:
+                print(f"{exc}")
+                print(
+                    f"checkpoints on disk: {runner.store.cycles()} "
+                    f"(in {args.dir})"
+                )
+                print("rerun with `campaign --resume` to continue the campaign")
+                return 0
+    finally:
+        filt.close()
 
     print(f"campaign complete: {result.n_cycles} cycles "
           f"(checkpoints at {runner.store.cycles()})")
@@ -165,7 +176,7 @@ def _run_trace(args) -> int:
         )
         return 2
 
-    twin, truth0, ensemble0 = _campaign_problem()
+    twin, truth0, ensemble0, filt = _campaign_problem(workers=args.workers)
     # High enough that transient read faults reliably fire across the few
     # dozen member reads a resume performs (the schedule is a pure
     # function of (seed, site), so a given seed is reproducible).
@@ -189,40 +200,43 @@ def _run_trace(args) -> int:
         if state.cycle == kill_at:
             raise SimulatedCrash(f"simulated crash after cycle {state.cycle}")
 
-    with use_metrics(metrics):
-        runner = build_runner()
-        try:
-            runner.run(truth0, ensemble0, args.cycles, on_cycle=kill_hook)
-            raise RuntimeError("kill hook never fired")  # pragma: no cover
-        except SimulatedCrash as exc:
-            print(f"{exc} (checkpoints at {runner.store.cycles()})")
+    try:
+        with use_metrics(metrics):
+            runner = build_runner()
+            try:
+                runner.run(truth0, ensemble0, args.cycles, on_cycle=kill_hook)
+                raise RuntimeError("kill hook never fired")  # pragma: no cover
+            except SimulatedCrash as exc:
+                print(f"{exc} (checkpoints at {runner.store.cycles()})")
 
-        # Damage the newest checkpoint so resume exercises the failover
-        # path: load_best must quarantine it and fall back one interval.
-        newest = runner.store.latest()
-        if len(runner.store.cycles()) > 1:
-            victim = sorted(
-                runner.store.cycle_dir(newest).glob("member_*.bin")
-            )[0]
-            blob = bytearray(victim.read_bytes())
-            blob[: min(64, len(blob))] = b"\xff" * min(64, len(blob))
-            victim.write_bytes(bytes(blob))
-            print(f"corrupted checkpoint {newest} ({victim.name})")
-        else:
-            print(
-                f"only one checkpoint on disk ({newest}); skipping the "
-                "corruption step so the resume has something to load"
+            # Damage the newest checkpoint so resume exercises the failover
+            # path: load_best must quarantine it and fall back one interval.
+            newest = runner.store.latest()
+            if len(runner.store.cycles()) > 1:
+                victim = sorted(
+                    runner.store.cycle_dir(newest).glob("member_*.bin")
+                )[0]
+                blob = bytearray(victim.read_bytes())
+                blob[: min(64, len(blob))] = b"\xff" * min(64, len(blob))
+                victim.write_bytes(bytes(blob))
+                print(f"corrupted checkpoint {newest} ({victim.name})")
+            else:
+                print(
+                    f"only one checkpoint on disk ({newest}); skipping the "
+                    "corruption step so the resume has something to load"
+                )
+
+            runner = build_runner()
+            result = runner.resume(args.cycles)
+            report = runner.run_report(
+                result,
+                notes=[
+                    f"simulated crash after cycle {kill_at}",
+                    f"checkpoint {newest} corrupted before resume",
+                ],
             )
-
-        runner = build_runner()
-        result = runner.resume(args.cycles)
-        report = runner.run_report(
-            result,
-            notes=[
-                f"simulated crash after cycle {kill_at}",
-                f"checkpoint {newest} corrupted before resume",
-            ],
-        )
+    finally:
+        filt.close()
 
     trace_path = out / "trace.json"
     write_chrome_trace(trace_path, tracer=tracer)
@@ -312,6 +326,14 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=11,
         help="seed of the deterministic fault schedule",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="W",
+        help="fan campaign/trace local analyses over W workers "
+             "(auto strategy; results are bit-identical to serial)",
     )
     args = parser.parse_args(argv)
 

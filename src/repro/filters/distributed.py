@@ -9,16 +9,17 @@ S-EnKF, the multi-stage (layered) analysis schedule.
 
 from __future__ import annotations
 
-import copy
 import math
 
 import numpy as np
 
-from repro.core.analysis import local_analysis
 from repro.core.domain import Decomposition, SubDomain
 from repro.core.inflation import inflate
 from repro.core.observations import ObservationNetwork, perturb_observations
 from repro.faults.report import DegradedResult
+from repro.parallel.executor import AnalysisExecutor, AnalysisPlan, serial_executor
+from repro.parallel.geometry import GeometryCache
+from repro.parallel.worker import KIND_ENKF
 from repro.telemetry.metrics import get_metrics
 from repro.telemetry.tracer import get_tracer
 from repro.util.seeding import spawn_rng
@@ -37,6 +38,18 @@ class DistributedEnKF:
     ridge:
         Regularisation of the per-variable regressions (see
         :func:`repro.core.cholesky.modified_cholesky_inverse`).
+    executor:
+        An :class:`~repro.parallel.executor.AnalysisExecutor` to fan the
+        local analyses across; the caller keeps ownership (and closes
+        it).  Default: the shared serial executor — identical numerics,
+        no pools.
+    workers:
+        Convenience alternative to ``executor``: the filter builds and
+        *owns* an auto-strategy executor of this width (release it with
+        :meth:`close`).  Mutually exclusive with ``executor``.
+    geometry_cache:
+        A :class:`~repro.parallel.geometry.GeometryCache` to share across
+        filters; the filter builds its own when omitted.
     """
 
     name = "distributed-enkf"
@@ -47,6 +60,9 @@ class DistributedEnKF:
         inflation: float = 1.0,
         ridge: float = 1e-8,
         sparse_solver: bool = False,
+        executor: AnalysisExecutor | None = None,
+        workers: int | None = None,
+        geometry_cache: GeometryCache | None = None,
     ):
         check_positive("radius_km", radius_km)
         check_positive("inflation", inflation)
@@ -55,6 +71,29 @@ class DistributedEnKF:
         self.ridge = float(ridge)
         #: use the banded sparse B̂⁻¹ + sparse LU path in local analyses
         self.sparse_solver = bool(sparse_solver)
+        if executor is not None and workers is not None:
+            raise ValueError("pass either executor or workers, not both")
+        self._owns_executor = executor is None and workers is not None
+        self.executor = (
+            AnalysisExecutor(workers=workers) if self._owns_executor else executor
+        )
+        self.geometry = (
+            geometry_cache if geometry_cache is not None else GeometryCache()
+        )
+
+    def close(self) -> None:
+        """Release the executor this filter owns (no-op otherwise)."""
+        if self._owns_executor and self.executor is not None:
+            self.executor.close()
+            self.executor = None
+            self._owns_executor = False
+
+    def _executor(self) -> AnalysisExecutor:
+        return self.executor if self.executor is not None else serial_executor()
+
+    def _plan_pieces(self, decomp: Decomposition) -> list[SubDomain]:
+        """The full analysis work-list, in execution order."""
+        return [piece for sd in decomp for piece in self._analysis_pieces(sd)]
 
     # -- inline execution -----------------------------------------------------
     def assimilate(
@@ -64,11 +103,19 @@ class DistributedEnKF:
         network: ObservationNetwork,
         y: np.ndarray,
         rng=None,
+        inflation: float | None = None,
     ) -> np.ndarray:
         """Analyse the global ensemble through per-sub-domain local updates.
 
         Every sub-domain sees the *same* globally perturbed observations
-        (a consistency requirement of domain decomposition).
+        (a consistency requirement of domain decomposition).  All
+        randomness is consumed here, before the per-piece fan-out, so the
+        result is identical under every execution strategy.
+
+        ``inflation`` overrides the configured multiplicative inflation
+        for this one call (used by graceful degradation to apply its
+        spread compensation without mutating — or copying — the filter,
+        which must stay stateless for pool execution).
         """
         states = np.asarray(states, dtype=float)
         if states.shape[0] != decomp.grid.n:
@@ -76,6 +123,10 @@ class DistributedEnKF:
                 f"ensemble has {states.shape[0]} components, grid has "
                 f"{decomp.grid.n}"
             )
+        effective_inflation = (
+            self.inflation if inflation is None else float(inflation)
+        )
+        check_positive("inflation", effective_inflation)
         tracer = get_tracer()
         with tracer.span(
             "filter.assimilate",
@@ -85,8 +136,8 @@ class DistributedEnKF:
             n_subdomains=decomp.n_subdomains,
         ):
             rng = spawn_rng(rng)
-            if self.inflation != 1.0:
-                states = inflate(states, self.inflation)
+            if effective_inflation != 1.0:
+                states = inflate(states, effective_inflation)
             ys = perturb_observations(
                 np.asarray(y, dtype=float),
                 network.obs_error_std,
@@ -94,24 +145,26 @@ class DistributedEnKF:
                 rng=rng,
             )
             analysed = np.empty_like(states)
-            n_local = 0
-            for sd in decomp:
-                for piece in self._analysis_pieces(sd):
-                    analysed[piece.interior_flat] = local_analysis(
-                        piece,
-                        states[piece.expansion_flat],
-                        network,
-                        ys,
-                        radius_km=self.radius_km,
-                        ridge=self.ridge,
-                        sparse_solver=self.sparse_solver,
-                    )
-                    n_local += 1
+            plan = AnalysisPlan(
+                kind=KIND_ENKF,
+                pieces=self._plan_pieces(decomp),
+                states=states,
+                obs=ys,
+                out=analysed,
+                network=network,
+                params={
+                    "radius_km": self.radius_km,
+                    "ridge": self.ridge,
+                    "sparse_solver": self.sparse_solver,
+                },
+                cache=self.geometry,
+            )
+            n_local = self._executor().run(plan)
             if tracer.enabled:
                 metrics = get_metrics()
                 metrics.counter("filter.analyses").inc()
                 metrics.counter("filter.local_analyses").inc(n_local)
-                metrics.gauge("filter.inflation").set(self.inflation)
+                metrics.gauge("filter.inflation").set(effective_inflation)
         return analysed
 
     def assimilate_degraded(
@@ -132,7 +185,10 @@ class DistributedEnKF:
         ensemble.  The analysis is *literally* a clean ``M``-member run with
         ``inflation * compensation``: the returned columns are bit-identical
         to ``assimilate`` on ``states[:, surviving]`` under that inflation,
-        which is what the resilience tests pin down.
+        which is what the resilience tests pin down.  The compensation is
+        passed as :meth:`assimilate`'s per-call ``inflation`` override —
+        the filter itself is never mutated or copied, so a degraded
+        analysis is safe while the same engine serves a worker pool.
 
         Returns ``(analysed, result)``: the ``(n, M)`` analysis over the
         surviving columns (in member order) and the :class:`DegradedResult`
@@ -161,8 +217,6 @@ class DistributedEnKF:
             )
         tracer = get_tracer()
         compensation = math.sqrt((n_total - 1) / (len(surviving) - 1))
-        degraded = copy.copy(self)
-        degraded.inflation = self.inflation * compensation
         with tracer.span(
             "filter.assimilate_degraded",
             category="filter",
@@ -170,8 +224,9 @@ class DistributedEnKF:
             n_dropped=len(dropped),
             compensation=compensation,
         ):
-            analysed = degraded.assimilate(
-                decomp, states[:, surviving], network, y, rng=rng
+            analysed = self.assimilate(
+                decomp, states[:, surviving], network, y, rng=rng,
+                inflation=self.inflation * compensation,
             )
         if tracer.enabled:
             metrics = get_metrics()

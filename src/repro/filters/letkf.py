@@ -18,9 +18,12 @@ import numpy as np
 
 from repro.cluster.params import MachineSpec
 from repro.core.domain import Decomposition
-from repro.core.etkf import local_analysis_etkf
 from repro.filters.base import PerfScenario, SimReport
 from repro.filters.penkf import simulate_penkf
+from repro.parallel.executor import AnalysisExecutor, AnalysisPlan, serial_executor
+from repro.parallel.geometry import GeometryCache
+from repro.parallel.worker import KIND_ETKF
+from repro.telemetry.tracer import get_tracer
 from repro.util.validation import check_positive
 
 
@@ -32,13 +35,41 @@ class LETKF:
     inflation:
         Multiplicative anomaly inflation applied inside each local
         transform (the conventional place for LETKF inflation).
+    executor, workers, geometry_cache:
+        Parallel-engine wiring, identical to
+        :class:`~repro.filters.distributed.DistributedEnKF`'s: either an
+        externally owned :class:`~repro.parallel.executor.AnalysisExecutor`
+        or a ``workers`` width for an owned one (release with
+        :meth:`close`), plus an optional shared geometry cache.
     """
 
     name = "letkf"
 
-    def __init__(self, inflation: float = 1.0):
+    def __init__(
+        self,
+        inflation: float = 1.0,
+        executor: AnalysisExecutor | None = None,
+        workers: int | None = None,
+        geometry_cache: GeometryCache | None = None,
+    ):
         check_positive("inflation", inflation)
         self.inflation = float(inflation)
+        if executor is not None and workers is not None:
+            raise ValueError("pass either executor or workers, not both")
+        self._owns_executor = executor is None and workers is not None
+        self.executor = (
+            AnalysisExecutor(workers=workers) if self._owns_executor else executor
+        )
+        self.geometry = (
+            geometry_cache if geometry_cache is not None else GeometryCache()
+        )
+
+    def close(self) -> None:
+        """Release the executor this filter owns (no-op otherwise)."""
+        if self._owns_executor and self.executor is not None:
+            self.executor.close()
+            self.executor = None
+            self._owns_executor = False
 
     def assimilate(
         self,
@@ -55,15 +86,26 @@ class LETKF:
                 f"ensemble has {states.shape[0]} components, grid has "
                 f"{decomp.grid.n}"
             )
-        analysed = np.empty_like(states)
-        for sd in decomp:
-            analysed[sd.interior_flat] = local_analysis_etkf(
-                sd,
-                states[sd.expansion_flat],
-                network,
-                y,
-                inflation=self.inflation,
+        with get_tracer().span(
+            "filter.assimilate",
+            category="filter",
+            filter=self.name,
+            n_members=states.shape[1],
+            n_subdomains=decomp.n_subdomains,
+        ):
+            analysed = np.empty_like(states)
+            plan = AnalysisPlan(
+                kind=KIND_ETKF,
+                pieces=list(decomp),
+                states=states,
+                obs=np.asarray(y, dtype=float).ravel(),
+                out=analysed,
+                network=network,
+                params={"inflation": self.inflation},
+                cache=self.geometry,
             )
+            executor = self.executor if self.executor is not None else serial_executor()
+            executor.run(plan)
         return analysed
 
     @staticmethod

@@ -58,9 +58,13 @@ class SEnKF(DistributedEnKF):
         inflation: float = 1.0,
         ridge: float = 1e-8,
         sparse_solver: bool = False,
+        executor=None,
+        workers: int | None = None,
+        geometry_cache=None,
     ):
         super().__init__(radius_km, inflation=inflation, ridge=ridge,
-                         sparse_solver=sparse_solver)
+                         sparse_solver=sparse_solver, executor=executor,
+                         workers=workers, geometry_cache=geometry_cache)
         check_positive("n_layers", n_layers)
         self.n_layers = int(n_layers)
 
@@ -81,6 +85,24 @@ class SEnKF(DistributedEnKF):
                 xi=sd.xi,
                 eta=sd.eta,
             )
+
+    def _plan_pieces(self, decomp):
+        """Stage-major work-list: every sub-domain's layer ``l`` before any
+        layer ``l+1``.
+
+        This is the multi-stage schedule of Sec. 4.2 expressed as an
+        ordering — with the executor's prefetch pipeline, stage ``l+1``'s
+        observation restriction / index arrays / B̂⁻¹ stencil are prepared
+        while stage ``l``'s analyses compute.  Pieces write disjoint
+        interiors, so the ordering cannot change the result.
+        """
+        if self.n_layers == 1:
+            return list(decomp)
+        stages: list[list[SubDomain]] = [[] for _ in range(self.n_layers)]
+        for sd in decomp:
+            for l, piece in enumerate(self._analysis_pieces(sd)):
+                stages[l].append(piece)
+        return [piece for stage in stages for piece in stage]
 
     @staticmethod
     def simulate(

@@ -1,0 +1,429 @@
+"""The parallel analysis engine: strategy-selected fan-out with prefetch.
+
+:class:`AnalysisExecutor` runs the per-piece local analyses of an
+:class:`AnalysisPlan` under one of four strategies:
+
+``serial``
+    The in-process loop — exactly the classic engine, and the reference
+    every other strategy must match bit-for-bit.
+``thread``
+    A persistent :class:`~concurrent.futures.ThreadPoolExecutor`; wins
+    when the pieces are BLAS-dominated (the solves release the GIL).
+``process``
+    A persistent :class:`~concurrent.futures.ProcessPoolExecutor` over
+    shared-memory ensembles (:mod:`repro.parallel.shared`): workers map
+    the background/observation/analysis arrays zero-copy, receive only
+    piece descriptors + cached geometry, and write disjoint interior
+    rows of the shared analysis array.
+``auto``
+    Picks one of the above from the plan's size (see :meth:`resolve`).
+
+Orthogonally, a *prefetch pipeline* (``prefetch_depth``) re-creates the
+paper's helper-thread overlap in-process: a feeder thread walks the plan
+in order, computing each upcoming piece's geometry — observation
+restriction, index arrays, modified-Cholesky stencil — through the
+:class:`~repro.parallel.geometry.GeometryCache` while the strategy
+computes the pieces already prepared.  With S-EnKF's layer-major piece
+order this is literally "stage ``l+1``'s restriction prepared while
+stage ``l`` computes".
+
+Determinism: every strategy calls the same
+:func:`~repro.parallel.worker.compute_piece` on the same inputs, pieces
+own disjoint interior rows, and all randomness (observation
+perturbation) is consumed *before* the plan is built — so serial, thread
+and process results are bit-identical.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import os
+import pickle
+import queue
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from repro.parallel.geometry import GeometryCache, PieceGeometry
+from repro.parallel.shared import SharedEnsemble
+from repro.parallel.worker import KIND_ENKF, compute_piece, run_chunk
+from repro.telemetry.metrics import get_metrics
+from repro.telemetry.tracer import get_tracer
+
+__all__ = ["AnalysisExecutor", "AnalysisPlan", "serial_executor"]
+
+STRATEGIES = ("auto", "serial", "thread", "process")
+
+#: auto-strategy ceilings on the plan's total expansion points: below the
+#: first the pool dispatch overhead beats any win (stay serial); between
+#: them the BLAS-released GIL makes threads worthwhile; above the second
+#: the Python-level modified-Cholesky loops dominate and only processes
+#: buy real concurrency.
+_SERIAL_POINTS_CEILING = 2_048
+_THREAD_POINTS_CEILING = 8_192
+
+
+@dataclass
+class AnalysisPlan:
+    """One assimilation call's work-list, data and parameters.
+
+    ``obs`` is the full observation payload (perturbed ``Yˢ`` for the
+    EnKF kinds, plain ``y`` for the ETKF); ``params`` are the picklable
+    scalars :func:`~repro.parallel.worker.compute_piece` needs; ``out``
+    is filled in place (each piece owns its interior rows).
+    """
+
+    kind: str
+    pieces: list
+    states: np.ndarray
+    obs: np.ndarray
+    out: np.ndarray
+    network: object
+    params: dict
+    cache: GeometryCache = field(default_factory=GeometryCache)
+
+    @property
+    def cache_radius(self) -> float | None:
+        """Radius to key geometry on (the EnKF kinds cache the stencil)."""
+        return self.params.get("radius_km") if self.kind == KIND_ENKF else None
+
+    def prepare(self, index: int) -> tuple[int, object, PieceGeometry]:
+        """Resolve one piece's geometry (cached); the prefetch unit."""
+        piece = self.pieces[index]
+        tracer = get_tracer()
+        if tracer.enabled:
+            with tracer.span(
+                "parallel.prepare", category="parallel", piece=index
+            ) as span:
+                geometry, cached = self.cache.get(
+                    self.network, piece, self.cache_radius
+                )
+                span.set(cached=cached)
+        else:
+            geometry, _ = self.cache.get(self.network, piece, self.cache_radius)
+        return index, piece, geometry
+
+
+class AnalysisExecutor:
+    """Persistent-pool executor for inline local analyses.
+
+    Parameters
+    ----------
+    strategy:
+        ``auto`` (default), ``serial``, ``thread`` or ``process``.
+    workers:
+        Pool width; ``None`` uses ``os.cpu_count()``.  Capped by the
+        plan's piece count at run time.
+    prefetch_depth:
+        Bound on pieces prepared ahead of computation by the pipeline
+        thread; ``None`` disables the pipeline (geometry is then
+        resolved inline, still through the cache).
+    chunks_per_worker:
+        Process-strategy load-balance knob: pieces are submitted in
+        ``workers * chunks_per_worker`` chunks so a straggler chunk
+        cannot serialise the tail.
+    """
+
+    def __init__(
+        self,
+        strategy: str = "auto",
+        workers: int | None = None,
+        prefetch_depth: int | None = 2,
+        chunks_per_worker: int = 2,
+    ):
+        if strategy not in STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
+            )
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if prefetch_depth is not None and prefetch_depth < 1:
+            raise ValueError(
+                f"prefetch_depth must be >= 1 or None, got {prefetch_depth}"
+            )
+        if chunks_per_worker < 1:
+            raise ValueError(
+                f"chunks_per_worker must be >= 1, got {chunks_per_worker}"
+            )
+        self.strategy = strategy
+        self.workers = workers
+        self.prefetch_depth = prefetch_depth
+        self.chunks_per_worker = int(chunks_per_worker)
+        self._lock = threading.Lock()
+        self._thread_pool: ThreadPoolExecutor | None = None
+        self._thread_pool_size = 0
+        self._process_pool: ProcessPoolExecutor | None = None
+        self._process_pool_size = 0
+        self._call_counter = itertools.count()
+        self._closed = False
+
+    # -- strategy selection ----------------------------------------------------
+    def effective_workers(self, n_pieces: int) -> int:
+        requested = self.workers if self.workers is not None else (os.cpu_count() or 1)
+        return max(1, min(int(requested), max(n_pieces, 1)))
+
+    def resolve(self, plan: AnalysisPlan) -> str:
+        """The concrete strategy this plan will run under."""
+        if self.strategy != "auto":
+            return self.strategy
+        if self.effective_workers(len(plan.pieces)) <= 1 or len(plan.pieces) < 2:
+            return "serial"
+        points = sum(p.exp_size for p in plan.pieces)
+        if points < _SERIAL_POINTS_CEILING:
+            return "serial"
+        if points < _THREAD_POINTS_CEILING:
+            return "thread"
+        return "process"
+
+    # -- execution -------------------------------------------------------------
+    def run(self, plan: AnalysisPlan) -> int:
+        """Analyse every piece of ``plan`` into ``plan.out``; returns the
+        number of local analyses performed."""
+        if self._closed:
+            raise ValueError("executor is closed")
+        strategy = self.resolve(plan)
+        n_pieces = len(plan.pieces)
+        workers = self.effective_workers(n_pieces)
+        tracer = get_tracer()
+        with tracer.span(
+            "parallel.run",
+            category="parallel",
+            strategy=strategy,
+            n_pieces=n_pieces,
+            workers=workers if strategy != "serial" else 1,
+        ):
+            if strategy == "serial":
+                self._run_serial(plan)
+            elif strategy == "thread":
+                self._run_thread(plan, workers)
+            else:
+                self._run_process(plan, workers)
+        if tracer.enabled:
+            metrics = get_metrics()
+            metrics.counter("parallel.runs").inc()
+            metrics.counter("parallel.pieces").inc(n_pieces)
+            metrics.gauge("parallel.workers").set(
+                workers if strategy != "serial" else 1
+            )
+        return n_pieces
+
+    # -- prepared-piece pipeline ----------------------------------------------
+    def _iter_prepared(self, plan: AnalysisPlan):
+        """Yield prepared pieces in plan order, prefetched when configured."""
+        n = len(plan.pieces)
+        if self.prefetch_depth is None or n <= 1:
+            for i in range(n):
+                yield plan.prepare(i)
+            return
+        out: queue.Queue = queue.Queue(maxsize=self.prefetch_depth)
+        stop = threading.Event()
+        sentinel = object()
+        failure: list[BaseException] = []
+
+        def put_until_stopped(item) -> None:
+            # A plain blocking put could deadlock against a consumer that
+            # aborted with the queue full; poll the stop flag instead.
+            while not stop.is_set():
+                try:
+                    out.put(item, timeout=0.05)
+                    return
+                except queue.Full:
+                    continue
+
+        def feeder() -> None:
+            try:
+                for i in range(n):
+                    if stop.is_set():
+                        return
+                    put_until_stopped(plan.prepare(i))
+            except BaseException as exc:  # surfaced to the consumer
+                failure.append(exc)
+            finally:
+                put_until_stopped(sentinel)
+
+        thread = threading.Thread(
+            target=feeder, name="geometry-prefetch", daemon=True
+        )
+        thread.start()
+        try:
+            while True:
+                item = out.get()
+                if item is sentinel:
+                    break
+                yield item
+            if failure:
+                raise failure[0]
+        finally:
+            stop.set()
+            while True:
+                try:
+                    out.get_nowait()
+                except queue.Empty:
+                    break
+            thread.join(timeout=5.0)
+
+    # -- serial ----------------------------------------------------------------
+    def _compute_one(self, plan: AnalysisPlan, prepared) -> None:
+        index, piece, geometry = prepared
+        xb = plan.states[geometry.expansion_flat]
+        result = compute_piece(
+            plan.kind, piece, xb, plan.obs, geometry, plan.params
+        )
+        plan.out[geometry.interior_flat] = result
+
+    def _compute_one_traced(self, plan: AnalysisPlan, prepared) -> None:
+        tracer = get_tracer()
+        if tracer.enabled:
+            with tracer.span(
+                "parallel.local_analysis", category="parallel",
+                piece=prepared[0],
+            ):
+                self._compute_one(plan, prepared)
+        else:
+            self._compute_one(plan, prepared)
+
+    def _run_serial(self, plan: AnalysisPlan) -> None:
+        for prepared in self._iter_prepared(plan):
+            self._compute_one_traced(plan, prepared)
+
+    # -- thread pool -----------------------------------------------------------
+    def _ensure_thread_pool(self, workers: int) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._thread_pool is None or self._thread_pool_size < workers:
+                if self._thread_pool is not None:
+                    self._thread_pool.shutdown(wait=True)
+                self._thread_pool = ThreadPoolExecutor(
+                    max_workers=workers, thread_name_prefix="analysis-worker"
+                )
+                self._thread_pool_size = workers
+            return self._thread_pool
+
+    def _run_thread(self, plan: AnalysisPlan, workers: int) -> None:
+        pool = self._ensure_thread_pool(workers)
+        futures = [
+            pool.submit(self._compute_one_traced, plan, prepared)
+            for prepared in self._iter_prepared(plan)
+        ]
+        for future in futures:
+            future.result()
+
+    # -- process pool ----------------------------------------------------------
+    def _ensure_process_pool(self, workers: int) -> ProcessPoolExecutor:
+        with self._lock:
+            if self._process_pool is None or self._process_pool_size < workers:
+                if self._process_pool is not None:
+                    self._process_pool.shutdown(wait=True)
+                self._process_pool = ProcessPoolExecutor(max_workers=workers)
+                self._process_pool_size = workers
+            return self._process_pool
+
+    def _run_process(self, plan: AnalysisPlan, workers: int) -> None:
+        pool = self._ensure_process_pool(workers)
+        token = (id(self), next(self._call_counter))
+        n = len(plan.pieces)
+        chunk_size = max(1, math.ceil(n / (workers * self.chunks_per_worker)))
+        tracer = get_tracer()
+        shm_states = SharedEnsemble.from_array(plan.states)
+        shm_obs = SharedEnsemble.from_array(plan.obs)
+        shm_out = SharedEnsemble.create(plan.out.shape)
+        futures = []
+        try:
+            ctx_bytes = pickle.dumps(
+                {
+                    "kind": plan.kind,
+                    "params": plan.params,
+                    "trace": bool(tracer.enabled),
+                    "states": asdict(shm_states.spec),
+                    "obs": asdict(shm_obs.spec),
+                    "out": asdict(shm_out.spec),
+                },
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+            # Prepare inline on this thread, submitting each chunk as it
+            # fills: workers compute chunk k while the parent prepares
+            # chunk k+1 — the same prepare/compute overlap the prefetch
+            # thread gives the other strategies, but with no extra Python
+            # thread alive while the pool forks its workers (forking a
+            # process whose threads are mid-BLAS can deadlock the child).
+            chunk: list = []
+            for i in range(n):
+                chunk.append(plan.prepare(i))
+                if len(chunk) >= chunk_size:
+                    futures.append(pool.submit(run_chunk, token, ctx_bytes, chunk))
+                    chunk = []
+            if chunk:
+                futures.append(pool.submit(run_chunk, token, ctx_bytes, chunk))
+            for future in futures:
+                pid, spans = future.result()
+                self._merge_worker_spans(tracer, pid, spans)
+            np.copyto(plan.out, shm_out.array)
+            if tracer.enabled:
+                get_metrics().counter("parallel.chunks").inc(len(futures))
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            with self._lock:
+                if self._process_pool is pool:
+                    self._process_pool = None
+                    self._process_pool_size = 0
+            pool.shutdown(wait=True, cancel_futures=True)
+            raise
+        finally:
+            shm_states.dispose()
+            shm_obs.dispose()
+            shm_out.dispose()
+
+    @staticmethod
+    def _merge_worker_spans(tracer, pid: int, spans: list) -> None:
+        """Re-base worker ``perf_counter`` spans onto the parent tracer.
+
+        Worker clocks share CLOCK_MONOTONIC with the parent on Linux but
+        the tracer clock is injectable, so spans are aligned to end at
+        the parent's *receive* time — durations and relative order within
+        one worker are preserved exactly.
+        """
+        if not tracer.enabled or not spans:
+            return
+        offset = tracer.now() - max(span[3] for span in spans)
+        for name, category, start, end, attrs in spans:
+            tracer.record(
+                name, start + offset, end + offset,
+                category=category, track=f"worker-{pid}", **attrs,
+            )
+
+    # -- lifecycle -------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the persistent pools (idempotent)."""
+        self._closed = True
+        with self._lock:
+            if self._thread_pool is not None:
+                self._thread_pool.shutdown(wait=True)
+                self._thread_pool = None
+                self._thread_pool_size = 0
+            if self._process_pool is not None:
+                self._process_pool.shutdown(wait=True)
+                self._process_pool = None
+                self._process_pool_size = 0
+
+    def __enter__(self) -> "AnalysisExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+_serial_singleton: AnalysisExecutor | None = None
+
+
+def serial_executor() -> AnalysisExecutor:
+    """The shared pool-free executor backing the filters' default path."""
+    global _serial_singleton
+    if _serial_singleton is None:
+        _serial_singleton = AnalysisExecutor(
+            strategy="serial", prefetch_depth=None
+        )
+    return _serial_singleton

@@ -1,0 +1,173 @@
+"""Shared-memory ensemble arrays for the process-pool analysis path.
+
+The inline filters operate on ``(n, N)`` float arrays that every worker
+needs to *read* (background ensemble, perturbed observations) or *write
+disjoint rows of* (the analysis).  Pickling those arrays into each task
+would copy the whole state per worker; instead :class:`SharedEnsemble`
+places one array in :mod:`multiprocessing.shared_memory` and hands
+workers a tiny :class:`SharedArraySpec` (name + shape + dtype) from which
+they map a zero-copy numpy view.
+
+Lifecycle contract (see docs/PERFORMANCE.md):
+
+* the *owner* (the parent process) creates the segment and is the only
+  one that ever calls :meth:`SharedEnsemble.unlink`;
+* workers attach with :func:`attach_array` / :class:`AttachedArray`,
+  which deliberately bypasses the per-process ``resource_tracker``
+  registration (CPython re-registers attached segments and then warns
+  about "leaked shared_memory objects" at worker exit even though the
+  owner unlinked them — the well-known bpo-38119 behaviour);
+* :meth:`SharedEnsemble.dispose` drops the owner's view, closes the
+  mapping and unlinks the name, in that order, so no segment outlives
+  the analysis call that created it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+__all__ = ["AttachedArray", "SharedArraySpec", "SharedEnsemble", "attach_array"]
+
+
+@dataclass(frozen=True)
+class SharedArraySpec:
+    """Everything a worker needs to map a shared array: tiny and picklable."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64)) * np.dtype(self.dtype).itemsize
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without disturbing leak tracking.
+
+    Attaching registers the name with the resource tracker (until Python
+    3.13's ``track=False``).  What that means depends on how this process
+    relates to the segment's creator:
+
+    * *fork* workers (and same-process attaches) share the creator's
+      tracker — the duplicate registration is a set-add no-op and the
+      creator's ``unlink`` clears it, so we must NOT unregister (doing so
+      would strip the creator's own registration and make its unlink
+      trip a tracker ``KeyError``);
+    * *spawn*-style workers start their own tracker on first register and
+      would warn about "leaked shared_memory objects" at exit for
+      segments they merely read (bpo-38119) — there we unregister.
+
+    The two cases are told apart by whether a tracker connection already
+    existed in this process before the attach.
+    """
+    tracker = getattr(resource_tracker, "_resource_tracker", None)
+    had_tracker = getattr(tracker, "_fd", None) is not None
+    shm = shared_memory.SharedMemory(name=name)
+    if not had_tracker:  # pragma: no cover - spawn-only path
+        try:
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:
+            pass
+    return shm
+
+
+class AttachedArray:
+    """A worker-side zero-copy view of a :class:`SharedArraySpec`.
+
+    Keeps the mapping open until :meth:`release` (views into a closed
+    segment would fault); callers must drop every derived view first.
+    """
+
+    def __init__(self, spec: SharedArraySpec):
+        self._shm = _attach_untracked(spec.name)
+        self.array: np.ndarray | None = np.ndarray(
+            spec.shape, dtype=np.dtype(spec.dtype), buffer=self._shm.buf
+        )
+
+    def release(self) -> None:
+        self.array = None
+        if self._shm is not None:
+            try:
+                self._shm.close()
+            except BufferError:  # a caller kept a view alive; leave mapped
+                pass
+            self._shm = None
+
+
+def attach_array(spec: SharedArraySpec) -> AttachedArray:
+    """Attach a worker to one shared array (see :class:`AttachedArray`)."""
+    return AttachedArray(spec)
+
+
+class SharedEnsemble:
+    """An owner-side ``(n, N)`` (or any-shape) float array in shared memory.
+
+    Create with :meth:`create` (zero-filled) or :meth:`from_array` (one
+    copy in), read/write through :attr:`array`, publish :attr:`spec` to
+    workers, and always :meth:`dispose` in a ``finally`` — the segment
+    has kernel lifetime, not process lifetime.
+    """
+
+    def __init__(self, shape: tuple[int, ...], dtype=np.float64):
+        shape = tuple(int(s) for s in shape)
+        dtype = np.dtype(dtype)
+        nbytes = max(1, int(np.prod(shape, dtype=np.int64)) * dtype.itemsize)
+        self._shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        self._view: np.ndarray | None = np.ndarray(
+            shape, dtype=dtype, buffer=self._shm.buf
+        )
+        self.spec = SharedArraySpec(
+            name=self._shm.name, shape=shape, dtype=dtype.str
+        )
+
+    @classmethod
+    def create(cls, shape: tuple[int, ...], dtype=np.float64) -> "SharedEnsemble":
+        """A new zero-initialised shared array (segments start zeroed)."""
+        return cls(shape, dtype=dtype)
+
+    @classmethod
+    def from_array(cls, array: np.ndarray) -> "SharedEnsemble":
+        """A new shared array holding a copy of ``array``."""
+        array = np.asarray(array)
+        out = cls(array.shape, dtype=array.dtype)
+        out.array[...] = array
+        return out
+
+    @property
+    def array(self) -> np.ndarray:
+        if self._view is None:
+            raise ValueError("shared ensemble already disposed")
+        return self._view
+
+    # -- lifecycle -----------------------------------------------------------
+    def dispose(self) -> None:
+        """Drop the view, close the mapping and unlink the name (idempotent)."""
+        self._view = None
+        if self._shm is None:
+            return
+        shm, self._shm = self._shm, None
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - caller kept a view
+            pass
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+    def __enter__(self) -> "SharedEnsemble":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.dispose()
+        return False
+
+    def __del__(self):  # pragma: no cover - GC backstop only
+        try:
+            self.dispose()
+        except Exception:
+            pass

@@ -144,7 +144,7 @@ class NullTracer:
 
     def record(
         self, name: str, start: float, end: float,
-        category: str = "default", **attrs,
+        category: str = "default", track: str | None = None, **attrs,
     ) -> None:
         return None
 
@@ -237,13 +237,15 @@ class Tracer:
 
     def record(
         self, name: str, start: float, end: float,
-        category: str = "default", **attrs,
+        category: str = "default", track: str | None = None, **attrs,
     ) -> Span:
         """Append an already-measured span (e.g. a failed retry attempt).
 
         ``start``/``end`` must come from this tracer's clock
         (:meth:`now`).  The span is parented under the innermost open
         span of the calling thread, like a ``with``-block span would be.
+        ``track`` overrides the calling thread's track name — how spans
+        measured in pool workers land on a ``worker-<pid>`` track.
         """
         span = Span(
             name=name,
@@ -252,7 +254,7 @@ class Tracer:
             end=end,
             span_id=self._new_id(),
             parent_id=self.current_span_id(),
-            track=self._track(),
+            track=track if track is not None else self._track(),
             attrs=dict(attrs),
         )
         with self._lock:

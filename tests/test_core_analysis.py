@@ -68,6 +68,19 @@ class TestFormEquivalence:
         sparse = analysis_precision_form(xb, sp.csr_matrix(h), r_diag, ys, binv)
         assert np.allclose(dense, sparse)
 
+    def test_gain_form_sparse_h_with_explicit_b(self):
+        """Regression: sparse H + explicit B used to route B @ Hᵀ through
+        ``np.matrix`` (scipy's ``todense``), changing downstream semantics.
+        The result must be a plain ndarray and match the dense-H path."""
+        import scipy.sparse as sp
+
+        cov, _, xb, h, r_diag, _, ys = gaussian_setup()
+        dense = analysis_gain_form(xb, h, r_diag, ys, b_matrix=cov)
+        sparse = analysis_gain_form(xb, sp.csr_matrix(h), r_diag, ys,
+                                    b_matrix=cov)
+        assert type(sparse) is np.ndarray
+        assert np.allclose(dense, sparse, atol=1e-10)
+
 
 class TestAgainstKalmanFilter:
     def kf_mean(self, xb_mean, cov, h, r_diag, y):

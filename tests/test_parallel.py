@@ -1,0 +1,446 @@
+"""Tests for the parallel analysis engine (:mod:`repro.parallel`).
+
+The load-bearing guarantee is *bit-identity*: every execution strategy —
+serial loop, thread pool, process pool over shared memory — must produce
+byte-for-byte the same analysis as the classic serial engine, for every
+filter kind (DistributedEnKF, layered S-EnKF, LETKF), including the
+degenerate configurations (one worker, more workers than pieces,
+sub-domains with no observations).  On top sit the shared-memory
+lifecycle contract, the geometry cache's reuse semantics (a cycling
+campaign must never re-derive cycle-invariant geometry), and the
+telemetry flow from pool workers back into the parent tracer.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import Decomposition, Grid, ObservationNetwork
+from repro.core.domain import SubDomain
+from repro.filters import LETKF, SEnKF
+from repro.filters.distributed import DistributedEnKF
+from repro.models import correlated_ensemble
+from repro.parallel import (
+    AnalysisExecutor,
+    AnalysisPlan,
+    GeometryCache,
+    KIND_ENKF,
+    SharedArraySpec,
+    SharedEnsemble,
+    attach_array,
+)
+from repro.telemetry import MetricsRegistry, Tracer, use_metrics, use_tracer
+
+STRATEGIES = ("serial", "thread", "process")
+
+
+def problem(n_x=16, n_y=8, n_members=12, m=40, seed=0):
+    grid = Grid(n_x=n_x, n_y=n_y, dx_km=1.0, dy_km=1.0)
+    rng = np.random.default_rng(seed)
+    truth = correlated_ensemble(grid, 1, length_scale_km=4.0, rng=rng)[:, 0]
+    states = truth[:, None] + correlated_ensemble(
+        grid, n_members, length_scale_km=4.0, rng=rng
+    )
+    net = ObservationNetwork.random(grid, m=m, obs_error_std=0.3, rng=rng)
+    y = net.observe(truth, rng=rng)
+    return grid, truth, states, net, y
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory lifecycle
+# ---------------------------------------------------------------------------
+class TestSharedEnsemble:
+    def test_roundtrip_through_spec(self):
+        rng = np.random.default_rng(0)
+        data = rng.standard_normal((32, 6))
+        with SharedEnsemble.from_array(data) as shm:
+            assert np.array_equal(shm.array, data)
+            attached = attach_array(shm.spec)
+            assert np.array_equal(attached.array, data)
+            # Zero-copy: a write on one side is visible on the other.
+            attached.array[3, 2] = 99.0
+            assert shm.array[3, 2] == 99.0
+            attached.release()
+            assert attached.array is None
+
+    def test_create_zero_filled(self):
+        with SharedEnsemble.create((8, 3)) as shm:
+            assert shm.array.shape == (8, 3)
+            assert np.all(shm.array == 0.0)
+
+    def test_dispose_is_idempotent_and_unlinks(self):
+        shm = SharedEnsemble.create((4, 2))
+        spec = shm.spec
+        shm.dispose()
+        shm.dispose()  # second dispose is a no-op
+        with pytest.raises(ValueError):
+            shm.array
+        with pytest.raises(FileNotFoundError):
+            attach_array(spec)  # the segment really is gone
+
+    def test_spec_is_picklable_and_sized(self):
+        spec = SharedArraySpec(name="x", shape=(10, 4), dtype="<f8")
+        assert pickle.loads(pickle.dumps(spec)) == spec
+        assert spec.nbytes == 10 * 4 * 8
+
+
+# ---------------------------------------------------------------------------
+# Geometry cache
+# ---------------------------------------------------------------------------
+class TestGeometryCache:
+    def _setup(self):
+        grid, truth, states, net, y = problem()
+        decomp = Decomposition(grid, n_sdx=4, n_sdy=2, xi=2, eta=2)
+        return decomp, net
+
+    def test_hit_on_second_lookup(self):
+        decomp, net = self._setup()
+        cache = GeometryCache()
+        sd = next(iter(decomp))
+        geo1, cached1 = cache.get(net, sd, radius_km=2.0)
+        geo2, cached2 = cache.get(net, sd, radius_km=2.0)
+        assert (cached1, cached2) == (False, True)
+        assert geo1 is geo2
+        assert cache.stats == {"hits": 1, "misses": 1, "entries": 1}
+
+    def test_structurally_equal_piece_hits(self):
+        # S-EnKF rebuilds equal layer SubDomains every call; the cache
+        # must key them structurally, not by object identity.
+        decomp, net = self._setup()
+        cache = GeometryCache()
+        sd = next(iter(decomp))
+        clone = SubDomain(grid=sd.grid, i=sd.i, j=sd.j, ix0=sd.ix0,
+                          ix1=sd.ix1, iy0=sd.iy0, iy1=sd.iy1,
+                          xi=sd.xi, eta=sd.eta)
+        cache.get(net, sd, radius_km=2.0)
+        _, cached = cache.get(net, clone, radius_km=2.0)
+        assert cached
+
+    def test_distinct_network_and_radius_miss(self):
+        decomp, net = self._setup()
+        other_net = ObservationNetwork.random(
+            decomp.grid, m=10, rng=np.random.default_rng(9)
+        )
+        cache = GeometryCache()
+        sd = next(iter(decomp))
+        cache.get(net, sd, radius_km=2.0)
+        assert not cache.get(other_net, sd, radius_km=2.0)[1]
+        assert not cache.get(net, sd, radius_km=3.0)[1]
+        assert not cache.get(net, sd, None)[1]
+
+    def test_maxsize_evicts_oldest(self):
+        decomp, net = self._setup()
+        cache = GeometryCache(maxsize=2)
+        pieces = list(decomp)[:3]
+        for sd in pieces:
+            cache.get(net, sd, radius_km=2.0)
+        assert len(cache) == 2
+        assert not cache.get(net, pieces[0], radius_km=2.0)[1]  # evicted
+
+    def test_geometry_matches_direct_derivation(self):
+        decomp, net = self._setup()
+        sd = next(iter(decomp))
+        geo = GeometryCache().local_geometry(net, sd, radius_km=2.0)
+        positions, h_local = net.restrict_to_box(
+            sd.exp_x_indices, sd.exp_y_indices
+        )
+        assert np.array_equal(geo.obs_positions, positions)
+        assert (geo.h_local != h_local).nnz == 0
+        assert np.array_equal(geo.interior_positions,
+                              sd.interior_positions_in_expansion)
+        assert geo.predecessors is not None
+
+    def test_cycling_never_rederives_geometry(self, monkeypatch):
+        """Across cycles, restrict_to_box and the Cholesky stencil are
+        computed exactly once per piece (the cache eliminates them)."""
+        grid, truth, states, net, y = problem()
+        decomp = Decomposition(grid, n_sdx=4, n_sdy=2, xi=2, eta=2)
+        calls = {"restrict": 0, "stencil": 0}
+
+        real_restrict = ObservationNetwork.restrict_to_box
+
+        def counting_restrict(self, *args, **kwargs):
+            calls["restrict"] += 1
+            return real_restrict(self, *args, **kwargs)
+
+        monkeypatch.setattr(
+            ObservationNetwork, "restrict_to_box", counting_restrict
+        )
+        import repro.parallel.geometry as geometry_mod
+
+        real_stencil = geometry_mod.neighbour_predecessors
+
+        def counting_stencil(*args, **kwargs):
+            calls["stencil"] += 1
+            return real_stencil(*args, **kwargs)
+
+        monkeypatch.setattr(
+            geometry_mod, "neighbour_predecessors", counting_stencil
+        )
+
+        filt = DistributedEnKF(radius_km=2.0, inflation=1.05)
+        filt.assimilate(decomp, states, net, y, rng=1)
+        first_cycle = dict(calls)
+        assert first_cycle["restrict"] == decomp.n_subdomains
+        for _ in range(3):
+            filt.assimilate(decomp, states, net, y, rng=1)
+        assert calls == first_cycle  # later cycles: zero re-derivations
+
+
+# ---------------------------------------------------------------------------
+# Executor mechanics
+# ---------------------------------------------------------------------------
+class TestExecutorConfig:
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            AnalysisExecutor(strategy="gpu")
+        with pytest.raises(ValueError):
+            AnalysisExecutor(workers=0)
+        with pytest.raises(ValueError):
+            AnalysisExecutor(prefetch_depth=0)
+
+    def test_closed_executor_refuses_work(self):
+        ex = AnalysisExecutor(strategy="serial")
+        ex.close()
+        grid, truth, states, net, y = problem()
+        decomp = Decomposition(grid, n_sdx=2, n_sdy=2, xi=1, eta=1)
+        plan = AnalysisPlan(
+            kind=KIND_ENKF, pieces=list(decomp), states=states,
+            obs=np.zeros((net.m, states.shape[1])), out=np.empty_like(states),
+            network=net, params={"radius_km": 2.0, "ridge": 1e-8,
+                                 "sparse_solver": False},
+        )
+        with pytest.raises(ValueError):
+            ex.run(plan)
+
+    def test_auto_resolves_serial_for_tiny_plans(self):
+        grid, truth, states, net, y = problem()
+        decomp = Decomposition(grid, n_sdx=2, n_sdy=2, xi=1, eta=1)
+        plan = AnalysisPlan(
+            kind=KIND_ENKF, pieces=list(decomp), states=states,
+            obs=np.zeros((net.m, states.shape[1])), out=np.empty_like(states),
+            network=net, params={"radius_km": 2.0, "ridge": 1e-8,
+                                 "sparse_solver": False},
+        )
+        with AnalysisExecutor(strategy="auto", workers=4) as ex:
+            assert ex.resolve(plan) == "serial"
+        with AnalysisExecutor(strategy="auto", workers=1) as ex:
+            assert ex.resolve(plan) == "serial"
+
+    def test_effective_workers_capped_by_pieces(self):
+        ex = AnalysisExecutor(workers=16)
+        assert ex.effective_workers(3) == 3
+        ex.close()
+
+    def test_filter_rejects_executor_and_workers(self):
+        with pytest.raises(ValueError):
+            DistributedEnKF(radius_km=2.0, workers=2,
+                            executor=AnalysisExecutor(strategy="serial"))
+
+    def test_subdomain_pickles_without_cached_arrays(self):
+        grid = Grid(n_x=8, n_y=4, dx_km=1.0, dy_km=1.0)
+        sd = Decomposition(grid, 2, 2, xi=1, eta=1).subdomain(0, 0)
+        _ = sd.expansion_flat  # populate the caches
+        clone = pickle.loads(pickle.dumps(sd))
+        assert "expansion_flat" not in vars(clone)  # rebuilt lazily, not shipped
+        assert np.array_equal(clone.expansion_flat, sd.expansion_flat)
+
+
+# ---------------------------------------------------------------------------
+# Bit-identity across strategies and filters
+# ---------------------------------------------------------------------------
+def _enkf_pair(executor):
+    serial = DistributedEnKF(radius_km=2.0, inflation=1.05)
+    parallel = DistributedEnKF(radius_km=2.0, inflation=1.05,
+                               executor=executor)
+    return serial, parallel
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_distributed_enkf(self, strategy):
+        grid, truth, states, net, y = problem()
+        decomp = Decomposition(grid, n_sdx=4, n_sdy=2, xi=2, eta=2)
+        with AnalysisExecutor(strategy=strategy, workers=2) as ex:
+            serial, parallel = _enkf_pair(ex)
+            ref = serial.assimilate(decomp, states, net, y, rng=7)
+            out = parallel.assimilate(decomp, states, net, y, rng=7)
+        assert np.array_equal(ref, out)
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_senkf_layered(self, strategy):
+        grid, truth, states, net, y = problem()
+        decomp = Decomposition(grid, n_sdx=4, n_sdy=2, xi=1, eta=1)
+        serial = SEnKF(radius_km=2.0, n_layers=2, inflation=1.02)
+        ref = serial.assimilate(decomp, states, net, y, rng=5)
+        with AnalysisExecutor(strategy=strategy, workers=2) as ex:
+            parallel = SEnKF(radius_km=2.0, n_layers=2, inflation=1.02,
+                             executor=ex)
+            out = parallel.assimilate(decomp, states, net, y, rng=5)
+        assert np.array_equal(ref, out)
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_letkf(self, strategy):
+        grid, truth, states, net, y = problem()
+        decomp = Decomposition(grid, n_sdx=4, n_sdy=2, xi=2, eta=2)
+        ref = LETKF(inflation=1.03).assimilate(decomp, states, net, y)
+        with AnalysisExecutor(strategy=strategy, workers=2) as ex:
+            out = LETKF(inflation=1.03, executor=ex).assimilate(
+                decomp, states, net, y
+            )
+        assert np.array_equal(ref, out)
+
+    def test_sparse_solver_path(self):
+        grid, truth, states, net, y = problem()
+        decomp = Decomposition(grid, n_sdx=4, n_sdy=2, xi=2, eta=2)
+        serial = DistributedEnKF(radius_km=2.0, sparse_solver=True)
+        ref = serial.assimilate(decomp, states, net, y, rng=3)
+        with AnalysisExecutor(strategy="process", workers=2) as ex:
+            parallel = DistributedEnKF(radius_km=2.0, sparse_solver=True,
+                                       executor=ex)
+            out = parallel.assimilate(decomp, states, net, y, rng=3)
+        assert np.array_equal(ref, out)
+
+    def test_workers_one_is_bitwise_serial(self):
+        grid, truth, states, net, y = problem()
+        decomp = Decomposition(grid, n_sdx=4, n_sdy=2, xi=2, eta=2)
+        serial = DistributedEnKF(radius_km=2.0)
+        ref = serial.assimilate(decomp, states, net, y, rng=11)
+        filt = DistributedEnKF(radius_km=2.0, workers=1)
+        try:
+            out = filt.assimilate(decomp, states, net, y, rng=11)
+        finally:
+            filt.close()
+        assert np.array_equal(ref, out)
+
+    def test_more_workers_than_subdomains(self):
+        grid, truth, states, net, y = problem()
+        decomp = Decomposition(grid, n_sdx=2, n_sdy=2, xi=1, eta=1)
+        ref = DistributedEnKF(radius_km=2.0).assimilate(
+            decomp, states, net, y, rng=2
+        )
+        with AnalysisExecutor(strategy="process", workers=16) as ex:
+            out = DistributedEnKF(radius_km=2.0, executor=ex).assimilate(
+                decomp, states, net, y, rng=2
+            )
+        assert np.array_equal(ref, out)
+
+    def test_empty_observation_subdomains_under_process_pool(self):
+        """Sub-domains whose expansion sees no observation return the
+        (inflated) background — also under the shared-memory pool."""
+        grid = Grid(n_x=16, n_y=8, dx_km=1.0, dy_km=1.0)
+        rng = np.random.default_rng(4)
+        states = rng.standard_normal((grid.n, 8))
+        # All observations in the left quarter: right-side boxes are empty.
+        net = ObservationNetwork(
+            grid, ix=np.arange(4), iy=np.zeros(4, dtype=int),
+            obs_error_std=0.5,
+        )
+        y = rng.standard_normal(net.m)
+        decomp = Decomposition(grid, n_sdx=4, n_sdy=2, xi=1, eta=1)
+        empty = [
+            sd for sd in decomp
+            if net.restrict_to_box(sd.exp_x_indices, sd.exp_y_indices)[0].size == 0
+        ]
+        assert empty, "fixture must include unobserved sub-domains"
+        ref = DistributedEnKF(radius_km=2.0, inflation=1.1).assimilate(
+            decomp, states, net, y, rng=6
+        )
+        with AnalysisExecutor(strategy="process", workers=2) as ex:
+            out = DistributedEnKF(radius_km=2.0, inflation=1.1,
+                                  executor=ex).assimilate(
+                decomp, states, net, y, rng=6
+            )
+        assert np.array_equal(ref, out)
+        # LETKF's empty branch applies inflation to the anomalies.
+        lref = LETKF(inflation=1.1).assimilate(decomp, states, net, y)
+        with AnalysisExecutor(strategy="process", workers=2) as ex:
+            lout = LETKF(inflation=1.1, executor=ex).assimilate(
+                decomp, states, net, y
+            )
+        assert np.array_equal(lref, lout)
+
+    def test_repeated_calls_reuse_pool_and_stay_identical(self):
+        grid, truth, states, net, y = problem()
+        decomp = Decomposition(grid, n_sdx=4, n_sdy=2, xi=1, eta=1)
+        serial = DistributedEnKF(radius_km=2.0)
+        with AnalysisExecutor(strategy="process", workers=2) as ex:
+            filt = DistributedEnKF(radius_km=2.0, executor=ex)
+            for seed in (1, 2, 3):
+                ref = serial.assimilate(decomp, states, net, y, rng=seed)
+                out = filt.assimilate(decomp, states, net, y, rng=seed)
+                assert np.array_equal(ref, out)
+
+    def test_degraded_analysis_matches_inflation_override(self):
+        """Satellite: graceful degradation no longer copies the filter —
+        the compensation arrives as assimilate's per-call override."""
+        grid, truth, states, net, y = problem()
+        decomp = Decomposition(grid, n_sdx=4, n_sdy=2, xi=2, eta=2)
+        filt = DistributedEnKF(radius_km=2.0, inflation=1.05)
+        analysed, result = filt.assimilate_degraded(
+            decomp, states, net, y, dropped=(1, 4), rng=9
+        )
+        assert filt.inflation == 1.05  # engine state untouched
+        expected = filt.assimilate(
+            decomp, states[:, result.surviving], net, y, rng=9,
+            inflation=1.05 * result.compensation,
+        )
+        assert np.array_equal(analysed, expected)
+
+
+# ---------------------------------------------------------------------------
+# Telemetry flow
+# ---------------------------------------------------------------------------
+class TestParallelTelemetry:
+    def _run(self, strategy, cycles=1):
+        grid, truth, states, net, y = problem()
+        decomp = Decomposition(grid, n_sdx=4, n_sdy=2, xi=1, eta=1)
+        metrics = MetricsRegistry()
+        tracer = Tracer(metrics=metrics)
+        with use_tracer(tracer), use_metrics(metrics):
+            with AnalysisExecutor(strategy=strategy, workers=2) as ex:
+                filt = DistributedEnKF(radius_km=2.0, executor=ex)
+                for seed in range(cycles):
+                    filt.assimilate(decomp, states, net, y, rng=seed)
+        return tracer, metrics, decomp
+
+    def test_run_and_prepare_spans_recorded(self):
+        tracer, metrics, decomp = self._run("serial")
+        names = [s.name for s in tracer.spans]
+        assert names.count("parallel.run") == 1
+        assert names.count("parallel.prepare") == decomp.n_subdomains
+        assert names.count("parallel.local_analysis") == decomp.n_subdomains
+        run_span = next(s for s in tracer.spans if s.name == "parallel.run")
+        assert run_span.attrs["strategy"] == "serial"
+        snap = metrics.snapshot()
+        assert snap["counters"]["parallel.pieces"] == decomp.n_subdomains
+        assert snap["counters"]["geometry.cache_misses"] == decomp.n_subdomains
+
+    def test_worker_spans_flow_to_parent_tracer(self):
+        tracer, metrics, decomp = self._run("process")
+        worker_spans = [
+            s for s in tracer.spans
+            if s.name == "parallel.local_analysis"
+            and s.track.startswith("worker-")
+        ]
+        assert len(worker_spans) == decomp.n_subdomains
+        for span in worker_spans:
+            assert span.duration >= 0
+            assert span.end <= tracer.now()
+            assert "n_obs" in span.attrs
+        snap = metrics.snapshot()
+        assert snap["counters"]["parallel.chunks"] >= 1
+
+    def test_cycling_prepare_spans_turn_cached(self):
+        """The telemetry view of the geometry cache: cycle 1 prepares are
+        cache misses, every later cycle's are hits."""
+        tracer, metrics, decomp = self._run("serial", cycles=3)
+        prepares = [s for s in tracer.spans if s.name == "parallel.prepare"]
+        n = decomp.n_subdomains
+        assert len(prepares) == 3 * n
+        ordered = sorted(prepares, key=lambda s: s.start)
+        assert all(not s.attrs["cached"] for s in ordered[:n])
+        assert all(s.attrs["cached"] for s in ordered[n:])
+        snap = metrics.snapshot()
+        assert snap["counters"]["geometry.cache_hits"] == 2 * n
