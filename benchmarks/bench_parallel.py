@@ -183,7 +183,44 @@ def run_parallel_bench(smoke: bool = False, cycles: int = 3,
 def write_payload(payload: dict) -> Path:
     path = Path(os.environ.get("BENCH_PARALLEL_PATH", _DEFAULT_PATH))
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    _append_to_history(payload)
     return path
+
+
+def _append_to_history(payload: dict) -> Path:
+    """Feed the regression sentinel: one ``parallel`` entry per run.
+
+    The write-once ``BENCH_parallel.json`` keeps only today's numbers;
+    the shared ``BENCH_history.jsonl`` (``BENCH_HISTORY_PATH`` env
+    override) accretes the trajectory the
+    ``senkf-experiments bench-report`` sentinel judges drift against.
+    Warm seconds are recorded (not speedups) because the sentinel treats
+    larger values as regressions.
+    """
+    from repro.telemetry import append_history
+
+    history = Path(
+        os.environ.get(
+            "BENCH_HISTORY_PATH",
+            Path(__file__).resolve().parents[1] / "BENCH_history.jsonl",
+        )
+    )
+    values = {
+        f"{strategy}_warm_seconds": payload["warm_seconds"][strategy]
+        for strategy in STRATEGIES
+    }
+    append_history(
+        history,
+        "parallel",
+        values,
+        context={
+            "smoke": payload["smoke"],
+            "cycles": payload["cycles"],
+            "cpu_count": payload["cpu_count"],
+            "workers": payload["workers"],
+        },
+    )
+    return history
 
 
 def report(payload: dict) -> str:

@@ -18,17 +18,31 @@ against the simulator in the Fig. 12 benchmark.
 
 from repro.costmodel.model import (
     CostParams,
+    expected_read_inflation,
     t_comm,
     t_comp,
     t_read,
     t_total,
     t1,
 )
-from repro.costmodel.calibrate import calibrate_from_machine
+from repro.costmodel.calibrate import (
+    FitResult,
+    PhaseFit,
+    PhaseObservation,
+    calibrate_from_machine,
+    fit_constants,
+    observation_from_sim_report,
+)
 
 __all__ = [
     "CostParams",
+    "FitResult",
+    "PhaseFit",
+    "PhaseObservation",
     "calibrate_from_machine",
+    "expected_read_inflation",
+    "fit_constants",
+    "observation_from_sim_report",
     "t1",
     "t_comm",
     "t_comp",

@@ -33,6 +33,12 @@ class CostParams:
     b: float  #: transfer time per byte (s/B)
     c: float  #: local-analysis cost per grid point (s)
     theta: float  #: disk-to-memory transfer time per byte (s/B)
+    #: expected-retries multiplier on the read term (>= 1).  A fault-free
+    #: machine has 1.0; under a known fault regime the expected retry
+    #: spend inflates every disk read, which shifts the economic C1/C2
+    #: split (see :func:`expected_read_inflation` and
+    #: :func:`repro.tuning.autotune.autotune`'s ``faults`` argument).
+    read_inflation: float = 1.0
 
     def __post_init__(self) -> None:
         check_positive("n_x", self.n_x)
@@ -45,6 +51,10 @@ class CostParams:
         check_nonnegative("b", self.b)
         check_nonnegative("c", self.c)
         check_nonnegative("theta", self.theta)
+        if self.read_inflation < 1.0:
+            raise ValueError(
+                f"read_inflation must be >= 1, got {self.read_inflation}"
+            )
 
     def with_(self, **kwargs) -> "CostParams":
         return replace(self, **kwargs)
@@ -81,7 +91,9 @@ def t_read(p: CostParams, n_sdy: int, n_layers: int, n_cg: int) -> float:
     bytes_per_group = (
         p.small_bar_rows(n_sdy, n_layers) * p.n_x * p.h * (p.n_members / n_cg)
     )
-    return bytes_per_group * p.theta * _log_factor(n_cg * n_sdy)
+    return (
+        bytes_per_group * p.theta * _log_factor(n_cg * n_sdy) * p.read_inflation
+    )
 
 
 def t_comm(
@@ -145,3 +157,40 @@ def t_total_pipelined(
     comm = t_comm(p, n_sdx, n_sdy, n_layers, n_cg)
     comp = t_comp(p, n_sdx, n_sdy, n_layers)
     return read + comm + comp + (n_layers - 1) * max(comp, read, comm)
+
+
+def expected_read_inflation(
+    fault_rate: float,
+    max_retries: int = 3,
+    slowdown_rate: float = 0.0,
+    slowdown_factor: float = 1.0,
+) -> float:
+    """Expected multiplier on the read term under a known disk-fault regime.
+
+    A failed disk request consumes its full service time before the fault
+    surfaces (see :class:`repro.faults.schedule.FaultSchedule`), so with
+    per-request failure probability ``p`` and up to ``max_retries``
+    retries the expected number of service intervals per read is the
+    truncated geometric sum ``Σ_{i=0}^{m} p^i = (1 − p^{m+1}) / (1 − p)``.
+    Slowdown faults scale a request's service by ``slowdown_factor`` with
+    probability ``slowdown_rate``, an independent multiplier of
+    ``1 + r·(f − 1)``.  Retry *backoff* delays are not proportional to
+    bytes moved and are therefore not part of this factor — they show up
+    as measured retry spend in the attribution report instead.
+    """
+    if not 0.0 <= fault_rate < 1.0:
+        raise ValueError(f"fault_rate must be in [0, 1), got {fault_rate}")
+    if not 0.0 <= slowdown_rate <= 1.0:
+        raise ValueError(
+            f"slowdown_rate must be in [0, 1], got {slowdown_rate}"
+        )
+    if slowdown_factor < 1.0:
+        raise ValueError(
+            f"slowdown_factor must be >= 1, got {slowdown_factor}"
+        )
+    check_nonnegative("max_retries", max_retries)
+    if fault_rate == 0.0:
+        attempts = 1.0
+    else:
+        attempts = (1.0 - fault_rate ** (max_retries + 1)) / (1.0 - fault_rate)
+    return attempts * (1.0 + slowdown_rate * (slowdown_factor - 1.0))

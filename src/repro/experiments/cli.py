@@ -19,6 +19,17 @@ with failover — and writes the capture as a Chrome trace (open in
 Perfetto / chrome://tracing) plus a validated run report::
 
     senkf-experiments trace --cycles 10 --out trace-out
+
+``doctor`` closes the observe → calibrate → tune loop: it runs a short
+traced simulated campaign, fits the machine constants from the measured
+span durations, joins the cost model's predictions against the
+measurements (per phase and per cycle, retry spend broken out), prints
+the attribution dashboard with drift flags, and feeds the bench
+regression sentinel; ``bench-report`` renders the sentinel verdicts of
+the accumulated ``BENCH_history.jsonl`` on its own::
+
+    senkf-experiments doctor --out doctor-out
+    senkf-experiments bench-report --history BENCH_history.jsonl
 """
 
 from __future__ import annotations
@@ -161,7 +172,7 @@ def _run_trace(args) -> int:
         write_chrome_trace,
     )
 
-    out = Path(args.out)
+    out = Path(args.out or "trace-out")
     out.mkdir(parents=True, exist_ok=True)
     ckpt_dir = out / "checkpoints"
     # Crash just after the second checkpoint boundary by default, so the
@@ -261,6 +272,167 @@ def _run_trace(args) -> int:
     return 0
 
 
+#: the doctor's calibration campaign: an L sweep at fixed splits, so the
+#: fitted constants face configurations whose contention factors match —
+#: exactly the regime where Eqs. (7)–(9) are linear in the constants.
+_DOCTOR_CLEAN_CONFIGS = (
+    # (n_sdx, n_sdy, n_layers, n_cg)
+    (4, 4, 3, 4),
+    (4, 4, 5, 4),
+    (4, 4, 9, 4),
+    (4, 4, 15, 4),
+)
+_DOCTOR_CHAOS_CONFIG = (4, 4, 3, 4)
+
+
+def _run_doctor(args) -> int:
+    """``senkf-experiments doctor``: observe → calibrate → attribute.
+
+    Runs a short traced simulated campaign (an L sweep plus one chaos
+    cycle under disk faults), fits ``a, b, c, θ`` from the measured span
+    durations, prints the predicted-vs-measured attribution dashboard
+    with drift flags, writes the schema-validated ``attribution.json``
+    and a :class:`~repro.telemetry.RunReport` embedding it, and appends
+    the run to the bench regression sentinel's history.
+    """
+    from pathlib import Path
+
+    from repro.cluster.params import MachineSpec
+    from repro.costmodel import fit_constants
+    from repro.faults import FaultSchedule, RetryPolicy
+    from repro.filters.base import PerfScenario
+    from repro.filters.senkf import simulate_senkf
+    from repro.telemetry import (
+        MetricsRegistry,
+        RunReport,
+        append_history,
+        attribute_sim_reports,
+        check_regression,
+        read_history,
+        sentinel_report,
+    )
+    from repro.tuning import read_inflation_from_schedule
+    from repro.util.timing import WallTimer
+
+    out = Path(args.out or "doctor-out")
+    out.mkdir(parents=True, exist_ok=True)
+    spec = MachineSpec.small_cluster()
+    scenario = PerfScenario.small()
+    template = scenario.cost_params(spec)
+    faults = FaultSchedule(
+        seed=args.fault_seed, disk_fault_rate=args.doctor_fault_rate
+    )
+    retry = RetryPolicy()
+    metrics = MetricsRegistry()
+    cycle_seconds = metrics.histogram("doctor.cycle_seconds")
+
+    with WallTimer() as timer:
+        clean_reports = []
+        for cfg in _DOCTOR_CLEAN_CONFIGS:
+            report = simulate_senkf(spec, scenario, *cfg)
+            clean_reports.append(report)
+            cycle_seconds.observe(report.total_time)
+            metrics.counter("doctor.cycles").inc()
+        chaos_report = simulate_senkf(
+            spec, scenario, *_DOCTOR_CHAOS_CONFIG, faults=faults, retry=retry
+        )
+        cycle_seconds.observe(chaos_report.total_time)
+        metrics.counter("doctor.cycles").inc()
+        metrics.counter("doctor.chaos_retries").inc(
+            chaos_report.resilience.retries
+        )
+
+        fit = fit_constants(clean_reports, template)
+        inflation = read_inflation_from_schedule(faults, retry)
+        attribution = attribute_sim_reports(
+            clean_reports + [chaos_report],
+            fit.params,
+            fit=fit,
+            metrics=metrics.snapshot(),
+            notes=[
+                f"cycles 0..{len(clean_reports) - 1}: fault-free L sweep "
+                f"(calibration set)",
+                f"cycle {len(clean_reports)}: disk_fault_rate="
+                f"{faults.disk_fault_rate} (seed {faults.seed})",
+                f"expected read inflation {inflation:.3f} "
+                f"(tuning-side factor; retries are broken out, not folded "
+                f"into the read prediction)",
+            ],
+        )
+
+    print(attribution.ascii_table())
+    print()
+
+    attribution_path = attribution.write(out / "attribution.json")
+    run_report = RunReport(
+        kind="doctor",
+        config={
+            "spec": "small_cluster",
+            "scenario": "small",
+            "clean_configs": [list(c) for c in _DOCTOR_CLEAN_CONFIGS],
+            "chaos_config": list(_DOCTOR_CHAOS_CONFIG),
+            "disk_fault_rate": faults.disk_fault_rate,
+        },
+        seeds={"fault_seed": faults.seed},
+        n_cycles=len(clean_reports) + 1,
+        fault_counts=chaos_report.resilience.summary(),
+        phase_totals={
+            p.phase: p.measured for p in attribution.aggregate()
+        },
+        metrics=metrics.snapshot(),
+        diagnostics={
+            "cycle_makespan": [
+                r.total_time for r in clean_reports + [chaos_report]
+            ],
+        },
+        notes=list(attribution.notes),
+        attribution=attribution.to_dict(),
+    )
+    report_path = run_report.write(out / "run_report.json")
+
+    history_path = Path(args.history)
+    aggregate = {p.phase: p for p in attribution.aggregate()}
+    values = {
+        "wall_seconds": timer.elapsed,
+        **{
+            f"{phase}_rel_err": abs(aggregate[phase].rel_error)
+            for phase in ("read", "comm", "comp")
+        },
+    }
+    verdicts = check_regression(
+        read_history(history_path, bench="doctor"), "doctor", values
+    )
+    append_history(
+        history_path,
+        "doctor",
+        values,
+        context={"schema": attribution.schema, "n_cycles": run_report.n_cycles},
+    )
+    text, _ = sentinel_report(history_path)
+    print(text)
+    print()
+    print(f"wrote {attribution_path}  (schema {attribution.schema})")
+    print(f"wrote {report_path}  (schema {run_report.schema})")
+    print(f"appended doctor entry to {history_path}")
+
+    failed = [v for v in verdicts if v.status == "fail"]
+    for v in failed:
+        print(f"sentinel FAIL: doctor.{v.key} {v.reason}", file=sys.stderr)
+    drifted = attribution.drift_flags()
+    if drifted:
+        print(f"{len(drifted)} drift flag(s) raised", file=sys.stderr)
+    return 1 if failed else 0
+
+
+def _run_bench_report(args) -> int:
+    """``senkf-experiments bench-report``: sentinel verdicts over history."""
+    from repro.telemetry import sentinel_report
+
+    text, verdicts = sentinel_report(args.history)
+    print(text)
+    return 1 if any(v.status == "fail" for v in verdicts) else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="senkf-experiments",
@@ -272,7 +444,8 @@ def main(argv: list[str] | None = None) -> int:
         nargs="*",
         default=["all"],
         help="figure ids (fig01 fig05 fig09 fig10 fig11 fig12 fig13), "
-             "'all', 'scorecard', 'campaign', or 'trace'",
+             "'all', 'scorecard', 'campaign', 'trace', 'doctor', or "
+             "'bench-report'",
     )
     parser.add_argument(
         "--full",
@@ -317,15 +490,32 @@ def main(argv: list[str] | None = None) -> int:
     trace = parser.add_argument_group("trace (instrumented chaos campaign)")
     trace.add_argument(
         "--out",
-        default="trace-out",
+        default=None,
         metavar="DIR",
-        help="directory for trace.json, run_report.json and checkpoints",
+        help="output directory (default: trace-out for trace, doctor-out "
+             "for doctor)",
     )
     trace.add_argument(
         "--fault-seed",
         type=int,
         default=11,
         help="seed of the deterministic fault schedule",
+    )
+    doctor = parser.add_argument_group(
+        "doctor / bench-report (attribution + regression sentinel)"
+    )
+    doctor.add_argument(
+        "--doctor-fault-rate",
+        type=float,
+        default=0.15,
+        metavar="RATE",
+        help="disk fault rate of the doctor's chaos cycle (default 0.15)",
+    )
+    doctor.add_argument(
+        "--history",
+        default="BENCH_history.jsonl",
+        metavar="PATH",
+        help="append-only bench history consumed by the regression sentinel",
     )
     parser.add_argument(
         "--workers",
@@ -343,6 +533,10 @@ def main(argv: list[str] | None = None) -> int:
         return _run_campaign(args)
     if "trace" in names:
         return _run_trace(args)
+    if "doctor" in names:
+        return _run_doctor(args)
+    if "bench-report" in names:
+        return _run_bench_report(args)
     if "scorecard" in names:
         from repro.experiments.scorecard import format_scorecard, run_scorecard
 

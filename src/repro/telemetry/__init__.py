@@ -24,6 +24,26 @@ from repro.telemetry.ascii import (
     render_spans,
     render_timeline,
 )
+from repro.telemetry.attribution import (
+    ATTRIBUTION_SCHEMA,
+    AttributionReport,
+    CycleAttribution,
+    PhaseAttribution,
+    attribute_sim_reports,
+    cycle_from_sim_report,
+    cycle_from_spans,
+    validate_attribution_report,
+)
+from repro.telemetry.bench import (
+    BENCH_HISTORY_SCHEMA,
+    BenchEntry,
+    SentinelVerdict,
+    append_history,
+    check_regression,
+    read_history,
+    robust_baseline,
+    sentinel_report,
+)
 from repro.telemetry.chrome import (
     chrome_trace,
     spans_from_chrome,
@@ -57,30 +77,46 @@ from repro.telemetry.tracer import (
 )
 
 __all__ = [
+    "ATTRIBUTION_SCHEMA",
+    "AttributionReport",
+    "BENCH_HISTORY_SCHEMA",
+    "BenchEntry",
     "Counter",
+    "CycleAttribution",
     "DEFAULT_TIME_BUCKETS",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "PhaseAttribution",
     "RUN_REPORT_SCHEMA",
     "RunReport",
+    "SentinelVerdict",
     "Span",
     "TraceEvent",
     "Tracer",
+    "append_history",
+    "attribute_sim_reports",
+    "check_regression",
     "chrome_trace",
+    "cycle_from_sim_report",
+    "cycle_from_spans",
     "get_metrics",
     "get_tracer",
+    "read_history",
     "render_phase_totals",
     "render_spans",
     "render_timeline",
+    "robust_baseline",
+    "sentinel_report",
     "set_metrics",
     "set_tracer",
     "spans_from_chrome",
     "spans_from_timeline",
     "use_metrics",
     "use_tracer",
+    "validate_attribution_report",
     "validate_run_report",
     "write_chrome_trace",
 ]

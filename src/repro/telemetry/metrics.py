@@ -106,6 +106,52 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else math.nan
 
+    #: quantiles reported by :meth:`percentiles` (and hence snapshots).
+    DEFAULT_QUANTILES = (0.50, 0.90, 0.95, 0.99)
+
+    def percentiles(
+        self, quantiles: Sequence[float] = DEFAULT_QUANTILES
+    ) -> dict[str, float]:
+        """Interpolated quantiles (p50/p90/p95/p99) from the bucket counts.
+
+        Observations inside a bucket are assumed uniformly spread between
+        its edges (the standard fixed-bucket estimator); the first
+        bucket's lower edge is the recorded ``min`` and the overflow
+        bin's upper edge the recorded ``max``, so estimates never leave
+        the observed range.  Empty histogram → empty dict.
+        """
+        with self._lock:
+            counts = list(self.counts)
+            count = self.count
+            lo, hi = self.min, self.max
+        if not count:
+            return {}
+        out: dict[str, float] = {}
+        for q in quantiles:
+            if not 0.0 <= q <= 1.0:
+                raise ValueError(f"quantile must be in [0, 1], got {q}")
+            target = q * count
+            cumulative = 0
+            value = hi
+            for index, bucket_count in enumerate(counts):
+                if not bucket_count:
+                    continue
+                lower = self.bounds[index - 1] if index > 0 else lo
+                upper = self.bounds[index] if index < len(self.bounds) else hi
+                lower = min(max(lower, lo), hi)
+                upper = min(max(upper, lo), hi)
+                if cumulative + bucket_count >= target:
+                    fraction = (
+                        (target - cumulative) / bucket_count
+                        if bucket_count
+                        else 0.0
+                    )
+                    value = lower + (upper - lower) * fraction
+                    break
+                cumulative += bucket_count
+            out[f"p{round(q * 100)}"] = min(max(value, lo), hi)
+        return out
+
 
 class MetricsRegistry:
     """Named instruments, created on first use, snapshotted as JSON."""
@@ -169,6 +215,7 @@ class MetricsRegistry:
                 entry["min"] = h.min
                 entry["max"] = h.max
                 entry["mean"] = h.mean
+                entry["percentiles"] = h.percentiles()
             out["histograms"][name] = entry
         return out
 

@@ -49,6 +49,10 @@ class RunReport:
     metrics: dict[str, Any] = field(default_factory=dict)
     diagnostics: dict[str, list[float]] = field(default_factory=dict)
     notes: list[str] = field(default_factory=list)
+    #: optional predicted-vs-measured join (an
+    #: :class:`~repro.telemetry.attribution.AttributionReport` payload);
+    #: validated against the attribution schema when present.
+    attribution: dict | None = None
     schema: str = RUN_REPORT_SCHEMA
 
     def to_dict(self) -> dict:
@@ -69,7 +73,10 @@ class RunReport:
     @classmethod
     def from_dict(cls, payload: dict) -> "RunReport":
         validate_run_report(payload)
-        return cls(**{k: payload[k] for k in _REQUIRED})
+        return cls(
+            **{k: payload[k] for k in _REQUIRED},
+            attribution=payload.get("attribution"),
+        )
 
 
 def _coerce(value):
@@ -123,6 +130,14 @@ def validate_run_report(payload: dict) -> dict:
                 metrics[section], dict
             ):
                 errors.append(f"metrics[{section!r}] must be an object")
+        attribution = payload.get("attribution")
+        if attribution is not None:
+            from repro.telemetry.attribution import validate_attribution_report
+
+            try:
+                validate_attribution_report(attribution)
+            except ValueError as exc:
+                errors.append(f"attribution: {exc}")
     if errors:
         raise ValueError("invalid run report: " + "; ".join(errors))
     return payload

@@ -16,7 +16,13 @@ returns the decision tuple minimising ``T_total`` subject to
 """
 
 from repro.tuning.optmodel import TuningChoice, feasible_c1_values, feasible_c2_values, solve_optimization_model
-from repro.tuning.autotune import AutotuneResult, autotune, economic_choice
+from repro.tuning.autotune import (
+    AutotuneResult,
+    autotune,
+    economic_choice,
+    read_inflation_from_metrics,
+    read_inflation_from_schedule,
+)
 
 __all__ = [
     "AutotuneResult",
@@ -25,5 +31,7 @@ __all__ = [
     "economic_choice",
     "feasible_c1_values",
     "feasible_c2_values",
+    "read_inflation_from_metrics",
+    "read_inflation_from_schedule",
     "solve_optimization_model",
 ]

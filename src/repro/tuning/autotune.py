@@ -29,7 +29,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.costmodel.model import CostParams, t_total, t_total_pipelined
+from repro.costmodel.model import (
+    CostParams,
+    expected_read_inflation,
+    t_total,
+    t_total_pipelined,
+)
 from repro.tuning.optmodel import (
     TuningChoice,
     feasible_c1_values,
@@ -103,12 +108,51 @@ def _frontier_for_c2(
     return frontier
 
 
+def read_inflation_from_schedule(faults, retry=None) -> float:
+    """Expected read-term multiplier for a known chaos regime.
+
+    Derives the per-request fault statistics from a
+    :class:`~repro.faults.schedule.FaultSchedule` and the attempt cap
+    from a :class:`~repro.faults.policy.RetryPolicy` (default policy when
+    None), then prices them via
+    :func:`~repro.costmodel.model.expected_read_inflation`.
+    """
+    if retry is None:
+        from repro.faults.policy import RetryPolicy
+
+        retry = RetryPolicy()
+    return expected_read_inflation(
+        fault_rate=faults.disk_fault_rate,
+        max_retries=retry.max_retries,
+        slowdown_rate=faults.disk_slowdown_rate,
+        slowdown_factor=faults.disk_slowdown_factor,
+    )
+
+
+def read_inflation_from_metrics(snapshot: dict) -> float:
+    """Measured read-term multiplier from a metrics snapshot.
+
+    Uses the observed retry spend of an instrumented run — each retry is
+    one extra service interval, so the multiplier is
+    ``1 + fault.retries / io.members_read``.  Returns 1.0 when the
+    snapshot records no reads (nothing to infer from).
+    """
+    counters = snapshot.get("counters", snapshot) or {}
+    reads = float(counters.get("io.members_read", 0.0))
+    retries = float(counters.get("fault.retries", 0.0))
+    if reads <= 0.0:
+        return 1.0
+    return 1.0 + retries / reads
+
+
 def autotune(
     params: CostParams,
     n_p: int,
     epsilon: float,
     exhaustive: bool = False,
     objective: str = "paper",
+    faults=None,
+    retry=None,
 ) -> AutotuneResult | None:
     """Algorithm 2: optimal ``(n_sdx, n_sdy, L, n_cg)`` for ``n_p`` processors.
 
@@ -118,6 +162,18 @@ def autotune(
     analysis is the per-stage bottleneck — see
     :func:`repro.costmodel.model.t_total_pipelined`).
 
+    ``faults`` makes the tuning *fault-aware*: Algorithm 2 as printed
+    prices a fault-free machine, but under a known fault regime the
+    expected retry spend inflates T1's read term, which shifts the
+    economic C1/C2 split.  Pass a
+    :class:`~repro.faults.schedule.FaultSchedule` (with ``retry``
+    optionally bounding the attempts) and the whole objective — Algorithm
+    1's T1 and the final T_total ranking alike — is priced with
+    ``params.read_inflation`` set to the expected-retries factor.  A
+    ``params`` that already carries ``read_inflation > 1`` (e.g. from
+    :func:`read_inflation_from_metrics`) is used as-is; combining both
+    raises, one regime must win.
+
     Returns ``None`` if no feasible configuration fits in ``n_p``
     processors (needs at least one compute and one I/O rank).
     """
@@ -125,6 +181,15 @@ def autotune(
     check_positive("epsilon", epsilon)
     if objective not in ("paper", "pipelined"):
         raise ValueError(f"unknown objective {objective!r}")
+    if faults is not None:
+        if params.read_inflation != 1.0:
+            raise ValueError(
+                "pass either a FaultSchedule or params with read_inflation "
+                "set, not both"
+            )
+        params = params.with_(
+            read_inflation=read_inflation_from_schedule(faults, retry)
+        )
 
     if exhaustive:
         c2_values: Sequence[int] = range(1, n_p + 1)

@@ -1,0 +1,165 @@
+"""Tests for the bench regression sentinel (append-only history, robust
+baselines, pass/warn/fail verdicts)."""
+
+import json
+import math
+
+import pytest
+
+from repro.telemetry import (
+    BENCH_HISTORY_SCHEMA,
+    append_history,
+    check_regression,
+    read_history,
+    robust_baseline,
+    sentinel_report,
+)
+from repro.telemetry.bench import BenchEntry
+
+
+class TestHistoryFile:
+    def test_append_and_read_round_trip(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        append_history(path, "doctor", {"wall_seconds": 1.5}, timestamp=10.0)
+        append_history(
+            path, "doctor", {"wall_seconds": 1.6},
+            context={"cycles": 5}, timestamp=20.0,
+        )
+        entries = read_history(path)
+        assert [e.values["wall_seconds"] for e in entries] == [1.5, 1.6]
+        assert entries[0].schema == BENCH_HISTORY_SCHEMA
+        assert entries[1].context == {"cycles": 5}
+        assert entries[1].timestamp == 20.0
+
+    def test_bench_filter(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        append_history(path, "a", {"x": 1.0})
+        append_history(path, "b", {"x": 2.0})
+        assert [e.bench for e in read_history(path, bench="b")] == ["b"]
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert read_history(tmp_path / "absent.jsonl") == []
+
+    def test_non_finite_values_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="finite"):
+            append_history(tmp_path / "h.jsonl", "x", {"bad": math.nan})
+        with pytest.raises(ValueError, match="at least one"):
+            append_history(tmp_path / "h.jsonl", "x", {})
+        with pytest.raises(ValueError, match="non-empty"):
+            append_history(tmp_path / "h.jsonl", "", {"x": 1.0})
+
+    def test_reader_skips_garbage_and_foreign_schemas(self, tmp_path):
+        """An accreted log must survive junk lines and schema bumps."""
+        path = tmp_path / "history.jsonl"
+        append_history(path, "doctor", {"x": 1.0})
+        with path.open("a") as handle:
+            handle.write("this is not json\n")
+            handle.write(json.dumps({"schema": "senkf-bench-history/99",
+                                     "bench": "doctor",
+                                     "values": {"x": 9.0}}) + "\n")
+            handle.write(json.dumps({"no": "bench"}) + "\n")
+            handle.write("\n")
+        append_history(path, "doctor", {"x": 2.0})
+        entries = read_history(path)
+        assert [e.values["x"] for e in entries] == [1.0, 2.0]
+
+
+class TestRobustBaseline:
+    def test_median_and_mad(self):
+        median, mad = robust_baseline([1.0, 2.0, 3.0, 4.0, 100.0])
+        assert median == 3.0
+        assert mad == 1.0  # the outlier does not poison the spread
+
+    def test_even_count_interpolates(self):
+        median, _ = robust_baseline([1.0, 3.0])
+        assert median == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            robust_baseline([])
+
+
+def entries(bench, samples, key="wall_seconds"):
+    return [
+        BenchEntry(bench=bench, values={key: s}, timestamp=float(k))
+        for k, s in enumerate(samples)
+    ]
+
+
+class TestCheckRegression:
+    def test_stable_value_passes(self):
+        history = entries("b", [1.0, 1.01, 0.99, 1.02])
+        (v,) = check_regression(history, "b", {"wall_seconds": 1.0})
+        assert v.status == "pass" and v.ok
+        assert v.median == pytest.approx(1.005)
+
+    def test_large_regression_fails(self):
+        history = entries("b", [1.0, 1.01, 0.99, 1.02])
+        (v,) = check_regression(history, "b", {"wall_seconds": 3.0})
+        assert v.status == "fail" and not v.ok
+
+    def test_moderate_regression_warns(self):
+        # band = max(MAD, 0.10·|median|) ≈ 0.1; 3·band < +0.45 < 6·band
+        history = entries("b", [1.0, 1.0, 1.0, 1.0])
+        (v,) = check_regression(history, "b", {"wall_seconds": 1.45})
+        assert v.status == "warn" and v.ok
+
+    def test_improvement_never_fails(self):
+        history = entries("b", [1.0, 1.01, 0.99, 1.02])
+        (v,) = check_regression(history, "b", {"wall_seconds": 0.01})
+        assert v.status == "pass"
+
+    def test_flat_history_tolerates_jitter(self):
+        """MAD = 0 must not make the sentinel a zero-tolerance tripwire."""
+        history = entries("b", [1.0, 1.0, 1.0, 1.0])
+        (v,) = check_regression(history, "b", {"wall_seconds": 1.05})
+        assert v.status == "pass"
+
+    def test_insufficient_history_passes_with_note(self):
+        history = entries("b", [1.0, 1.0])
+        (v,) = check_regression(history, "b", {"wall_seconds": 99.0})
+        assert v.status == "pass"
+        assert "insufficient history" in v.reason
+
+    def test_window_drops_stale_samples(self):
+        """Only the trailing window feeds the baseline: an old fast era
+        must not condemn today's (stable) slower era."""
+        history = entries("b", [0.1] * 5 + [1.0] * 8)
+        (v,) = check_regression(history, "b", {"wall_seconds": 1.02}, window=8)
+        assert v.status == "pass"
+        assert v.median == pytest.approx(1.0)
+
+    def test_other_benches_ignored(self):
+        history = entries("other", [9.0, 9.0, 9.0, 9.0])
+        (v,) = check_regression(history, "b", {"wall_seconds": 1.0})
+        assert "insufficient history" in v.reason
+
+    def test_bad_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            check_regression([], "b", {"x": 1.0}, warn_mads=6.0, fail_mads=3.0)
+
+
+class TestSentinelReport:
+    def test_judges_latest_against_prior(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        for value in (1.0, 1.01, 0.99, 1.02):
+            append_history(path, "doctor", {"wall_seconds": value})
+        append_history(path, "doctor", {"wall_seconds": 5.0})
+        text, verdicts = sentinel_report(path)
+        assert "overall: FAIL" in text
+        (v,) = [v for v in verdicts if v.status == "fail"]
+        assert v.bench == "doctor" and v.key == "wall_seconds"
+
+    def test_multiple_benches_roll_up(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        for value in (1.0, 1.0, 1.0, 1.0):
+            append_history(path, "a", {"x": value})
+            append_history(path, "b", {"x": value})
+        text, verdicts = sentinel_report(path)
+        assert "overall: PASS" in text
+        assert {v.bench for v in verdicts} == {"a", "b"}
+
+    def test_empty_history_renders_placeholder(self, tmp_path):
+        text, verdicts = sentinel_report(tmp_path / "none.jsonl")
+        assert "no entries" in text
+        assert verdicts == []

@@ -432,6 +432,32 @@ class TestParallelTelemetry:
         snap = metrics.snapshot()
         assert snap["counters"]["parallel.chunks"] >= 1
 
+    def test_worker_spans_survive_chrome_round_trip(self, tmp_path):
+        """A real process-pool capture — parent spans on "main", worker
+        spans on ``worker-<pid>`` tracks — must re-import from its Chrome
+        export with track assignment and nesting intact."""
+        from repro.telemetry import spans_from_chrome, write_chrome_trace
+
+        tracer, metrics, decomp = self._run("process")
+        path = write_chrome_trace(tmp_path / "trace.json", tracer=tracer)
+        restored = {s.span_id: s for s in spans_from_chrome(path)}
+        original = {s.span_id: s for s in tracer.spans}
+        assert set(restored) == set(original)
+        worker_tracks = set()
+        for span_id, span in restored.items():
+            ref = original[span_id]
+            assert span.track == ref.track
+            assert span.parent_id == ref.parent_id
+            if span.track.startswith("worker-"):
+                worker_tracks.add(span.track)
+        assert worker_tracks  # the pool really fanned out
+        restored_workers = [
+            s for s in restored.values()
+            if s.name == "parallel.local_analysis"
+            and s.track.startswith("worker-")
+        ]
+        assert len(restored_workers) == decomp.n_subdomains
+
     def test_cycling_prepare_spans_turn_cached(self):
         """The telemetry view of the geometry cache: cycle 1 prepares are
         cache misses, every later cycle's are hits."""

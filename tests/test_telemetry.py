@@ -214,6 +214,53 @@ class TestMetrics:
         registry.histogram("h", bounds=(1.0,)).observe(0.5)
         json.dumps(registry.snapshot())
 
+    def test_percentiles_interpolate_within_buckets(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat", bounds=(10.0, 20.0, 30.0))
+        for value in (2.0, 12.0, 14.0, 22.0, 28.0):
+            h.observe(value)
+        p = h.percentiles()
+        assert set(p) == {"p50", "p90", "p95", "p99"}
+        # p50: target 2.5 of 5 with 1 below the (10, 20] bucket →
+        # 1.5/2 of the way through it → 17.5
+        assert p["p50"] == pytest.approx(17.5)
+        # estimates never leave the observed range
+        assert all(2.0 <= v <= 28.0 for v in p.values())
+        assert p["p50"] <= p["p90"] <= p["p95"] <= p["p99"]
+
+    def test_percentiles_of_single_observation_collapse(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat", bounds=(10.0,))
+        h.observe(4.2)
+        assert h.percentiles() == pytest.approx(
+            {"p50": 4.2, "p90": 4.2, "p95": 4.2, "p99": 4.2}
+        )
+
+    def test_percentiles_clamped_to_observed_range_in_overflow(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat", bounds=(1.0,))
+        for value in (50.0, 60.0, 70.0):  # all overflow
+            h.observe(value)
+        p = h.percentiles()
+        assert all(50.0 <= v <= 70.0 for v in p.values())
+
+    def test_percentiles_empty_and_invalid(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat")
+        assert h.percentiles() == {}
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.percentiles(quantiles=(1.5,))
+
+    def test_snapshot_carries_percentiles_only_when_observed(self):
+        registry = MetricsRegistry()
+        registry.histogram("cold")
+        registry.histogram("warm").observe(0.2)
+        snap = registry.snapshot()
+        assert "percentiles" not in snap["histograms"]["cold"]
+        assert snap["histograms"]["warm"]["percentiles"]["p50"] == pytest.approx(0.2)
+        json.dumps(snap)
+
     def test_use_metrics_scopes_global(self):
         registry = MetricsRegistry()
         with use_metrics(registry):
@@ -250,6 +297,51 @@ class TestChromeExport:
             assert span.track == ref.track
             assert span.start == pytest.approx(ref.start - t0, abs=1e-9)
             assert span.duration == pytest.approx(ref.duration, abs=1e-9)
+
+    def test_round_trip_preserves_worker_tracks_and_nesting(self, tmp_path):
+        """Multi-track captures — a dispatch span plus pool-worker spans
+        merged onto ``worker-<pid>`` tracks, the process executor's shape —
+        must survive export + re-import with track assignment and
+        parentage intact."""
+        tracer = Tracer(clock=FakeClock(step=0.25))
+        with tracer.span("parallel.run", category="parallel"):
+            for pid in (4001, 4002):
+                for chunk in range(2):
+                    t0 = tracer.now()
+                    t1 = tracer.now()
+                    tracer.record(
+                        "parallel.local_analysis", t0, t1,
+                        category="parallel", track=f"worker-{pid}",
+                        chunk=chunk,
+                    )
+        path = write_chrome_trace(tmp_path / "workers.json", tracer=tracer)
+        restored = {s.span_id: s for s in spans_from_chrome(path)}
+        original = {s.span_id: s for s in tracer.spans}
+        assert set(restored) == set(original)
+        assert {s.track for s in restored.values()} == {
+            "main", "worker-4001", "worker-4002",
+        }
+        run_span = next(
+            s for s in restored.values() if s.name == "parallel.run"
+        )
+        workers = [
+            s for s in restored.values()
+            if s.track.startswith("worker-")
+        ]
+        assert len(workers) == 4
+        for span in workers:
+            ref = original[span.span_id]
+            assert span.track == ref.track
+            # worker spans stay parented under the dispatching span even
+            # though they render on another track
+            assert span.parent_id == run_span.span_id
+            assert span.duration == pytest.approx(ref.duration, abs=1e-9)
+        by_track = {}
+        for span in sorted(workers, key=lambda s: s.start):
+            by_track.setdefault(span.track, []).append(span.attrs["chunk"])
+        assert by_track == {
+            "worker-4001": [0, 1], "worker-4002": [0, 1],
+        }
 
     def test_round_trip_from_json_string(self):
         tracer = _sample_tracer()

@@ -8,6 +8,8 @@ from repro.tuning import (
     economic_choice,
     feasible_c1_values,
     feasible_c2_values,
+    read_inflation_from_metrics,
+    read_inflation_from_schedule,
     solve_optimization_model,
 )
 from repro.tuning.optmodel import TuningChoice, _divisors
@@ -188,3 +190,101 @@ class TestAlgorithm2:
         assert res is not None
         assert res.total_processors <= 12000
         assert res.c2 > 1000  # most processors go to compute
+
+
+class TestFaultAwareAutotune:
+    """Fault-aware Algorithm 2: a known chaos regime inflates the read
+    term, which must shift the economic C1/C2 split and never produce a
+    pick whose retry-inflated T1 exceeds the fault-free pick's envelope."""
+
+    def small_machine_params(self):
+        from repro.cluster.params import MachineSpec
+        from repro.filters.base import PerfScenario
+
+        return PerfScenario.small().cost_params(MachineSpec.small_cluster())
+
+    def schedule(self, rate):
+        from repro.faults import FaultSchedule
+
+        return FaultSchedule(seed=1, disk_fault_rate=rate)
+
+    def test_schedule_inflation_matches_closed_form(self):
+        from repro.costmodel import expected_read_inflation
+        from repro.faults import RetryPolicy
+
+        faults = self.schedule(0.3)
+        retry = RetryPolicy(max_retries=2)
+        assert read_inflation_from_schedule(faults, retry) == pytest.approx(
+            expected_read_inflation(0.3, max_retries=2)
+        )
+
+    def test_metrics_inflation_from_observed_retry_spend(self):
+        snapshot = {
+            "counters": {"io.members_read": 100.0, "fault.retries": 25.0}
+        }
+        assert read_inflation_from_metrics(snapshot) == pytest.approx(1.25)
+        assert read_inflation_from_metrics({"counters": {}}) == 1.0
+        # a bare counters dict (no wrapper) works too
+        assert read_inflation_from_metrics(
+            {"io.members_read": 10.0, "fault.retries": 5.0}
+        ) == pytest.approx(1.5)
+
+    def test_fault_rate_shifts_io_budget(self):
+        """The acceptance scenario: a nonzero disk fault rate provably
+        moves the economic C1/C2 split — reads cost more, so the tuner
+        buys more I/O parallelism."""
+        p = self.small_machine_params()
+        clean = autotune(p, n_p=64, epsilon=1e-2)
+        faulty = autotune(p, n_p=64, epsilon=1e-2, faults=self.schedule(0.4))
+        assert clean is not None and faulty is not None
+        assert faulty.c1 > clean.c1
+        assert (faulty.c1, faulty.c2) != (clean.c1, clean.c2)
+
+    def test_envelope_faulty_pick_never_worse_under_inflation(self):
+        """Algorithm 2's optimality under the inflated objective: the
+        fault-aware pick's retry-inflated T1 must not exceed the
+        fault-free pick's T1 evaluated under the same inflation."""
+        p = self.small_machine_params()
+        for rate in (0.1, 0.25, 0.4):
+            faults = self.schedule(rate)
+            inflated = p.with_(
+                read_inflation=read_inflation_from_schedule(faults)
+            )
+            clean = autotune(p, n_p=64, epsilon=1e-2)
+            faulty = autotune(p, n_p=64, epsilon=1e-2, faults=faults)
+
+            def t1_of(result):
+                ch = result.choice
+                return t1(
+                    inflated, n_sdx=ch.n_sdx, n_sdy=ch.n_sdy,
+                    n_layers=ch.n_layers, n_cg=ch.n_cg,
+                )
+
+            assert t1_of(faulty) <= t1_of(clean) + 1e-12
+
+    def test_earnings_rate_still_binds_under_faults(self):
+        """The ε stopping rule and the inflation compose: a stingier ε
+        never spends more I/O processors at the same fault rate."""
+        p = self.small_machine_params()
+        faults = self.schedule(0.4)
+        generous = autotune(p, n_p=64, epsilon=1e-6, faults=faults)
+        stingy = autotune(p, n_p=64, epsilon=1e3, faults=faults)
+        assert stingy.c1 <= generous.c1
+
+    def test_zero_rate_schedule_is_a_noop(self):
+        p = self.small_machine_params()
+        clean = autotune(p, n_p=64, epsilon=1e-2)
+        nofault = autotune(p, n_p=64, epsilon=1e-2, faults=self.schedule(0.0))
+        assert nofault.choice == clean.choice
+        assert nofault.t_total == pytest.approx(clean.t_total)
+
+    def test_double_inflation_rejected(self):
+        p = self.small_machine_params().with_(read_inflation=1.2)
+        with pytest.raises(ValueError, match="not both"):
+            autotune(p, n_p=64, epsilon=1e-2, faults=self.schedule(0.2))
+
+    def test_preinflated_params_accepted(self):
+        """read_inflation_from_metrics output threads through unchanged."""
+        p = self.small_machine_params().with_(read_inflation=1.25)
+        res = autotune(p, n_p=64, epsilon=1e-2)
+        assert res is not None
