@@ -11,11 +11,23 @@ clean run.  Doubles as an acceptance check:
   within 2x the clean makespan;
 * every chaos run with the same seed is deterministic.
 
-Usable three ways: under pytest (``test_chaos_sweep``), as a pytest-
-benchmark case, and as a CLI for CI smoke runs::
+``--supervision-smoke`` runs the *real-worker* chaos acceptance instead:
+a checkpointed numpy campaign under
+:meth:`~repro.checkpoint.runner.CampaignRunner.supervise` with a
+process-strategy executor whose pool workers actually die
+(``worker_crash_rate=0.2``, via ``os._exit``) and wedge
+(``worker_hang_rate=0.1``), plus a mid-flight ``SimulatedCrash``.  The
+supervised result must be bit-identical to an unsupervised serial run,
+and the recovery overhead (wall seconds, recovery fraction) is appended
+to the bench sentinel history.
+
+Usable three ways: under pytest (``test_chaos_sweep``,
+``test_supervision_smoke``), as a pytest-benchmark case, and as a CLI
+for CI smoke runs::
 
     python benchmarks/bench_chaos.py --smoke
     python benchmarks/bench_chaos.py --rates 0.02 0.05 0.1 0.2
+    python benchmarks/bench_chaos.py --supervision-smoke --out sup-out
 """
 
 import argparse
@@ -141,10 +153,199 @@ def format_rows(rows):
     return "\n".join(lines)
 
 
+# Chosen so the per-(piece, attempt) draws of the supervised campaign
+# deterministically exercise every recovery path in sequence: piece 5
+# wedges at attempt 0 (a crash-free round, so the deadline actually
+# fires and only its chunk stays pending), the same piece dies at
+# attempt 1 (broken pool -> respawn), and attempt 2 is clean.  A crash
+# in the same round as the hang would pre-empt the deadline: pool
+# teardown bumps every pending attempt.
+SUPERVISION_SEED = 2013
+
+
+def _supervised_campaign_problem(executor=None):
+    """Tiny real-numpy campaign: 4x2 decomposition -> 8 pool pieces."""
+    import numpy as np
+
+    from repro.core import (
+        Decomposition,
+        Grid,
+        ObservationNetwork,
+        radius_to_halo,
+    )
+    from repro.filters import PEnKF
+    from repro.models import (
+        AdvectionDiffusionModel,
+        TwinExperiment,
+        correlated_ensemble,
+    )
+
+    grid = Grid(n_x=16, n_y=8, dx_km=2.5, dy_km=5.0)
+    model = AdvectionDiffusionModel(grid, u_max=1.0, kappa=0.05, dt=0.2)
+    radius_km = 6.0
+    xi, eta = radius_to_halo(radius_km, grid.dx_km, grid.dy_km)
+    decomp = Decomposition(grid, n_sdx=4, n_sdy=2, xi=xi, eta=eta)
+    network = ObservationNetwork.random(
+        grid, m=40, obs_error_std=0.2, rng=np.random.default_rng(1)
+    )
+    filt = PEnKF(radius_km=radius_km, inflation=1.05, ridge=1e-2,
+                 executor=executor)
+    twin = TwinExperiment(
+        model,
+        network,
+        lambda states, y, rng: filt.assimilate(
+            decomp, states, network, y, rng=rng
+        ),
+        steps_per_cycle=3,
+        master_seed=5,
+    )
+    rng = np.random.default_rng(7)
+    truth0 = correlated_ensemble(grid, 1, length_scale_km=12.0, rng=rng)[:, 0]
+    ensemble0 = correlated_ensemble(
+        grid, 12, length_scale_km=12.0, mean=np.zeros(grid.n), std=0.8, rng=rng
+    )
+    return twin, truth0, ensemble0, filt
+
+
+def run_supervision_smoke(out_dir, history_path=None, n_cycles=4, interval=2):
+    """Supervised real-worker chaos campaign; returns the SupervisionReport.
+
+    Acceptance (asserted): with ``worker_crash_rate=0.2`` and
+    ``worker_hang_rate=0.1`` under the process strategy plus one
+    mid-flight :class:`SimulatedCrash`, ``CampaignRunner.supervise``
+    completes the campaign with a final checkpoint ensemble bit-identical
+    to an unsupervised serial run, and the recovery machinery actually
+    fired (crashes seen, deadlines hit, pieces retried).
+    """
+    import time
+
+    import numpy as np
+
+    from repro.checkpoint import CampaignRunner, SimulatedCrash
+    from repro.faults import FaultSchedule
+    from repro.parallel import (
+        AnalysisExecutor,
+        DeadlinePolicy,
+        SupervisionPolicy,
+    )
+    from repro.telemetry import (
+        append_history,
+        check_regression,
+        read_history,
+        render_supervision,
+    )
+
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+
+    # Reference: the same campaign, serial strategy, no supervision.
+    twin, truth0, ensemble0, filt = _supervised_campaign_problem()
+    try:
+        serial_runner = CampaignRunner(
+            twin, out / "serial-ckpt", interval=interval,
+            config={"experiment": "supervision-smoke", "mode": "serial"},
+        )
+        serial_runner.run(truth0, ensemble0, n_cycles)
+    finally:
+        filt.close()
+    serial_final = serial_runner.store.load(n_cycles).ensemble
+
+    # Supervised run: real worker crashes + hangs, one campaign crash.
+    faults = FaultSchedule(
+        SUPERVISION_SEED,
+        worker_crash_rate=0.2,
+        worker_hang_rate=0.1,
+        worker_hang_seconds=1.0,
+    )
+    executor = AnalysisExecutor(
+        strategy="process",
+        workers=2,
+        supervision=SupervisionPolicy(
+            deadline=DeadlinePolicy(slack=8.0, floor_seconds=0.25)
+        ),
+        faults=faults,
+    )
+    twin, truth0, ensemble0, filt = _supervised_campaign_problem(executor)
+    fired = []
+
+    def kill_once(state):
+        if state.cycle == interval and not fired:
+            fired.append(state.cycle)
+            raise SimulatedCrash(
+                f"simulated crash after cycle {state.cycle}"
+            )
+
+    t0 = time.perf_counter()
+    try:
+        runner = CampaignRunner(
+            twin, out / "supervised-ckpt", interval=interval,
+            config={"experiment": "supervision-smoke", "mode": "supervised"},
+        )
+        result = runner.supervise(
+            truth0, ensemble0, n_cycles, max_restarts=2, on_cycle=kill_once
+        )
+    finally:
+        filt.close()
+        executor.close()
+    wall = time.perf_counter() - t0
+
+    supervised_final = runner.store.load(n_cycles).ensemble
+    report = runner.supervision
+
+    # Acceptance: bit-identical to serial, and recovery genuinely fired.
+    assert np.array_equal(serial_final, supervised_final), \
+        "supervised campaign diverged from the serial reference"
+    assert result.n_cycles == n_cycles
+    assert fired and report.restarts == 1, report.to_dict()
+    assert report.worker_crashes >= 1, report.to_dict()
+    assert report.deadline_hits >= 1, report.to_dict()
+    assert report.piece_retries >= 2, report.to_dict()
+    assert report.pool_respawns >= 1, report.to_dict()
+
+    run_report = runner.run_report(result, notes=[
+        "supervision smoke: worker_crash_rate=0.2, worker_hang_rate=0.1",
+        f"simulated crash after cycle {interval}",
+    ])
+    report_path = run_report.write(out / "run_report.json")
+
+    verdicts = []
+    if history_path is not None:
+        values = {
+            "wall_seconds": wall,
+            "recovery_seconds": report.recovery_seconds,
+            "recovery_fraction": report.recovery_fraction,
+        }
+        verdicts = check_regression(
+            read_history(history_path, bench="chaos-supervision"),
+            "chaos-supervision",
+            values,
+        )
+        append_history(
+            history_path,
+            "chaos-supervision",
+            values,
+            context={"n_cycles": n_cycles,
+                     "seed": SUPERVISION_SEED,
+                     "restarts": report.restarts},
+        )
+
+    print(render_supervision(report.to_dict()))
+    print(f"wrote {report_path}  (schema {run_report.schema})")
+    return report, verdicts
+
+
 def test_chaos_sweep():
     """Plain-pytest entry: smoke-scale sweep with the acceptance asserts."""
     rows, _ = run_chaos_sweep(rates=(0.05, 0.1), smoke=True)
     assert len(rows) == 7
+
+
+def test_supervision_smoke(tmp_path):
+    """Plain-pytest entry: the supervised real-worker acceptance."""
+    report, _ = run_supervision_smoke(
+        tmp_path / "sup", history_path=tmp_path / "history.jsonl"
+    )
+    assert report.recovery_fraction >= 0.0
 
 
 def test_chaos_bench(benchmark, bench_telemetry):
@@ -171,7 +372,38 @@ def main(argv=None):
         default=None,
         help="disk-fault rates to sweep (default 0.02 0.05 0.1 0.2)",
     )
+    parser.add_argument(
+        "--supervision-smoke",
+        action="store_true",
+        help="run the supervised real-worker chaos acceptance instead "
+             "of the simulator sweep",
+    )
+    parser.add_argument(
+        "--out",
+        default="chaos-supervision",
+        metavar="DIR",
+        help="artifact directory of the supervision smoke "
+             "(checkpoints + run_report.json)",
+    )
+    parser.add_argument(
+        "--history",
+        default="BENCH_history.jsonl",
+        metavar="PATH",
+        help="bench sentinel history the supervision smoke appends to",
+    )
     args = parser.parse_args(argv)
+    if args.supervision_smoke:
+        report, verdicts = run_supervision_smoke(
+            args.out, history_path=args.history
+        )
+        failed = [v for v in verdicts if v.status == "fail"]
+        for v in failed:
+            print(
+                f"sentinel FAIL: chaos-supervision.{v.key} {v.reason}",
+                file=sys.stderr,
+            )
+        print("supervision acceptance: OK")
+        return 1 if failed else 0
     rates = args.rates if args.rates is not None else (
         (0.05, 0.1) if args.smoke else (0.02, 0.05, 0.1, 0.2)
     )

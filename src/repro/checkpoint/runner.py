@@ -25,31 +25,53 @@ ensemble/truth/free arrays round-trip losslessly as raw float64.
 
 from __future__ import annotations
 
+import time
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import nullcontext
 from pathlib import Path
 from typing import Callable
 
 import numpy as np
 
-from repro.checkpoint.errors import NoCheckpointError, ScheduleMismatchError
+from repro.checkpoint.errors import (
+    CheckpointError,
+    NoCheckpointError,
+    ScheduleMismatchError,
+)
 from repro.checkpoint.store import Checkpoint, CheckpointStore, RetentionPolicy
 from repro.data.store import EnsembleStore
+from repro.faults.errors import FaultError
 from repro.faults.policy import RetryPolicy
 from repro.faults.report import ResilienceReport
 from repro.faults.schedule import FaultSchedule
 from repro.models.twin import CampaignState, TwinExperiment, TwinResult
+from repro.parallel.supervise import SupervisionReport
 from repro.telemetry.metrics import get_metrics
 from repro.telemetry.report import RunReport
 from repro.telemetry.tracer import Tracer, get_tracer, use_tracer
-from repro.util.validation import check_positive
+from repro.util.validation import check_nonnegative, check_positive
 
-__all__ = ["CampaignRunner", "SimulatedCrash"]
+__all__ = ["CampaignRunner", "RESTARTABLE_ERRORS", "SimulatedCrash"]
 
 _DIAGNOSTIC_SERIES = ("background_rmse", "analysis_rmse", "free_rmse", "spread")
 
 
 class SimulatedCrash(RuntimeError):
     """Raised by kill hooks to take a campaign down mid-flight (demos/tests)."""
+
+
+#: what :meth:`CampaignRunner.supervise` treats as survivable: simulated
+#: crashes, checkpoint damage (quarantined and failed over by the store),
+#: injected fault errors, worker-pool deaths that escaped the executor's
+#: own supervision, and plain I/O trouble.  Programming errors
+#: (TypeError, ValueError, ...) stay fatal — restarting cannot fix them.
+RESTARTABLE_ERRORS: tuple[type[BaseException], ...] = (
+    SimulatedCrash,
+    CheckpointError,
+    FaultError,
+    BrokenProcessPool,
+    OSError,
+)
 
 
 class CampaignRunner:
@@ -105,6 +127,8 @@ class CampaignRunner:
         self.config = dict(config or {})
         self.tracer = tracer
         self.report = ResilienceReport()
+        #: filled by :meth:`supervise`; embedded in :meth:`run_report`
+        self.supervision: SupervisionReport | None = None
         store_factory = None
         if faults is not None and not faults.is_null:
             from repro.faults.store import FaultyStore
@@ -166,6 +190,98 @@ class CampaignRunner:
             return self.run(
                 truth0, ensemble0, n_cycles, track_free_run, on_cycle=on_cycle
             )
+
+    def supervise(
+        self,
+        truth0: np.ndarray,
+        ensemble0: np.ndarray,
+        n_cycles: int,
+        *,
+        max_restarts: int = 3,
+        backoff: RetryPolicy | None = None,
+        restartable: tuple[type[BaseException], ...] = RESTARTABLE_ERRORS,
+        track_free_run: bool = True,
+        on_cycle: Callable[[CampaignState], None] | None = None,
+        on_restart: Callable[[int, BaseException], None] | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> TwinResult:
+        """Run the campaign to completion, auto-restarting on crashes.
+
+        The supervised loop is ``run_or_resume`` under a restart budget:
+        every :data:`RESTARTABLE_ERRORS` failure — a
+        :class:`SimulatedCrash`, a corrupt newest checkpoint (quarantined
+        by ``load_best``, which then falls back an interval), an injected
+        fault that escaped the retries, a worker pool dying under the
+        analysis — burns one restart, waits out a deterministic
+        exponential backoff (``backoff``, default
+        ``RetryPolicy(max_retries=max_restarts)`` with wall-clock delays)
+        and resumes from the newest checkpoint that verifies.  Because
+        resume is bit-identical to an uninterrupted run, the *final
+        ensemble does not depend on how many times the campaign died*.
+
+        When the budget is exhausted the last error is re-raised; the
+        :class:`~repro.parallel.supervise.SupervisionReport` built along
+        the way (restarts, executor-level respawns/retries/fallbacks
+        diffed off the global metrics registry, recovery wall time) is
+        kept on :attr:`supervision` either way and embedded into
+        :meth:`run_report`.
+
+        ``on_restart(restart_index, error)`` is called before each
+        restart; ``sleep`` is injectable so tests pace at zero cost.
+        """
+        check_positive("n_cycles", n_cycles)
+        check_nonnegative("max_restarts", max_restarts)
+        if backoff is None:
+            backoff = RetryPolicy(
+                max_retries=max_restarts, base_delay=0.05, max_delay=2.0
+            )
+        tracer = self.tracer if self.tracer is not None else get_tracer()
+        metrics = get_metrics()
+        before = dict(metrics.snapshot()["counters"])
+        t0 = time.perf_counter()
+        restarts = 0
+        errors: list[str] = []
+        backoff_seconds = 0.0
+
+        def build_report() -> SupervisionReport:
+            after = dict(metrics.snapshot()["counters"])
+            return SupervisionReport.from_counter_delta(
+                before,
+                after,
+                max_restarts=max_restarts,
+                restarts=restarts,
+                restart_errors=errors,
+                backoff_seconds=backoff_seconds,
+                wall_seconds=time.perf_counter() - t0,
+            )
+
+        while True:
+            try:
+                result = self.run_or_resume(
+                    truth0, ensemble0, n_cycles, track_free_run,
+                    on_cycle=on_cycle,
+                )
+            except restartable as exc:
+                errors.append(f"{type(exc).__name__}: {exc}")
+                if restarts >= max_restarts:
+                    self.supervision = build_report()
+                    raise
+                restarts += 1
+                metrics.counter("supervise.restart").inc()
+                if tracer.enabled:
+                    tracer.event(
+                        "supervise.restart", category="recovery",
+                        restart=restarts, error=type(exc).__name__,
+                    )
+                if on_restart is not None:
+                    on_restart(restarts, exc)
+                delay = backoff.delay(restarts - 1)
+                if delay > 0.0:
+                    backoff_seconds += delay
+                    sleep(delay)
+            else:
+                self.supervision = build_report()
+                return result
 
     def _drive(
         self,
@@ -276,6 +392,10 @@ class CampaignRunner:
             ),
             metrics=get_metrics().snapshot() if tracer.enabled else {},
             diagnostics=diagnostics,
+            supervision=(
+                self.supervision.to_dict()
+                if self.supervision is not None else None
+            ),
             notes=list(notes or []),
         )
 

@@ -42,7 +42,7 @@ from repro.experiments.registry import FIGURES, get_figure
 from repro.experiments.report import format_result
 
 
-def _campaign_problem(workers: int | None = None):
+def _campaign_problem(workers: int | None = None, executor=None):
     """The CLI's fixed mini reanalysis: tiny ocean, P-EnKF numerics.
 
     Deterministic by construction — every invocation builds the same
@@ -51,8 +51,10 @@ def _campaign_problem(workers: int | None = None):
     analyses over a filter-owned
     :class:`~repro.parallel.executor.AnalysisExecutor` — the analysis is
     bit-identical to the serial default, so resumes may freely mix
-    ``--workers`` values.  Returns ``(twin, truth0, ensemble0, filt)``;
-    callers that set ``workers`` must ``filt.close()`` when done.
+    ``--workers`` values; alternatively pass a caller-owned ``executor``
+    (e.g. a supervised process-strategy one).  Returns ``(twin, truth0,
+    ensemble0, filt)``; callers that set ``workers`` must ``filt.close()``
+    when done.
     """
     import numpy as np
 
@@ -78,7 +80,7 @@ def _campaign_problem(workers: int | None = None):
         grid, m=60, obs_error_std=0.2, rng=np.random.default_rng(1)
     )
     filt = PEnKF(radius_km=radius_km, inflation=1.05, ridge=1e-2,
-                 workers=workers)
+                 workers=workers, executor=executor)
     twin = TwinExperiment(
         model,
         network,
@@ -100,7 +102,35 @@ def _run_campaign(args) -> int:
     """``senkf-experiments campaign``: checkpointed cycling with restart."""
     from repro.checkpoint import CampaignRunner, NoCheckpointError, SimulatedCrash
 
-    twin, truth0, ensemble0, filt = _campaign_problem(workers=args.workers)
+    executor = None
+    if args.supervise:
+        from repro.faults import FaultSchedule
+        from repro.parallel import (
+            AnalysisExecutor,
+            DeadlinePolicy,
+            SupervisionPolicy,
+        )
+
+        faults = None
+        if args.worker_crash_rate > 0.0 or args.worker_hang_rate > 0.0:
+            faults = FaultSchedule(
+                seed=args.fault_seed,
+                worker_crash_rate=args.worker_crash_rate,
+                worker_hang_rate=args.worker_hang_rate,
+                worker_hang_seconds=args.worker_hang_seconds,
+            )
+        executor = AnalysisExecutor(
+            strategy="process",
+            workers=args.workers or 2,
+            supervision=SupervisionPolicy(
+                deadline=DeadlinePolicy(floor_seconds=10.0)
+            ),
+            faults=faults,
+        )
+    twin, truth0, ensemble0, filt = _campaign_problem(
+        workers=None if executor is not None else args.workers,
+        executor=executor,
+    )
     try:
         runner = CampaignRunner(
             twin,
@@ -110,13 +140,27 @@ def _run_campaign(args) -> int:
         )
         on_cycle = None
         if args.kill_at is not None:
+            fired: list[int] = []
+
             def on_cycle(state):
-                if state.cycle == args.kill_at:
+                # One-shot: a supervised campaign resumes *through* the
+                # kill cycle, so a sticky hook would burn the whole
+                # restart budget on the same cycle.
+                if state.cycle == args.kill_at and not fired:
+                    fired.append(state.cycle)
                     raise SimulatedCrash(
                         f"simulated crash after cycle {state.cycle}"
                     )
 
-        if args.resume:
+        if args.supervise:
+            result = runner.supervise(
+                truth0,
+                ensemble0,
+                args.cycles,
+                max_restarts=args.max_restarts,
+                on_cycle=on_cycle,
+            )
+        elif args.resume:
             resumed_from = runner.store.latest()
             try:
                 result = runner.resume(args.cycles, on_cycle=on_cycle)
@@ -139,9 +183,16 @@ def _run_campaign(args) -> int:
                 return 0
     finally:
         filt.close()
+        if executor is not None:
+            executor.close()
 
     print(f"campaign complete: {result.n_cycles} cycles "
           f"(checkpoints at {runner.store.cycles()})")
+    if args.supervise and runner.supervision is not None:
+        from repro.telemetry import render_supervision
+
+        print()
+        print(render_supervision(runner.supervision.to_dict()))
     print("  cycle   background-RMSE   analysis-RMSE")
     for k in range(0, result.n_cycles, max(1, args.interval)):
         print(f"  {k + 1:5d}   {result.background_rmse[k]:15.3f}   "
@@ -285,6 +336,39 @@ _DOCTOR_CLEAN_CONFIGS = (
 _DOCTOR_CHAOS_CONFIG = (4, 4, 3, 4)
 
 
+def _render_report_supervision(path, threshold: float = 0.15) -> int:
+    """``doctor --run-report``: the supervision panel of an existing report.
+
+    Reads and validates a :class:`~repro.telemetry.RunReport` JSON
+    artifact (e.g. the one a supervised campaign or the chaos benchmark
+    wrote) and renders its recovery rollup.  Exit status 1 when recovery
+    spend exceeds ``threshold`` of the campaign's wall time — the panel
+    doubles as a CI tripwire for recovery-heavy runs.
+    """
+    import json
+    from pathlib import Path
+
+    from repro.telemetry import render_supervision, validate_run_report
+
+    payload = validate_run_report(json.loads(Path(path).read_text()))
+    supervision = payload.get("supervision")
+    if supervision is None:
+        print(
+            f"{path}: no supervision section "
+            "(campaign was not run under supervise())"
+        )
+        return 0
+    print(render_supervision(supervision, threshold=threshold))
+    flagged = float(supervision.get("recovery_fraction", 0.0)) > threshold
+    if flagged:
+        print(
+            f"recovery spend above {100 * threshold:.0f}% of wall time; "
+            "inspect the fault regime or raise the budgets",
+            file=sys.stderr,
+        )
+    return 1 if flagged else 0
+
+
 def _run_doctor(args) -> int:
     """``senkf-experiments doctor``: observe → calibrate → attribute.
 
@@ -293,8 +377,13 @@ def _run_doctor(args) -> int:
     durations, prints the predicted-vs-measured attribution dashboard
     with drift flags, writes the schema-validated ``attribution.json``
     and a :class:`~repro.telemetry.RunReport` embedding it, and appends
-    the run to the bench regression sentinel's history.
+    the run to the bench regression sentinel's history.  With
+    ``--run-report PATH`` it instead renders the supervision panel of an
+    existing report and exits.
     """
+    if args.run_report:
+        return _render_report_supervision(args.run_report)
+
     from pathlib import Path
 
     from repro.cluster.params import MachineSpec
@@ -487,6 +576,43 @@ def main(argv: list[str] | None = None) -> int:
         metavar="CYCLE",
         help="simulate a crash after this cycle completes",
     )
+    campaign.add_argument(
+        "--supervise",
+        action="store_true",
+        help="run the campaign under supervise(): supervised "
+             "process-strategy executor plus bounded auto-restarts from "
+             "the latest good checkpoint",
+    )
+    campaign.add_argument(
+        "--max-restarts",
+        type=int,
+        default=3,
+        metavar="N",
+        help="restart budget of the supervised campaign (default 3)",
+    )
+    campaign.add_argument(
+        "--worker-crash-rate",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="with --supervise: probability a pool worker dies "
+             "(os._exit) per piece attempt",
+    )
+    campaign.add_argument(
+        "--worker-hang-rate",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="with --supervise: probability a pool worker wedges per "
+             "piece attempt",
+    )
+    campaign.add_argument(
+        "--worker-hang-seconds",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="how long a wedged worker sleeps (default 30)",
+    )
     trace = parser.add_argument_group("trace (instrumented chaos campaign)")
     trace.add_argument(
         "--out",
@@ -516,6 +642,13 @@ def main(argv: list[str] | None = None) -> int:
         default="BENCH_history.jsonl",
         metavar="PATH",
         help="append-only bench history consumed by the regression sentinel",
+    )
+    doctor.add_argument(
+        "--run-report",
+        default=None,
+        metavar="PATH",
+        help="render the supervision panel of an existing run report "
+             "(exit 1 when recovery spend exceeds 15%% of wall time)",
     )
     parser.add_argument(
         "--workers",

@@ -26,6 +26,13 @@ member read faults    the *real-file* path: the first ``k`` read attempts
 member write faults   the *real-file* path: the first ``k`` write attempts
                       of a member die mid-file (a checkpoint writer torn
                       down by a crash)
+worker crash          the *real-process* path: a pool worker calls ``os._exit``
+                      while computing a piece (``worker_crash_rate``,
+                      drawn per ``(piece, attempt)`` so a retried piece
+                      can succeed)
+worker hang           the *real-process* path: a pool worker sleeps
+                      ``worker_hang_seconds`` before computing a piece,
+                      long enough to trip the supervisor's deadline
 ====================  =====================================================
 
 The zero-argument schedule (``FaultSchedule(seed)``) injects nothing and
@@ -109,6 +116,13 @@ class FaultSchedule:
     #: writer dying mid-file), and how many attempts fail before one lands
     member_write_fault_rate: float = 0.0
     member_write_attempts: int = 1
+    #: real-process path: probability a pool worker crashes (``os._exit``)
+    #: while computing one piece, drawn per ``(piece, attempt)``
+    worker_crash_rate: float = 0.0
+    #: real-process path: probability a pool worker wedges (sleeps
+    #: ``worker_hang_seconds``) before computing one piece
+    worker_hang_rate: float = 0.0
+    worker_hang_seconds: float = 30.0
 
     def __post_init__(self) -> None:
         _rate("disk_fault_rate", self.disk_fault_rate)
@@ -118,6 +132,9 @@ class FaultSchedule:
         _rate("member_fault_rate", self.member_fault_rate)
         _rate("member_corrupt_rate", self.member_corrupt_rate)
         _rate("member_write_fault_rate", self.member_write_fault_rate)
+        _rate("worker_crash_rate", self.worker_crash_rate)
+        _rate("worker_hang_rate", self.worker_hang_rate)
+        check_nonnegative("worker_hang_seconds", self.worker_hang_seconds)
         check_nonnegative("member_write_attempts", self.member_write_attempts)
         if self.disk_slowdown_factor < 1.0:
             raise ValueError(
@@ -166,7 +183,14 @@ class FaultSchedule:
             and self.member_fault_rate == 0.0
             and self.member_corrupt_rate == 0.0
             and self.member_write_fault_rate == 0.0
+            and self.worker_crash_rate == 0.0
+            and self.worker_hang_rate == 0.0
         )
+
+    @property
+    def has_worker_faults(self) -> bool:
+        """True when pool workers may be made to crash or hang."""
+        return self.worker_crash_rate > 0.0 or self.worker_hang_rate > 0.0
 
     # -- query surface ------------------------------------------------------
     def disk_request(self, disk_id: int, serial: int) -> Optional[DiskFault]:
@@ -248,6 +272,30 @@ class FaultSchedule:
             return self.member_write_attempts
         return 0
 
+    def worker_crash(self, piece: int, attempt: int = 0) -> bool:
+        """Does the worker computing ``piece`` crash on this ``attempt``?
+
+        Keyed on ``(piece, attempt)`` — not the piece alone — so the
+        supervisor's resubmission of a crashed piece draws fresh and the
+        recovery machinery is actually exercised rather than looping on a
+        deterministic always-crash.
+        """
+        return (
+            self.worker_crash_rate > 0.0
+            and self._unit("worker_crash", piece, attempt)
+            < self.worker_crash_rate
+        )
+
+    def worker_hang(self, piece: int, attempt: int = 0) -> float:
+        """Seconds the worker computing ``piece`` wedges for (0 = healthy)."""
+        if (
+            self.worker_hang_rate > 0.0
+            and self._unit("worker_hang", piece, attempt)
+            < self.worker_hang_rate
+        ):
+            return self.worker_hang_seconds
+        return 0.0
+
     # -- serialisation ------------------------------------------------------
     def to_dict(self) -> dict:
         """JSON-safe dict capturing the full chaos regime.
@@ -272,7 +320,15 @@ class FaultSchedule:
 
     @classmethod
     def from_dict(cls, data: dict) -> "FaultSchedule":
-        """Rebuild a schedule from :meth:`to_dict` output (or parsed JSON)."""
+        """Rebuild a schedule from :meth:`to_dict` output (or parsed JSON).
+
+        Tolerant of *old* payloads: keys a newer schedule grew (e.g. the
+        worker-fault knobs) may be absent and default to 0 / disabled, so
+        checkpoint manifests cut before an upgrade keep resuming.  Keys
+        this version does not know remain a hard error — silently
+        dropping an unknown fault class would replay a *different* chaos
+        regime than the manifest records.
+        """
         data = dict(data)
         known = {f.name for f in fields(cls)}
         unknown = sorted(set(data) - known)
@@ -302,5 +358,7 @@ class FaultSchedule:
             h.update(struct.pack("<i", self.member_failures(i)))
             h.update(struct.pack("<i", self.member_write_failures(i)))
             h.update(b"\x01" if self.member_corrupt(i) else b"\x00")
+            h.update(b"\x01" if self.worker_crash(i, i % 3) else b"\x00")
+            h.update(struct.pack("<d", self.worker_hang(i, i % 3)))
             h.update(b"\x01" if self.disk_available(i % 7, float(i)) else b"\x00")
         return h.hexdigest()

@@ -8,7 +8,11 @@ Three layers, composable and individually testable:
   geometry (observation restriction, index arrays, Cholesky stencil);
 * :mod:`repro.parallel.executor` — the strategy-selected fan-out
   (serial / thread / process / auto) with the S-EnKF-style prefetch
-  pipeline preparing piece ``l+1`` while piece ``l`` computes.
+  pipeline preparing piece ``l+1`` while piece ``l`` computes;
+* :mod:`repro.parallel.supervise` — worker supervision policies
+  (deadlines, retry, respawn budgets) and the recovery accounting that
+  makes the process strategy self-healing under crashed or wedged
+  workers.
 
 All strategies are bit-identical to the classic serial loop by
 construction: one numerical entry point
@@ -24,19 +28,31 @@ from repro.parallel.shared import (
     SharedEnsemble,
     attach_array,
 )
+from repro.parallel.supervise import (
+    DeadlinePolicy,
+    SupervisionPolicy,
+    SupervisionReport,
+    SupervisionStats,
+    piece_seconds_from_cost_model,
+)
 from repro.parallel.worker import KIND_ENKF, KIND_ETKF, compute_piece
 
 __all__ = [
     "AnalysisExecutor",
     "AnalysisPlan",
     "AttachedArray",
+    "DeadlinePolicy",
     "GeometryCache",
     "KIND_ENKF",
     "KIND_ETKF",
     "PieceGeometry",
     "SharedArraySpec",
     "SharedEnsemble",
+    "SupervisionPolicy",
+    "SupervisionReport",
+    "SupervisionStats",
     "attach_array",
     "compute_piece",
+    "piece_seconds_from_cost_model",
     "serial_executor",
 ]

@@ -32,6 +32,19 @@ Determinism: every strategy calls the same
 own disjoint interior rows, and all randomness (observation
 perturbation) is consumed *before* the plan is built — so serial, thread
 and process results are bit-identical.
+
+Supervision (``supervision=``): the process strategy can run under a
+:class:`~repro.parallel.supervise.SupervisionPolicy`, which arms it
+against real worker failures — a crashed worker (``BrokenProcessPool``)
+or a wedged one (a round that blows its cost-model-derived deadline)
+tears the pool down (hung workers are killed), respawns it within a
+bounded budget, and resubmits the unfinished pieces with seeded
+exponential backoff; pieces that exhaust their
+:class:`~repro.faults.policy.RetryPolicy` — and, once the respawn budget
+is spent, the whole remaining plan — fall back to the in-process serial
+path.  Because recovery only ever *recomputes the same pieces on the
+same inputs*, a supervised analysis completes bit-identically to the
+serial reference whenever any single process can run it.
 """
 
 from __future__ import annotations
@@ -42,13 +55,21 @@ import os
 import pickle
 import queue
 import threading
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
 from repro.parallel.geometry import GeometryCache, PieceGeometry
 from repro.parallel.shared import SharedEnsemble
+from repro.parallel.supervise import SupervisionPolicy, SupervisionStats
 from repro.parallel.worker import KIND_ENKF, compute_piece, run_chunk
 from repro.telemetry.metrics import get_metrics
 from repro.telemetry.tracer import get_tracer
@@ -56,6 +77,10 @@ from repro.telemetry.tracer import get_tracer
 __all__ = ["AnalysisExecutor", "AnalysisPlan", "serial_executor"]
 
 STRATEGIES = ("auto", "serial", "thread", "process")
+
+#: how long the consumer waits for the geometry-prefetch feeder thread to
+#: stop before declaring it wedged (module-level so tests can shrink it)
+_FEEDER_JOIN_TIMEOUT = 5.0
 
 #: auto-strategy ceilings on the plan's total expansion points: below the
 #: first the pool dispatch overhead beats any win (stay serial); between
@@ -125,6 +150,18 @@ class AnalysisExecutor:
         Process-strategy load-balance knob: pieces are submitted in
         ``workers * chunks_per_worker`` chunks so a straggler chunk
         cannot serialise the tail.
+    supervision:
+        A :class:`~repro.parallel.supervise.SupervisionPolicy` arming the
+        process strategy against worker crashes and hangs (see module
+        docstring); ``None`` (default) keeps the unsupervised fast path,
+        where a dead worker aborts the analysis.
+    faults:
+        Optional :class:`~repro.faults.schedule.FaultSchedule` whose
+        *worker* knobs (``worker_crash_rate`` / ``worker_hang_rate``)
+        are injected into real pool workers — chaos tests exercise the
+        actual recovery machinery.  Other fault classes are ignored
+        here; the serial fallback path is deliberately injection-free
+        (it is the recovery target).
     """
 
     def __init__(
@@ -133,6 +170,8 @@ class AnalysisExecutor:
         workers: int | None = None,
         prefetch_depth: int | None = 2,
         chunks_per_worker: int = 2,
+        supervision: SupervisionPolicy | None = None,
+        faults=None,
     ):
         if strategy not in STRATEGIES:
             raise ValueError(
@@ -152,6 +191,9 @@ class AnalysisExecutor:
         self.workers = workers
         self.prefetch_depth = prefetch_depth
         self.chunks_per_worker = int(chunks_per_worker)
+        self.supervision = supervision
+        self.faults = faults
+        self.supervision_stats = SupervisionStats()
         self._lock = threading.Lock()
         self._thread_pool: ThreadPoolExecutor | None = None
         self._thread_pool_size = 0
@@ -263,7 +305,20 @@ class AnalysisExecutor:
                     out.get_nowait()
                 except queue.Empty:
                     break
-            thread.join(timeout=5.0)
+            thread.join(timeout=_FEEDER_JOIN_TIMEOUT)
+            if thread.is_alive():
+                # The feeder ignored the stop flag — plan.prepare is
+                # wedged (a hung geometry resolution).  Silently leaking
+                # the thread here means an unexplained hang at interpreter
+                # exit or the *next* run; fail loudly instead.
+                self.supervision_stats.feeder_stuck += 1
+                get_metrics().counter("parallel.feeder_stuck").inc()
+                raise RuntimeError(
+                    "geometry prefetch feeder failed to stop within "
+                    f"{_FEEDER_JOIN_TIMEOUT}s; a plan.prepare call is "
+                    "wedged (hung geometry resolution) and the thread "
+                    "would leak"
+                )
 
     # -- serial ----------------------------------------------------------------
     def _compute_one(self, plan: AnalysisPlan, prepared) -> None:
@@ -320,7 +375,34 @@ class AnalysisExecutor:
                 self._process_pool_size = workers
             return self._process_pool
 
+    def _worker_faults_dict(self) -> dict | None:
+        """The serialized schedule shipped to workers, or None when clean."""
+        if self.faults is not None and getattr(
+            self.faults, "has_worker_faults", False
+        ):
+            return self.faults.to_dict()
+        return None
+
+    def _ctx_bytes(self, plan: AnalysisPlan, shm_states, shm_obs, shm_out,
+                   tracer) -> bytes:
+        """One pickled worker context per executor call."""
+        return pickle.dumps(
+            {
+                "kind": plan.kind,
+                "params": plan.params,
+                "trace": bool(tracer.enabled),
+                "states": asdict(shm_states.spec),
+                "obs": asdict(shm_obs.spec),
+                "out": asdict(shm_out.spec),
+                "faults": self._worker_faults_dict(),
+            },
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+
     def _run_process(self, plan: AnalysisPlan, workers: int) -> None:
+        if self.supervision is not None:
+            self._run_process_supervised(plan, workers)
+            return
         pool = self._ensure_process_pool(workers)
         token = (id(self), next(self._call_counter))
         n = len(plan.pieces)
@@ -331,17 +413,7 @@ class AnalysisExecutor:
         shm_out = SharedEnsemble.create(plan.out.shape)
         futures = []
         try:
-            ctx_bytes = pickle.dumps(
-                {
-                    "kind": plan.kind,
-                    "params": plan.params,
-                    "trace": bool(tracer.enabled),
-                    "states": asdict(shm_states.spec),
-                    "obs": asdict(shm_obs.spec),
-                    "out": asdict(shm_out.spec),
-                },
-                protocol=pickle.HIGHEST_PROTOCOL,
-            )
+            ctx_bytes = self._ctx_bytes(plan, shm_states, shm_obs, shm_out, tracer)
             # Prepare inline on this thread, submitting each chunk as it
             # fills: workers compute chunk k while the parent prepares
             # chunk k+1 — the same prepare/compute overlap the prefetch
@@ -375,6 +447,193 @@ class AnalysisExecutor:
             shm_states.dispose()
             shm_obs.dispose()
             shm_out.dispose()
+
+    # -- supervised process pool ----------------------------------------------
+    def _teardown_process_pool(self, kill: bool = False) -> None:
+        """Drop the persistent pool; ``kill`` SIGKILLs wedged workers first.
+
+        ``shutdown(wait=True)`` on a pool with a hung worker would block
+        forever, so the supervisor kills the worker processes before
+        joining — the management thread then observes the deaths, marks
+        the pool broken and exits promptly.
+        """
+        with self._lock:
+            pool, self._process_pool = self._process_pool, None
+            self._process_pool_size = 0
+        if pool is None:
+            return
+        if kill:
+            for proc in list((getattr(pool, "_processes", None) or {}).values()):
+                try:
+                    proc.kill()
+                except Exception:  # already dead / not a Process
+                    pass
+        pool.shutdown(wait=True, cancel_futures=True)
+
+    def _compute_serial_into(self, plan: AnalysisPlan, prepared, out) -> None:
+        """The per-piece serial fallback: same inputs, same rows, any array."""
+        index, piece, geometry = prepared
+        xb = plan.states[geometry.expansion_flat]
+        result = compute_piece(
+            plan.kind, piece, xb, plan.obs, geometry, plan.params
+        )
+        out[geometry.interior_flat] = result
+
+    def _run_process_supervised(self, plan: AnalysisPlan, workers: int) -> None:
+        """Process fan-out that survives crashed and wedged workers.
+
+        Round-based: submit every unfinished piece, wait under a
+        deadline, harvest completions.  A ``BrokenProcessPool`` or a
+        blown deadline fails the round — the pool is torn down (hung
+        workers killed) and respawned within ``max_respawns``, unfinished
+        pieces are resubmitted with their attempt count bumped (which
+        re-keys the fault-injection draws), and pieces that exhaust the
+        retry policy — or every piece, once the respawn budget is spent —
+        are recovered on the in-process serial path.  All recovery paths
+        recompute identical inputs into identical rows, so the result is
+        bit-identical to the serial reference.
+        """
+        policy = self.supervision
+        stats = self.supervision_stats
+        metrics = get_metrics()
+        tracer = get_tracer()
+        n = len(plan.pieces)
+        chunk_size = max(1, math.ceil(n / (workers * self.chunks_per_worker)))
+        # Prepare everything up front (cached geometry): retry rounds may
+        # resubmit any subset, and the prepare/compute overlap matters
+        # less than recovery simplicity on the supervised path.
+        prepared = [plan.prepare(i) for i in range(n)]
+        shm_states = SharedEnsemble.from_array(plan.states)
+        shm_obs = SharedEnsemble.from_array(plan.obs)
+        shm_out = SharedEnsemble.create(plan.out.shape)
+        try:
+            ctx_bytes = self._ctx_bytes(plan, shm_states, shm_obs, shm_out, tracer)
+            pending = set(range(n))
+            attempts = [0] * n
+            respawns_left = policy.max_respawns
+            piece_seconds: float | None = None  # observed EWMA, overestimate
+            futures: dict = {}
+            while pending:
+                pool = self._ensure_process_pool(workers)
+                token = (id(self), next(self._call_counter))
+                order = sorted(pending)
+                round_t0 = time.perf_counter()
+                futures: dict = {}
+                for start in range(0, len(order), chunk_size):
+                    idx = order[start:start + chunk_size]
+                    futures[pool.submit(
+                        run_chunk, token, ctx_bytes,
+                        [prepared[i] for i in idx], attempts[idx[0]],
+                    )] = idx
+                deadline = policy.deadline.deadline(len(order), piece_seconds)
+                end_by = round_t0 + deadline
+                failure: str | None = None
+                remaining = dict(futures)
+                while remaining and failure is None:
+                    timeout = end_by - time.perf_counter()
+                    if timeout <= 0.0:
+                        failure = "deadline"
+                        break
+                    done, _ = wait(
+                        list(remaining), timeout=timeout,
+                        return_when=FIRST_COMPLETED,
+                    )
+                    if not done:
+                        failure = "deadline"
+                        break
+                    for future in done:
+                        idx = remaining.pop(future)
+                        try:
+                            pid, spans = future.result()
+                        except BrokenProcessPool:
+                            failure = "crash"
+                            break
+                        self._merge_worker_spans(tracer, pid, spans)
+                        pending.difference_update(idx)
+                        observed = (
+                            (time.perf_counter() - round_t0) / len(idx)
+                        )
+                        piece_seconds = (
+                            observed if piece_seconds is None
+                            else 0.5 * (piece_seconds + observed)
+                        )
+                if failure is None:
+                    break  # every piece confirmed done
+                self._recover_round(
+                    plan, prepared, shm_out.array, pending, attempts,
+                    failure, respawns_left, policy, stats, metrics, tracer,
+                )
+                if pending:  # a fresh pool will serve the next round
+                    respawns_left -= 1
+            np.copyto(plan.out, shm_out.array)
+            if tracer.enabled:
+                metrics.counter("parallel.chunks").inc(len(futures))
+        except BaseException:
+            self._teardown_process_pool(kill=True)
+            raise
+        finally:
+            shm_states.dispose()
+            shm_obs.dispose()
+            shm_out.dispose()
+
+    def _recover_round(
+        self, plan, prepared, out, pending, attempts,
+        failure, respawns_left, policy, stats, metrics, tracer,
+    ) -> None:
+        """One failed round's recovery: teardown, triage, serial fallback.
+
+        Mutates ``pending``/``attempts`` in place; pieces recovered
+        serially are computed into ``out`` immediately and removed from
+        ``pending``.
+        """
+        recovery_t0 = time.perf_counter()
+        with tracer.span(
+            "parallel.recovery", category="recovery",
+            cause=failure, n_pending=len(pending),
+        ):
+            if failure == "crash":
+                stats.worker_crashes += 1
+                metrics.counter("parallel.worker_crash").inc()
+            else:
+                stats.deadline_hits += 1
+                metrics.counter("parallel.worker_deadline").inc()
+            # Kill wedged workers and drop the pool either way: after a
+            # blown deadline the survivors may still be mid-hang, and
+            # after a crash the pool is broken beyond reuse.
+            self._teardown_process_pool(kill=True)
+            failed = sorted(pending)
+            for i in failed:
+                attempts[i] += 1
+            exhausted = [
+                i for i in failed
+                if not policy.retry.should_retry(attempts[i] - 1)
+            ]
+            if respawns_left <= 0:
+                # Respawn budget spent: no more pools, recover the whole
+                # remainder serially (degraded but correct) and warn.
+                exhausted = failed
+                stats.plan_degrades += 1
+                metrics.counter("parallel.degraded_serial").inc()
+            retriable = [i for i in failed if i not in set(exhausted)]
+            if retriable:
+                stats.piece_retries += len(retriable)
+                metrics.counter("parallel.piece_retry").inc(len(retriable))
+                stats.pool_respawns += 1
+                metrics.counter("parallel.pool_respawn").inc()
+                backoff = policy.retry.delay(
+                    max(attempts[i] for i in retriable) - 1
+                )
+                if backoff > 0.0:
+                    time.sleep(backoff)
+            for i in exhausted:
+                self._compute_serial_into(plan, prepared[i], out)
+                pending.discard(i)
+            if exhausted:
+                stats.serial_fallback_pieces += len(exhausted)
+                metrics.counter("parallel.serial_fallback").inc(len(exhausted))
+        elapsed = time.perf_counter() - recovery_t0
+        stats.recovery_seconds += elapsed
+        metrics.counter("parallel.recovery_seconds").inc(elapsed)
 
     @staticmethod
     def _merge_worker_spans(tracer, pid: int, spans: list) -> None:

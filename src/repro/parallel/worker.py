@@ -11,6 +11,14 @@ released when the next call's token arrives), computes its pieces,
 writes each result into the shared analysis array (pieces own disjoint
 interior rows, so concurrent writers never overlap), and returns
 wall-clock spans for the parent to merge into its tracer.
+
+Chaos plumbing: when the call context carries a serialized
+:class:`~repro.faults.schedule.FaultSchedule` with worker-fault knobs,
+each piece first consults ``worker_hang`` (the worker sleeps — a wedge
+the supervisor must deadline) and ``worker_crash`` (the worker calls
+``os._exit`` — a death the supervisor must detect as a broken pool).
+Draws are keyed on ``(piece, attempt)`` so the *real* recovery machinery
+— respawn, piece retry, serial fallback — is exercised, not simulated.
 """
 
 from __future__ import annotations
@@ -79,6 +87,11 @@ class _CallState:
         self.states = AttachedArray(SharedArraySpec(**self.ctx["states"]))
         self.obs = AttachedArray(SharedArraySpec(**self.ctx["obs"]))
         self.out = AttachedArray(SharedArraySpec(**self.ctx["out"]))
+        self.faults = None
+        if self.ctx.get("faults") is not None:
+            from repro.faults.schedule import FaultSchedule
+
+            self.faults = FaultSchedule.from_dict(self.ctx["faults"])
 
     def release(self) -> None:
         for attached in (self.states, self.obs, self.out):
@@ -101,14 +114,18 @@ def _call_state(token: Any, ctx_bytes: bytes) -> _CallState:
     return state
 
 
-def run_chunk(token: Any, ctx_bytes: bytes, chunk: list) -> tuple[int, list]:
+def run_chunk(
+    token: Any, ctx_bytes: bytes, chunk: list, attempt: int = 0
+) -> tuple[int, list]:
     """Process-pool task: analyse ``chunk``'s pieces against shared arrays.
 
     ``chunk`` is a list of ``(index, piece, geometry)`` triples prepared
-    (and geometry-cached) in the parent.  Returns ``(pid, spans)`` where
-    ``spans`` are ``(name, category, start, end, attrs)`` tuples on this
-    process's ``perf_counter`` clock; the parent re-bases them onto its
-    tracer clock.
+    (and geometry-cached) in the parent.  ``attempt`` is the
+    supervisor's resubmission count for these pieces (0 on first
+    submission); it only feeds the fault-injection draws.  Returns
+    ``(pid, spans)`` where ``spans`` are ``(name, category, start, end,
+    attrs)`` tuples on this process's ``perf_counter`` clock; the parent
+    re-bases them onto its tracer clock.
     """
     state = _call_state(token, ctx_bytes)
     ctx = state.ctx
@@ -120,6 +137,15 @@ def run_chunk(token: Any, ctx_bytes: bytes, chunk: list) -> tuple[int, list]:
     out = state.out.array
     spans: list[tuple] = []
     for index, piece, geometry in chunk:
+        if state.faults is not None:
+            hang = state.faults.worker_hang(index, attempt)
+            if hang > 0.0:
+                time.sleep(hang)
+            if state.faults.worker_crash(index, attempt):
+                # A real worker death: no cleanup, no exception — the
+                # parent sees a BrokenProcessPool, exactly as it would
+                # for a segfault or an OOM kill.
+                os._exit(13)
         t0 = time.perf_counter()
         xb = states[geometry.expansion_flat]
         result = compute_piece(kind, piece, xb, obs, geometry, params)

@@ -22,6 +22,7 @@ See ``docs/OBSERVABILITY.md`` for the span/metric taxonomy.
 from repro.telemetry.ascii import (
     render_phase_totals,
     render_spans,
+    render_supervision,
     render_timeline,
 )
 from repro.telemetry.attribution import (
@@ -107,6 +108,7 @@ __all__ = [
     "read_history",
     "render_phase_totals",
     "render_spans",
+    "render_supervision",
     "render_timeline",
     "robust_baseline",
     "sentinel_report",

@@ -19,7 +19,12 @@ from repro.telemetry.tracer import Span, Tracer
 # reaches back here through the instrumented I/O layer — an eager
 # import would make `import repro.filters` circular.
 
-__all__ = ["render_phase_totals", "render_spans", "render_timeline"]
+__all__ = [
+    "render_phase_totals",
+    "render_spans",
+    "render_supervision",
+    "render_timeline",
+]
 
 
 def _tree_rows(
@@ -82,6 +87,52 @@ def render_timeline(
     return render_spans(
         spans_from_timeline(timeline), width=width, title=title
     )
+
+
+def render_supervision(
+    supervision: dict,
+    threshold: float = 0.15,
+    title: str = "supervision",
+) -> str:
+    """Text panel for a supervised campaign's recovery rollup.
+
+    ``supervision`` is a
+    :meth:`~repro.parallel.supervise.SupervisionReport.to_dict` payload
+    (e.g. the ``supervision`` field of a run report).  The panel is
+    flagged with ``!!`` when the recovery fraction — respawn/fallback
+    wall time plus restart backoff, relative to total wall time —
+    exceeds ``threshold`` (default 15%): at that point recovery is no
+    longer noise and the fault regime or the budgets deserve a look.
+    """
+    fraction = float(supervision.get("recovery_fraction", 0.0))
+    flagged = fraction > threshold
+    rows = [
+        ("campaign restarts",
+         f"{supervision.get('restarts', 0)}"
+         f" / {supervision.get('max_restarts', 0)} budget"),
+        ("pool respawns", str(supervision.get("pool_respawns", 0))),
+        ("worker crashes seen", str(supervision.get("worker_crashes", 0))),
+        ("deadline hits", str(supervision.get("deadline_hits", 0))),
+        ("pieces retried", str(supervision.get("piece_retries", 0))),
+        ("pieces degraded to serial",
+         str(supervision.get("serial_fallback_pieces", 0))),
+        ("plans degraded to serial", str(supervision.get("plan_degrades", 0))),
+        ("recovery seconds", f"{supervision.get('recovery_seconds', 0.0):.3f}"),
+        ("restart backoff seconds",
+         f"{supervision.get('backoff_seconds', 0.0):.3f}"),
+        ("recovery fraction",
+         f"{100.0 * fraction:.1f}% of {supervision.get('wall_seconds', 0.0):.3f}s"
+         + (f"  !! above {100.0 * threshold:.0f}% threshold" if flagged else "")),
+    ]
+    width = max(len(label) for label, _ in rows)
+    lines = [title + ("  [!! recovery-heavy]" if flagged else "")]
+    lines += [f"  {label.ljust(width)}  {value}" for label, value in rows]
+    errors = supervision.get("restart_errors") or []
+    for err in errors[:5]:
+        lines.append(f"  restart cause: {err}")
+    if len(errors) > 5:
+        lines.append(f"  ... {len(errors) - 5} more restart causes")
+    return "\n".join(lines)
 
 
 def render_phase_totals(

@@ -53,6 +53,10 @@ class RunReport:
     #: :class:`~repro.telemetry.attribution.AttributionReport` payload);
     #: validated against the attribution schema when present.
     attribution: dict | None = None
+    #: optional recovery accounting (a
+    #: :class:`~repro.parallel.supervise.SupervisionReport` payload) from
+    #: a supervised campaign; must be an object when present.
+    supervision: dict | None = None
     schema: str = RUN_REPORT_SCHEMA
 
     def to_dict(self) -> dict:
@@ -76,6 +80,7 @@ class RunReport:
         return cls(
             **{k: payload[k] for k in _REQUIRED},
             attribution=payload.get("attribution"),
+            supervision=payload.get("supervision"),
         )
 
 
@@ -138,6 +143,12 @@ def validate_run_report(payload: dict) -> dict:
                 validate_attribution_report(attribution)
             except ValueError as exc:
                 errors.append(f"attribution: {exc}")
+        supervision = payload.get("supervision")
+        if supervision is not None and not isinstance(supervision, dict):
+            errors.append(
+                "supervision must be an object when present, "
+                f"got {type(supervision).__name__}"
+            )
     if errors:
         raise ValueError("invalid run report: " + "; ".join(errors))
     return payload

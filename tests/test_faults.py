@@ -637,6 +637,9 @@ def _schedules():
         member_corrupt_rate=_rates,
         member_write_fault_rate=_rates,
         member_write_attempts=st.integers(0, 5),
+        worker_crash_rate=_rates,
+        worker_hang_rate=_rates,
+        worker_hang_seconds=st.floats(0.0, 60.0, allow_nan=False),
     )
 
 
@@ -669,3 +672,25 @@ class TestScheduleSerialisation:
         data["surprise"] = 1.0
         with pytest.raises(ValueError):
             FaultSchedule.from_dict(data)
+
+    def test_worker_knobs_roundtrip(self):
+        schedule = FaultSchedule(
+            9, worker_crash_rate=0.25, worker_hang_rate=0.1,
+            worker_hang_seconds=2.5,
+        )
+        rebuilt = FaultSchedule.from_dict(schedule.to_dict())
+        assert rebuilt == schedule
+        assert rebuilt.fingerprint() == schedule.fingerprint()
+        assert rebuilt.has_worker_faults
+
+    def test_tolerant_reader_accepts_pre_worker_payloads(self):
+        """Manifests cut before the worker knobs existed keep resuming."""
+        data = FaultSchedule(9, disk_fault_rate=0.1).to_dict()
+        for key in ("worker_crash_rate", "worker_hang_rate",
+                    "worker_hang_seconds"):
+            del data[key]
+        rebuilt = FaultSchedule.from_dict(data)
+        assert rebuilt.worker_crash_rate == 0.0
+        assert rebuilt.worker_hang_rate == 0.0
+        assert not rebuilt.has_worker_faults
+        assert rebuilt == FaultSchedule(9, disk_fault_rate=0.1)
