@@ -63,7 +63,7 @@ def validate_bench_parallel(payload: dict) -> None:
     for key in (
         "cpu_count", "n_subdomains", "n_members", "grid", "cycles",
         "timings", "identical", "best_speedup", "speedup_asserted",
-        "geometry_cache",
+        "speedup_note", "geometry_cache",
     ):
         if key not in payload:
             raise ValueError(f"missing key {key!r}")
@@ -152,7 +152,20 @@ def run_parallel_bench(smoke: bool = False, cycles: int = 3,
     warm = {s: min(t[1:]) if len(t) > 1 else t[0] for s, t in timings.items()}
     best_parallel = min(warm["thread"], warm["process"])
     best_speedup = warm["serial"] / best_parallel
-    speedup_asserted = (os.cpu_count() or 1) >= 4 and not smoke
+    cpu_count = os.cpu_count() or 1
+    speedup_asserted = cpu_count >= 4 and not smoke
+    if speedup_asserted:
+        speedup_note = ""
+    elif cpu_count < 4:
+        speedup_note = (
+            f"speedup unverified on this runner ({cpu_count} CPU core(s) "
+            f"< 4): bit-identity and cache acceptance still checked"
+        )
+    else:
+        speedup_note = (
+            "speedup unverified in smoke mode (problem too small to "
+            "amortise fan-out)"
+        )
 
     payload = {
         "schema": BENCH_PARALLEL_SCHEMA,
@@ -168,6 +181,7 @@ def run_parallel_bench(smoke: bool = False, cycles: int = 3,
         "identical": identical,
         "best_speedup": best_speedup,
         "speedup_asserted": speedup_asserted,
+        "speedup_note": speedup_note,
         "geometry_cache": cache_stats,
     }
     validate_bench_parallel(payload)
@@ -238,8 +252,10 @@ def report(payload: dict) -> str:
     lines.append(
         f"  bit-identical: {payload['identical']}   best speedup: "
         f"{payload['best_speedup']:.2f}x"
-        + ("" if payload["speedup_asserted"] else "  (not asserted: <4 cores or smoke)")
+        + ("" if payload["speedup_asserted"] else "  (not asserted)")
     )
+    if payload["speedup_note"]:
+        lines.append(f"  note: {payload['speedup_note']}")
     cache = payload["geometry_cache"]
     lines.append(
         f"  geometry cache: {cache['misses']} builds, {cache['hits']} hits "
@@ -249,9 +265,20 @@ def report(payload: dict) -> str:
 
 
 def test_parallel_bench_smoke():
-    """Pytest entry: smoke-scale sweep with all acceptance checks."""
+    """Pytest entry: smoke-scale sweep with all acceptance checks.
+
+    When the runner is too small to assert the >=2x warm speedup the
+    test SKIPS with the payload's note instead of silently passing — a
+    green dot must never read as "speedup verified" on a 1-core box.
+    The hard acceptance (bit-identity, geometry-cache behaviour) is
+    asserted before skipping either way.
+    """
+    import pytest
+
     payload = run_parallel_bench(smoke=True, cycles=2, workers=2)
     assert payload["identical"]
+    if not payload["speedup_asserted"]:
+        pytest.skip(payload["speedup_note"])
 
 
 def main(argv=None) -> int:

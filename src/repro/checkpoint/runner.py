@@ -25,9 +25,11 @@ ensemble/truth/free arrays round-trip losslessly as raw float64.
 
 from __future__ import annotations
 
+import signal
+import threading
 import time
 from concurrent.futures.process import BrokenProcessPool
-from contextlib import nullcontext
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Callable
 
@@ -48,7 +50,7 @@ from repro.models.twin import CampaignState, TwinExperiment, TwinResult
 from repro.parallel.supervise import SupervisionReport
 from repro.telemetry.metrics import get_metrics
 from repro.telemetry.report import RunReport
-from repro.telemetry.tracer import Tracer, get_tracer, use_tracer
+from repro.telemetry.tracer import Tracer, get_tracer, use_thread_tracer
 from repro.util.validation import check_nonnegative, check_positive
 
 __all__ = ["CampaignRunner", "RESTARTABLE_ERRORS", "SimulatedCrash"]
@@ -101,11 +103,12 @@ class CampaignRunner:
         experiment name, ...).
     tracer:
         Optional :class:`~repro.telemetry.tracer.Tracer`.  When given it
-        is installed as the process-global tracer for the duration of
-        ``run``/``resume`` so every instrumented layer underneath
+        is installed as the *calling thread's* tracer for the duration
+        of ``run``/``resume`` so every instrumented layer underneath
         (stores, filters, fault retries, checkpoint commits) records
-        into one capture; when omitted the ambient global tracer (null
-        by default) applies.
+        into one capture — and concurrent campaigns in other threads
+        (the service) keep theirs separate; when omitted the ambient
+        tracer (null by default) applies.
     """
 
     def __init__(
@@ -170,8 +173,7 @@ class CampaignRunner:
         crashed.
         """
         check_positive("n_cycles", n_cycles)
-        with use_tracer(self.tracer) if self.tracer is not None \
-                else nullcontext():
+        with use_thread_tracer(self.tracer):
             state = self.restore(self.store.load_best())
         return self._drive(state, n_cycles, on_cycle)
 
@@ -289,24 +291,71 @@ class CampaignRunner:
         n_cycles: int,
         on_cycle: Callable[[CampaignState], None] | None,
     ) -> TwinResult:
-        with use_tracer(self.tracer) if self.tracer is not None \
-                else nullcontext():
+        # Thread-scoped install: concurrent campaigns (service worker
+        # threads) each keep their own capture instead of clobbering the
+        # process-global slot.
+        with use_thread_tracer(self.tracer), self._graceful_sigterm():
             tracer = get_tracer()
-            with tracer.span(
-                "campaign.drive", category="cycle",
-                from_cycle=state.cycle, n_cycles=n_cycles,
-            ):
-                seeds = self.experiment.cycle_seeds(skip=state.cycle)
-                while state.cycle < n_cycles:
-                    self.experiment.run_cycle(state, next(seeds))
-                    if (
-                        state.cycle % self.interval == 0
-                        or state.cycle == n_cycles
-                    ):
-                        self.checkpoint(state)
-                    if on_cycle is not None:
-                        on_cycle(state)
+            try:
+                with tracer.span(
+                    "campaign.drive", category="cycle",
+                    from_cycle=state.cycle, n_cycles=n_cycles,
+                ):
+                    seeds = self.experiment.cycle_seeds(skip=state.cycle)
+                    while state.cycle < n_cycles:
+                        self.experiment.run_cycle(state, next(seeds))
+                        if (
+                            state.cycle % self.interval == 0
+                            or state.cycle == n_cycles
+                        ):
+                            self.checkpoint(state)
+                        if on_cycle is not None:
+                            on_cycle(state)
+            except KeyboardInterrupt:
+                self.drain(state)
+                raise
         return state.result
+
+    @contextmanager
+    def _graceful_sigterm(self):
+        """Convert SIGTERM into ``KeyboardInterrupt`` while driving, so a
+        ``kill`` gets the same graceful drain as a Ctrl-C.  Signal
+        handlers are a main-thread privilege — worker threads (the
+        service) skip the install and rely on their own preempt/cancel
+        protocol."""
+        if threading.current_thread() is not threading.main_thread():
+            yield
+            return
+        previous = signal.getsignal(signal.SIGTERM)
+
+        def _to_interrupt(signum, frame):
+            raise KeyboardInterrupt("SIGTERM")
+
+        signal.signal(signal.SIGTERM, _to_interrupt)
+        try:
+            yield
+        finally:
+            signal.signal(signal.SIGTERM, previous)
+
+    def drain(self, state: CampaignState) -> None:
+        """Best-effort final checkpoint of the *completed* cycles.
+
+        Called when an interrupt lands mid-campaign: a partially run
+        cycle may have appended some (not all) of its diagnostics, so
+        each series is truncated back to ``state.cycle`` entries before
+        the commit — the checkpoint then describes exactly the completed
+        prefix, and ``resume`` continues bit-identically.  Checkpoint
+        failures are swallowed: the campaign is dying of the interrupt,
+        an older committed checkpoint is still a valid resume point, and
+        masking the interrupt with an I/O error would lose the cause.
+        """
+        for name in _DIAGNOSTIC_SERIES:
+            series = getattr(state.result, name)
+            del series[state.cycle:]
+        try:
+            self.checkpoint(state)
+        except Exception:
+            pass
 
     # -- state <-> checkpoint mapping ---------------------------------------
     def checkpoint(self, state: CampaignState) -> Path:

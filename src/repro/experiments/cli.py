@@ -369,6 +369,31 @@ def _render_report_supervision(path, threshold: float = 0.15) -> int:
     return 1 if flagged else 0
 
 
+def _render_service_report_panel(path) -> int:
+    """``doctor --service-report``: the service dashboard of a report.
+
+    Reads and validates a ``senkf-service-report/1`` artifact (written
+    by ``serve``/``submit`` or :meth:`AssimilationService.report`) and
+    renders the tenant billing table plus the queue-wait /
+    slot-utilization histogram percentiles.  Exit status 1 when any job
+    failed — the panel doubles as a CI tripwire.
+    """
+    import json
+    from pathlib import Path
+
+    from repro.service.report import (
+        render_service_report,
+        validate_service_report,
+    )
+
+    payload = validate_service_report(json.loads(Path(path).read_text()))
+    print(render_service_report(payload))
+    failed = sum(u["failed"] for u in payload["tenants"].values())
+    if failed:
+        print(f"{failed} job(s) failed", file=sys.stderr)
+    return 1 if failed else 0
+
+
 def _run_doctor(args) -> int:
     """``senkf-experiments doctor``: observe → calibrate → attribute.
 
@@ -379,10 +404,13 @@ def _run_doctor(args) -> int:
     and a :class:`~repro.telemetry.RunReport` embedding it, and appends
     the run to the bench regression sentinel's history.  With
     ``--run-report PATH`` it instead renders the supervision panel of an
-    existing report and exits.
+    existing report and exits; with ``--service-report PATH`` the
+    service dashboard of a serving session.
     """
     if args.run_report:
         return _render_report_supervision(args.run_report)
+    if args.service_report:
+        return _render_service_report_panel(args.service_report)
 
     from pathlib import Path
 
@@ -522,6 +550,110 @@ def _run_bench_report(args) -> int:
     return 1 if any(v.status == "fail" for v in verdicts) else 0
 
 
+def _run_serve(args) -> int:
+    """``senkf-experiments serve``: the multi-tenant service demo session.
+
+    Runs the acceptance scenario — three tenants' P-EnKF campaigns on a
+    bounded-slot service, one high-priority preemption mid-campaign,
+    chaos faults optional — then verifies every job's final checkpointed
+    ensemble bit-for-bit against a solo run of the same seed, renders
+    the tenant dashboard and writes the validated
+    ``service-report.json``.  Exit status 1 when any result diverged.
+    """
+    from pathlib import Path
+
+    from repro.service.demo import run_acceptance_scenario
+    from repro.service.report import render_service_report
+
+    out = Path(args.out or "service-out")
+    out.mkdir(parents=True, exist_ok=True)
+    cycles = max(2, args.cycles)
+    scenario = run_acceptance_scenario(
+        out / "campaigns",
+        n_cycles=cycles,
+        total_slots=args.slots,
+        chaos=args.chaos,
+    )
+    print(render_service_report(scenario["report"]))
+    print()
+    all_identical = all(scenario["identical"].values())
+    print(
+        f"preemptions: {scenario['preemptions']}   "
+        f"bit-identical to solo runs: "
+        + ("yes, all 4" if all_identical else f"NO — {scenario['identical']}")
+    )
+    path = scenario["report"].write(out / "service-report.json")
+    print(f"wrote {path}")
+    return 0 if all_identical else 1
+
+
+def _run_submit(args) -> int:
+    """``senkf-experiments submit``: one campaign through the service.
+
+    Builds the demo campaign for ``--tenant``/``--seed``, prices it with
+    the cost model, submits it to an in-process service and waits for
+    the result; the session's ``service-report.json`` lands in
+    ``--out`` for ``jobs`` / ``doctor --service-report`` to inspect.
+    """
+    from pathlib import Path
+
+    from repro.service import ServiceClient
+    from repro.service.demo import campaign_spec, demo_faults
+
+    out = Path(args.out or "service-out")
+    faults = demo_faults() if args.chaos else None
+    cycles = max(2, args.cycles)
+    with ServiceClient(
+        total_slots=args.slots, root=out / "campaigns"
+    ) as client:
+        job_id = client.submit(campaign_spec(
+            args.tenant, args.seed, cycles,
+            priority=args.priority, faults=faults,
+        ))
+        print(f"submitted {job_id} (tenant {args.tenant!r}, "
+              f"seed {args.seed}, {cycles} cycles)")
+        result = client.result(job_id, timeout=600)
+        status = client.status(job_id)
+        report = client.report()
+    print(
+        f"{job_id}: {status['state']} after {status['progress']} cycle(s), "
+        f"mean analysis RMSE {result.mean_analysis_rmse():.4f}, "
+        f"{status['slot_seconds']:.3f} slot-seconds "
+        f"(predicted {status['predicted_seconds']:.3f})"
+    )
+    path = report.write(out / "service-report.json")
+    print(f"wrote {path}")
+    return 0 if status["state"] == "done" else 1
+
+
+def _run_jobs(args) -> int:
+    """``senkf-experiments jobs``: the job table of a service report."""
+    import json
+    from pathlib import Path
+
+    from repro.service.report import validate_service_report
+
+    path = Path(
+        args.service_report
+        or Path(args.out or "service-out") / "service-report.json"
+    )
+    payload = validate_service_report(json.loads(path.read_text()))
+    print(
+        f"  {'job':<10} {'tenant':<10} {'name':<20} {'state':<11} "
+        f"{'prio':>4} {'prog':>5} {'preempt':>8} {'restart':>8} "
+        f"{'wait (s)':>9} {'spent (ss)':>11}"
+    )
+    for job in payload["jobs"]:
+        print(
+            f"  {job['job_id']:<10} {job['tenant']:<10} "
+            f"{(job.get('name') or '-'):<20} {job['state']:<11} "
+            f"{job['priority']:>4} {job['progress']:>5} "
+            f"{job['preemptions']:>8} {job['restarts']:>8} "
+            f"{job['queue_wait_seconds']:>9.3f} {job['slot_seconds']:>11.3f}"
+        )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="senkf-experiments",
@@ -533,8 +665,8 @@ def main(argv: list[str] | None = None) -> int:
         nargs="*",
         default=["all"],
         help="figure ids (fig01 fig05 fig09 fig10 fig11 fig12 fig13), "
-             "'all', 'scorecard', 'campaign', 'trace', 'doctor', or "
-             "'bench-report'",
+             "'all', 'scorecard', 'campaign', 'trace', 'doctor', "
+             "'bench-report', 'serve', 'submit', or 'jobs'",
     )
     parser.add_argument(
         "--full",
@@ -650,6 +782,48 @@ def main(argv: list[str] | None = None) -> int:
         help="render the supervision panel of an existing run report "
              "(exit 1 when recovery spend exceeds 15%% of wall time)",
     )
+    service = parser.add_argument_group(
+        "serve / submit / jobs (assimilation-as-a-service)"
+    )
+    service.add_argument(
+        "--slots",
+        type=int,
+        default=2,
+        metavar="N",
+        help="service worker-slot budget (default 2)",
+    )
+    service.add_argument(
+        "--tenant",
+        default="cli",
+        help="tenant name for 'submit' (default cli)",
+    )
+    service.add_argument(
+        "--seed",
+        type=int,
+        default=7,
+        metavar="N",
+        help="campaign master seed for 'submit' (default 7)",
+    )
+    service.add_argument(
+        "--priority",
+        type=int,
+        default=0,
+        metavar="N",
+        help="priority class for 'submit' (higher may preempt lower)",
+    )
+    service.add_argument(
+        "--chaos",
+        action="store_true",
+        help="run service campaigns under the demo fault schedule",
+    )
+    service.add_argument(
+        "--service-report",
+        default=None,
+        metavar="PATH",
+        help="service report artifact for 'jobs' and "
+             "'doctor --service-report' (default: service-out/"
+             "service-report.json)",
+    )
     parser.add_argument(
         "--workers",
         type=int,
@@ -670,6 +844,12 @@ def main(argv: list[str] | None = None) -> int:
         return _run_doctor(args)
     if "bench-report" in names:
         return _run_bench_report(args)
+    if "serve" in names:
+        return _run_serve(args)
+    if "submit" in names:
+        return _run_submit(args)
+    if "jobs" in names:
+        return _run_jobs(args)
     if "scorecard" in names:
         from repro.experiments.scorecard import format_scorecard, run_scorecard
 

@@ -148,17 +148,16 @@ class TwinExperiment:
         """Advance one forecast/observe/analyse cycle in place."""
         tracer = get_tracer()
         result = state.result
+        free = state.free
         with tracer.span("cycle", category="cycle", cycle=state.cycle):
             with tracer.span("cycle.forecast", category="model"):
                 truth = self.model.step(state.truth, self.steps_per_cycle)
                 states = self.model.step_ensemble(
                     state.states, self.steps_per_cycle
                 )
-                if state.free is not None:
-                    state.free = self.model.step(
-                        state.free, self.steps_per_cycle
-                    )
-                    result.free_rmse.append(rmse(state.free, truth))
+                if free is not None:
+                    free = self.model.step(free, self.steps_per_cycle)
+                    result.free_rmse.append(rmse(free, truth))
 
             cycle_rng = spawn_rng(cycle_seed)
             with tracer.span("cycle.observe", category="model"):
@@ -170,8 +169,13 @@ class TwinExperiment:
             result.spread.append(ensemble_spread(states))
             if tracer.enabled:
                 self._record_diagnostics(result)
+        # Commit the whole cycle at once: an interrupt landing mid-cycle
+        # must leave the state describing the *previous* completed cycle
+        # (the graceful-drain checkpoint depends on this), so nothing on
+        # ``state`` — including ``free`` — mutates until here.
         state.truth = truth
         state.states = states
+        state.free = free
         state.cycle += 1
         return state
 

@@ -1,0 +1,80 @@
+"""Assimilation-as-a-service: queue, scheduler, quotas, reports.
+
+The service turns standalone checkpointed campaigns
+(:mod:`repro.checkpoint`) into multi-tenant shared infrastructure: an
+asyncio :class:`AssimilationService` packs submitted jobs onto a bounded
+worker-slot budget, priced at admission by the paper's cost model
+(Eqs. 7–10, fault-aware), ordered by weighted fair share with starvation
+aging, and preempted — checkpoint, release, bit-identical resume — when
+higher-priority work arrives.  See ``docs/SERVICE.md``.
+"""
+
+from repro.service.api import AssimilationService, ServiceClient, campaign_payload
+from repro.service.job import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    JOB_STATES,
+    PENDING,
+    PREEMPTING,
+    RUNNING,
+    TERMINAL_STATES,
+    AdmissionError,
+    CostEstimate,
+    Job,
+    JobCancelled,
+    JobControl,
+    JobPreempted,
+    JobSpec,
+    ServiceError,
+    UnknownJobError,
+)
+from repro.service.queue import JobQueue
+from repro.service.quota import QuotaExceededError, QuotaLedger, TenantQuota
+from repro.service.report import (
+    SERVICE_REPORT_SCHEMA,
+    ServiceReport,
+    TenantUsage,
+    render_service_report,
+    validate_service_report,
+)
+from repro.service.scheduler import (
+    Scheduler,
+    SchedulerPlan,
+    service_read_inflation,
+)
+
+__all__ = [
+    "AdmissionError",
+    "AssimilationService",
+    "CANCELLED",
+    "CostEstimate",
+    "DONE",
+    "FAILED",
+    "JOB_STATES",
+    "Job",
+    "JobCancelled",
+    "JobControl",
+    "JobPreempted",
+    "JobQueue",
+    "JobSpec",
+    "PENDING",
+    "PREEMPTING",
+    "QuotaExceededError",
+    "QuotaLedger",
+    "RUNNING",
+    "SERVICE_REPORT_SCHEMA",
+    "Scheduler",
+    "SchedulerPlan",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceReport",
+    "TERMINAL_STATES",
+    "TenantQuota",
+    "TenantUsage",
+    "UnknownJobError",
+    "campaign_payload",
+    "render_service_report",
+    "service_read_inflation",
+    "validate_service_report",
+]

@@ -1,0 +1,458 @@
+"""Assimilation-as-a-service: the asyncio scheduler around the queue.
+
+:class:`AssimilationService` owns one :class:`~repro.service.queue.JobQueue`,
+one :class:`~repro.service.scheduler.Scheduler` and one
+:class:`~repro.service.quota.QuotaLedger`, and turns them into a running
+service: ``submit`` prices the job with the cost model, checks the
+tenant's quota and enqueues it; a dispatch round runs on every state
+change (submit, finish, preemption checkpoint) — never on a polling
+timer — placing work onto the bounded slot budget and, when a
+high-priority submission cannot fit, asking lower-priority running jobs
+to checkpoint and yield.  Payloads execute in worker threads
+(``asyncio.to_thread``) under a job-scoped
+:class:`~repro.telemetry.tracer.Tracer`; the event loop itself never
+blocks on NumPy.
+
+Crashed jobs re-enter the queue through the same restartable-error
+classification as :meth:`~repro.checkpoint.runner.CampaignRunner.supervise`
+(PR 6), and their next attempt resumes from the newest good checkpoint —
+so preemption, cancellation *and* chaos all converge on the one
+bit-identical resume contract.
+
+:class:`ServiceClient` wraps a service in a background event-loop thread
+for synchronous callers (tests, the CLI, notebooks).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.checkpoint.runner import RESTARTABLE_ERRORS
+from repro.service.job import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    PENDING,
+    AdmissionError,
+    Job,
+    JobCancelled,
+    JobPreempted,
+    JobSpec,
+    default_clock,
+)
+from repro.service.queue import JobQueue
+from repro.service.quota import QuotaLedger, TenantQuota
+from repro.service.report import ServiceReport, TenantUsage
+from repro.service.scheduler import Scheduler
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tracer import Tracer, use_thread_tracer
+
+__all__ = ["AssimilationService", "ServiceClient", "campaign_payload"]
+
+#: histogram bucket bounds for queue-wait seconds.
+_WAIT_BOUNDS = (0.01, 0.05, 0.25, 1.0, 5.0, 30.0, 120.0)
+#: histogram bucket bounds for slot utilization (busy / total).
+_UTIL_BOUNDS = (0.1, 0.25, 0.5, 0.75, 0.9, 1.0)
+
+
+class AssimilationService:
+    """The scheduler service (see module docstring).
+
+    Parameters
+    ----------
+    total_slots:
+        Bounded worker-slot budget all running jobs share.
+    root:
+        Directory under which campaign jobs checkpoint
+        (``root/<tenant>/<job_id>``); ``None`` leaves
+        ``control.directory`` unset and payloads must manage their own
+        state.
+    quotas / default_quota:
+        Per-tenant policy for the :class:`QuotaLedger`.
+    clock:
+        Injectable monotonic clock shared by queue and accounting.
+    tracing:
+        When true (default) every job runs under its own job-scoped
+        :class:`Tracer`, and per-category phase totals roll up into the
+        service report.
+    """
+
+    def __init__(
+        self,
+        total_slots: int = 2,
+        *,
+        root: str | Path | None = None,
+        quotas: dict[str, TenantQuota] | None = None,
+        default_quota: TenantQuota | None = None,
+        clock: Callable[[], float] = default_clock,
+        aging_rate: float = 0.05,
+        default_seconds: float = 1.0,
+        tracing: bool = True,
+    ):
+        self.clock = clock
+        self.root = Path(root) if root is not None else None
+        self.queue = JobQueue(clock)
+        self.ledger = QuotaLedger(quotas, default_quota)
+        self.scheduler = Scheduler(
+            total_slots,
+            self.ledger,
+            aging_rate=aging_rate,
+            default_seconds=default_seconds,
+        )
+        self.tracing = bool(tracing)
+        self.metrics = MetricsRegistry()
+        self._started_at: float | None = None
+        self._stopped_wall: float = 0.0
+        self._tasks: dict[str, asyncio.Task] = {}
+        self._done_events: dict[str, asyncio.Event] = {}
+        self._tracers: dict[str, Tracer] = {}
+
+    @property
+    def total_slots(self) -> int:
+        return self.scheduler.total_slots
+
+    # -- lifecycle ------------------------------------------------------------
+    async def start(self) -> None:
+        """Mark the serving session open (wall clock for the report)."""
+        if self._started_at is None:
+            self._started_at = self.clock()
+
+    async def stop(self, *, drain: bool = True) -> None:
+        """Stop serving.  With ``drain`` (default) wait for every
+        unfinished job; otherwise cancel them all gracefully first."""
+        if not drain:
+            for job in self.queue.unfinished():
+                await self.cancel(job.job_id)
+        await self.drain()
+        if self._started_at is not None:
+            self._stopped_wall += self.clock() - self._started_at
+            self._started_at = None
+
+    async def drain(self) -> None:
+        """Wait until no job is pending or running."""
+        while True:
+            unfinished = self.queue.unfinished()
+            if not unfinished:
+                return
+            events = [self._done_events[j.job_id] for j in unfinished]
+            waiters = [asyncio.ensure_future(e.wait()) for e in events]
+            _, still_pending = await asyncio.wait(
+                waiters, return_when=asyncio.FIRST_COMPLETED
+            )
+            for waiter in still_pending:
+                waiter.cancel()
+
+    # -- intake ---------------------------------------------------------------
+    async def submit(self, spec: JobSpec) -> Job:
+        """Price, admit and enqueue one submission, then dispatch.
+
+        Raises :class:`AdmissionError` when the job can never run on
+        this service, :class:`~repro.service.quota.QuotaExceededError`
+        when the tenant's quota refuses it.
+        """
+        await self.start()
+        if spec.slots > self.total_slots:
+            raise AdmissionError(
+                f"job demands {spec.slots} slot(s) but the service has "
+                f"only {self.total_slots}"
+            )
+        predicted = self.scheduler.predict_seconds(spec)
+        self.ledger.check_submit(
+            spec.tenant, predicted, self.queue.tenant_pending_count(spec.tenant)
+        )
+        self.ledger.admit(spec.tenant, predicted)
+        job = self.queue.submit(spec, predicted)
+        if self.root is not None:
+            job.control.directory = self.root / spec.tenant / job.job_id
+        if self.tracing:
+            tracer = Tracer()
+            job.control.tracer = tracer
+            self._tracers[job.job_id] = tracer
+        self._done_events[job.job_id] = asyncio.Event()
+        self.metrics.counter("service.submitted").inc()
+        self._dispatch()
+        return job
+
+    async def cancel(self, job_id: str) -> Job:
+        """Cancel one job: pending jobs die immediately; running jobs
+        are asked to drain (checkpoint, then exit) at their next safe
+        point — no completed cycle is lost."""
+        job = self.queue.get(job_id)
+        if job.finished:
+            return job
+        if job.state == PENDING:
+            self.ledger.settle(job.tenant, job.predicted_seconds, 0.0)
+            self.queue.finish(job, CANCELLED, error="cancelled while pending")
+            self.metrics.counter("service.cancelled").inc()
+            self._signal_done(job)
+            self._dispatch()
+        else:
+            job.control.request_cancel()
+        return job
+
+    async def result(self, job_id: str, timeout: float | None = None):
+        """Wait for a job to finish and return its payload value.
+
+        Re-raises the job's failure as a ``RuntimeError`` (failed) or
+        :class:`JobCancelled` (cancelled).
+        """
+        job = self.queue.get(job_id)
+        if not job.finished:
+            event = self._done_events[job_id]
+            await asyncio.wait_for(event.wait(), timeout)
+        if job.state == FAILED:
+            raise RuntimeError(f"job {job_id} failed: {job.error}")
+        if job.state == CANCELLED:
+            raise JobCancelled(job_id)
+        return job.value
+
+    # -- synchronous views ----------------------------------------------------
+    def status(self, job_id: str) -> dict:
+        return self.queue.get(job_id).snapshot()
+
+    def jobs(self) -> list[dict]:
+        return [job.snapshot() for job in self.queue.jobs()]
+
+    def report(self, notes: list[str] | None = None) -> ServiceReport:
+        """Roll the session up into a validated :class:`ServiceReport`."""
+        wall = self._stopped_wall
+        if self._started_at is not None:
+            wall += self.clock() - self._started_at
+        tenants: dict[str, TenantUsage] = {}
+        phase_totals: dict[str, float] = {}
+        for job in self.queue.jobs():
+            usage = tenants.setdefault(job.tenant, TenantUsage())
+            usage.submitted += 1
+            if job.state == DONE:
+                usage.done += 1
+            elif job.state == FAILED:
+                usage.failed += 1
+            elif job.state == CANCELLED:
+                usage.cancelled += 1
+            usage.preemptions += job.preemptions
+            usage.restarts += job.restarts
+            usage.predicted_slot_seconds += job.predicted_seconds
+            usage.actual_slot_seconds += job.slot_seconds
+            usage.queue_wait_seconds += job.queue_wait_seconds
+            tracer = self._tracers.get(job.job_id)
+            if tracer is not None:
+                for category, seconds in tracer.phase_totals().items():
+                    phase_totals[category] = (
+                        phase_totals.get(category, 0.0) + seconds
+                    )
+        return ServiceReport(
+            total_slots=self.total_slots,
+            wall_seconds=max(0.0, wall),
+            jobs=[job.snapshot() for job in self.queue.jobs()],
+            tenants={t: u.to_dict() for t, u in sorted(tenants.items())},
+            metrics=self.metrics.snapshot(),
+            phase_totals=phase_totals,
+            notes=list(notes or []),
+        )
+
+    def job_tracer(self, job_id: str) -> Tracer | None:
+        """The job-scoped tracer (spans/events), for exports and tests."""
+        return self._tracers.get(job_id)
+
+    # -- dispatch (event-loop thread only) ------------------------------------
+    def _dispatch(self) -> None:
+        """One scheduling round: plan against the live queue, then act."""
+        free = self.total_slots - self.queue.busy_slots()
+        plan = self.scheduler.plan(
+            self.queue.pending(), self.queue.running(), free, self.clock()
+        )
+        for victim in plan.preempt:
+            self.queue.mark_preempting(victim)
+            self.metrics.counter("service.preempt_requests").inc()
+        for job in plan.place:
+            self.queue.mark_running(job)
+            self.metrics.histogram(
+                "service.queue_wait_seconds", _WAIT_BOUNDS
+            ).observe(job.queue_wait_seconds)
+            self._tasks[job.job_id] = asyncio.get_running_loop().create_task(
+                self._execute(job), name=job.job_id
+            )
+        busy = self.queue.busy_slots()
+        self.metrics.gauge("service.slots_busy").set(busy)
+        self.metrics.histogram(
+            "service.slot_utilization", _UTIL_BOUNDS
+        ).observe(busy / self.total_slots)
+
+    async def _execute(self, job: Job) -> None:
+        """Run one placed attempt in a worker thread and classify the exit."""
+        try:
+            value = await asyncio.to_thread(self._run_payload, job)
+        except JobPreempted:
+            # The campaign checkpointed before raising: safe to requeue.
+            self.queue.requeue(job, preempted=True)
+            self.metrics.counter("service.preemptions").inc()
+        except JobCancelled:
+            self.queue.finish(job, CANCELLED, error="cancelled")
+            self.metrics.counter("service.cancelled").inc()
+        except RESTARTABLE_ERRORS as exc:
+            message = f"{type(exc).__name__}: {exc}"
+            job.attempt_errors.append(message)
+            if job.restarts < job.spec.max_restarts:
+                # The PR 6 supervision path: back into the queue; the
+                # next attempt resumes from the newest good checkpoint.
+                self.queue.requeue(job, preempted=False)
+                self.metrics.counter("service.restarts").inc()
+            else:
+                self.queue.finish(
+                    job, FAILED,
+                    error=f"restart budget exhausted: {message}",
+                )
+                self.metrics.counter("service.failed").inc()
+        except BaseException as exc:  # programming errors stay fatal
+            job.attempt_errors.append(f"{type(exc).__name__}: {exc}")
+            self.queue.finish(job, FAILED, error=f"{type(exc).__name__}: {exc}")
+            self.metrics.counter("service.failed").inc()
+        else:
+            self.queue.finish(job, DONE, value=value)
+            self.metrics.counter("service.done").inc()
+        finally:
+            self._tasks.pop(job.job_id, None)
+            if job.finished:
+                self.ledger.settle(
+                    job.tenant, job.predicted_seconds, job.slot_seconds
+                )
+                self._signal_done(job)
+            self._dispatch()
+
+    def _run_payload(self, job: Job):
+        """Worker-thread body: payload under the job-scoped tracer."""
+        tracer = self._tracers.get(job.job_id)
+        with use_thread_tracer(tracer):
+            return job.spec.payload(job.control)
+
+    def _signal_done(self, job: Job) -> None:
+        event = self._done_events.get(job.job_id)
+        if event is not None:
+            event.set()
+
+
+def campaign_payload(
+    build: Callable[[], tuple],
+    n_cycles: int,
+    *,
+    interval: int = 1,
+    faults=None,
+    retry=None,
+    retention=None,
+    config: dict | None = None,
+) -> Callable:
+    """Wrap a checkpointed campaign as a service payload.
+
+    ``build()`` constructs the campaign from scratch — returning
+    ``(experiment, truth0, ensemble0)`` — so a re-queued attempt (after
+    preemption or a crash) rebuilds everything fresh in the worker
+    thread and :meth:`~repro.checkpoint.runner.CampaignRunner.run_or_resume`
+    picks up from the newest good checkpoint.  The control's
+    preempt/cancel flags are polled at every cycle boundary, *after*
+    that cycle's checkpoint interval logic ran; when a request is
+    pending the campaign commits a final checkpoint and exits, which is
+    what makes preemption and cancellation lossless.
+    """
+    from repro.checkpoint.runner import CampaignRunner
+
+    def payload(control):
+        if control.directory is None:
+            raise RuntimeError(
+                "campaign payloads need a checkpoint directory: run the "
+                "service with root=... or set control.directory"
+            )
+        experiment, truth0, ensemble0 = build()
+        runner = CampaignRunner(
+            experiment,
+            control.directory,
+            interval=interval,
+            faults=faults,
+            retry=retry,
+            retention=retention,
+            config=config,
+            tracer=control.tracer,
+        )
+
+        def on_cycle(state):
+            control.report_progress(state.cycle)
+            if state.cycle < n_cycles and (
+                control.cancel_requested() or control.preempt_requested()
+            ):
+                runner.checkpoint(state)
+                control.checkpoint_point()
+
+        try:
+            result = runner.run_or_resume(
+                truth0, ensemble0, n_cycles, on_cycle=on_cycle
+            )
+        finally:
+            close = getattr(experiment.assimilate, "close", None)
+            if close is not None:
+                close()
+        return result
+
+    return payload
+
+
+class ServiceClient:
+    """Synchronous facade over an :class:`AssimilationService`.
+
+    Runs a private event loop in a daemon thread and bridges every call
+    with ``run_coroutine_threadsafe`` — tests and the CLI drive the
+    async service without an async caller.  Use as a context manager.
+    """
+
+    def __init__(self, service: AssimilationService | None = None, **kwargs):
+        self.service = (
+            service if service is not None else AssimilationService(**kwargs)
+        )
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="service-loop", daemon=True
+        )
+        self._thread.start()
+        self._call(self.service.start())
+
+    def _call(self, coro, timeout: float | None = None):
+        future = asyncio.run_coroutine_threadsafe(coro, self._loop)
+        return future.result(timeout)
+
+    # -- the verbs -----------------------------------------------------------
+    def submit(self, spec: JobSpec) -> str:
+        return self._call(self.service.submit(spec)).job_id
+
+    def result(self, job_id: str, timeout: float | None = None):
+        return self._call(self.service.result(job_id, timeout))
+
+    def cancel(self, job_id: str) -> dict:
+        return self._call(self.service.cancel(job_id)).snapshot()
+
+    def drain(self, timeout: float | None = None) -> None:
+        self._call(self.service.drain(), timeout)
+
+    def status(self, job_id: str) -> dict:
+        return self.service.status(job_id)
+
+    def jobs(self) -> list[dict]:
+        return self.service.jobs()
+
+    def report(self, notes: list[str] | None = None) -> ServiceReport:
+        return self.service.report(notes)
+
+    def close(self, *, drain: bool = True) -> None:
+        if self._loop.is_closed():
+            return
+        self._call(self.service.stop(drain=drain))
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10.0)
+        self._loop.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close(drain=exc_type is None)
+        return False

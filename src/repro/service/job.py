@@ -1,0 +1,307 @@
+"""Jobs: what a tenant submits and what the service tracks while running it.
+
+A :class:`JobSpec` is the immutable submission — tenant, priority, slot
+demand, the payload callable and (optionally) a :class:`CostEstimate`
+that lets the scheduler price the job with the paper's cost model before
+a single cycle runs.  A :class:`Job` is the service's mutable runtime
+record of one submission: state machine, wait/run accounting, preemption
+and restart counters, and the :class:`JobControl` handle the payload
+polls for preemption/cancel requests at its checkpoint boundaries.
+
+State machine (see :data:`JOB_STATES`)::
+
+    pending ──▶ running ──▶ done | failed | cancelled
+       ▲            │
+       │            ├──▶ preempting ──▶ pending   (checkpoint committed)
+       └────────────┴──────────────────▶ pending   (restartable crash)
+
+A preempted or crashed campaign job re-enters the queue and its next
+attempt goes through :meth:`~repro.checkpoint.runner.CampaignRunner.run_or_resume`,
+so the final ensemble is bit-identical to a run that was never
+interrupted — the PR 2 resume contract is what makes preemption safe.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Optional
+
+from repro.costmodel.model import CostParams, t_total, t_total_pipelined
+from repro.util.validation import check_nonnegative, check_positive
+
+__all__ = [
+    "CostEstimate",
+    "Job",
+    "JobCancelled",
+    "JobControl",
+    "JobPreempted",
+    "JobSpec",
+    "JOB_STATES",
+    "PENDING",
+    "RUNNING",
+    "PREEMPTING",
+    "DONE",
+    "FAILED",
+    "CANCELLED",
+    "ServiceError",
+    "AdmissionError",
+    "UnknownJobError",
+]
+
+
+class ServiceError(RuntimeError):
+    """Base class of every typed service failure."""
+
+
+class AdmissionError(ServiceError):
+    """The submission can never run (e.g. demands more slots than exist)."""
+
+
+class UnknownJobError(ServiceError, KeyError):
+    """No job with that id was ever submitted."""
+
+    def __str__(self) -> str:  # KeyError quotes its args
+        return RuntimeError.__str__(self)
+
+
+class JobPreempted(Exception):
+    """Raised *inside* a payload at a checkpoint boundary to yield its slots.
+
+    The campaign's state is already committed when this surfaces, so the
+    service can safely re-queue the job and hand the slots to the
+    higher-priority submission that requested them.
+    """
+
+
+class JobCancelled(Exception):
+    """Raised inside a payload after the graceful-drain checkpoint of a
+    cancelled job (no completed cycle is ever lost to a cancel)."""
+
+
+PENDING = "pending"
+RUNNING = "running"
+PREEMPTING = "preempting"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: every state a job can be in; the last three are terminal.
+JOB_STATES = (PENDING, RUNNING, PREEMPTING, DONE, FAILED, CANCELLED)
+TERMINAL_STATES = (DONE, FAILED, CANCELLED)
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Predicted cost of one job, priced with Eqs. (7)–(10).
+
+    The scheduler multiplies the per-cycle analysis makespan of the
+    chosen ``(n_sdx, n_sdy, L, n_cg)`` decision by the campaign's cycle
+    count; a job submitted under a chaos regime is priced *fault-aware*
+    by inflating the read term with the expected-retries factor (the
+    same ``read_inflation`` the auto-tuner uses).
+    """
+
+    params: CostParams
+    n_sdx: int
+    n_sdy: int
+    n_layers: int
+    n_cg: int
+    n_cycles: int = 1
+    #: ``"pipelined"`` (overlap-feasible, default) or ``"paper"`` (Eq. 10).
+    objective: str = "pipelined"
+
+    def __post_init__(self) -> None:
+        check_positive("n_cycles", self.n_cycles)
+        if self.objective not in ("pipelined", "paper"):
+            raise ValueError(
+                f"objective must be 'pipelined' or 'paper', "
+                f"got {self.objective!r}"
+            )
+
+    def seconds(self, read_inflation: float = 1.0) -> float:
+        """Predicted campaign slot-seconds under ``read_inflation``."""
+        if read_inflation < 1.0:
+            raise ValueError(
+                f"read_inflation must be >= 1, got {read_inflation}"
+            )
+        params = self.params
+        if read_inflation != 1.0:
+            params = params.with_(read_inflation=read_inflation)
+        total = t_total_pipelined if self.objective == "pipelined" else t_total
+        per_cycle = total(
+            params, self.n_sdx, self.n_sdy, self.n_layers, self.n_cg
+        )
+        return self.n_cycles * per_cycle
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One immutable submission.
+
+    ``payload`` is the work itself: a callable receiving a
+    :class:`JobControl` and returning the job's result value.  Campaign
+    jobs are built with :func:`repro.service.api.campaign_payload`, which
+    wires the control's preempt/cancel flags into a
+    :class:`~repro.checkpoint.runner.CampaignRunner` cycle hook.
+    """
+
+    tenant: str
+    payload: Callable[["JobControl"], Any]
+    name: str = ""
+    #: worker slots the job occupies while running.
+    slots: int = 1
+    #: preemption class — a pending job may preempt running jobs of
+    #: *strictly lower* priority when the free slots cannot fit it.
+    priority: int = 0
+    #: cost-model admission/placement oracle; ``None`` falls back to the
+    #: scheduler's default estimate.
+    cost: Optional[CostEstimate] = None
+    #: chaos regime the job runs (and is priced) under.
+    faults: Any = None
+    #: restartable-crash budget (the PR 6 supervision path: a crashed job
+    #: re-enters the queue and resumes from its newest good checkpoint).
+    max_restarts: int = 2
+
+    def __post_init__(self) -> None:
+        if not self.tenant:
+            raise ValueError("tenant must be non-empty")
+        if not callable(self.payload):
+            raise TypeError("payload must be callable")
+        check_positive("slots", self.slots)
+        check_nonnegative("max_restarts", self.max_restarts)
+
+
+class JobControl:
+    """The payload's handle back into the service.
+
+    Payloads poll :meth:`preempt_requested` / :meth:`cancel_requested`
+    at their own safe points (campaign jobs: every cycle boundary, after
+    committing a checkpoint) and raise :class:`JobPreempted` /
+    :class:`JobCancelled`; :meth:`checkpoint_point` does the
+    poll-and-raise dance for payloads with no state of their own.
+    ``report_progress`` publishes a monotone progress marker (campaign
+    jobs: completed cycles) into the job's status snapshots.
+    """
+
+    def __init__(
+        self,
+        job_id: str,
+        tenant: str,
+        directory: Path | None = None,
+        tracer=None,
+    ):
+        self.job_id = job_id
+        self.tenant = tenant
+        self.directory = directory
+        self.tracer = tracer
+        self._preempt = threading.Event()
+        self._cancel = threading.Event()
+        self.progress: int = 0
+
+    def preempt_requested(self) -> bool:
+        return self._preempt.is_set()
+
+    def cancel_requested(self) -> bool:
+        return self._cancel.is_set()
+
+    def request_preempt(self) -> None:
+        self._preempt.set()
+
+    def request_cancel(self) -> None:
+        self._cancel.set()
+
+    def clear_preempt(self) -> None:
+        """A re-queued job must not see its previous attempt's request."""
+        self._preempt.clear()
+
+    def report_progress(self, progress: int) -> None:
+        self.progress = int(progress)
+
+    def checkpoint_point(self) -> None:
+        """Yield here: raise if a cancel or preempt request is pending.
+
+        Cancel wins over preempt — a job asked to do both should
+        terminate, not re-queue.
+        """
+        if self._cancel.is_set():
+            raise JobCancelled(self.job_id)
+        if self._preempt.is_set():
+            raise JobPreempted(self.job_id)
+
+
+@dataclass
+class Job:
+    """The service's mutable record of one submission (see module doc)."""
+
+    job_id: str
+    spec: JobSpec
+    #: cost-model prediction at admission, in slot-seconds.
+    predicted_seconds: float
+    submit_index: int
+    submitted_at: float
+    control: JobControl
+    state: str = PENDING
+    #: when the *current* pending stretch started (submit or re-queue).
+    enqueued_at: float = 0.0
+    started_at: float | None = None
+    first_started_at: float | None = None
+    finished_at: float | None = None
+    #: total time spent waiting in the queue, across all attempts.
+    queue_wait_seconds: float = 0.0
+    #: measured slots × wall-seconds, accumulated across attempts.
+    slot_seconds: float = 0.0
+    preemptions: int = 0
+    restarts: int = 0
+    value: Any = None
+    error: str | None = None
+    attempt_errors: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.enqueued_at:
+            self.enqueued_at = self.submitted_at
+
+    @property
+    def tenant(self) -> str:
+        return self.spec.tenant
+
+    @property
+    def slots(self) -> int:
+        return self.spec.slots
+
+    @property
+    def priority(self) -> int:
+        return self.spec.priority
+
+    @property
+    def finished(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def wait_seconds(self, now: float) -> float:
+        """Age of the current pending stretch (the starvation-aging input)."""
+        return max(0.0, now - self.enqueued_at)
+
+    def snapshot(self) -> dict:
+        """JSON-safe status view (what ``status``/``jobs`` callers see)."""
+        return {
+            "job_id": self.job_id,
+            "tenant": self.tenant,
+            "name": self.spec.name,
+            "state": self.state,
+            "priority": self.priority,
+            "slots": self.slots,
+            "predicted_seconds": float(self.predicted_seconds),
+            "slot_seconds": float(self.slot_seconds),
+            "queue_wait_seconds": float(self.queue_wait_seconds),
+            "preemptions": self.preemptions,
+            "restarts": self.restarts,
+            "progress": self.control.progress,
+            "error": self.error,
+        }
+
+
+def default_clock() -> float:
+    """The service's default monotonic clock (injectable everywhere)."""
+    return time.monotonic()

@@ -1,0 +1,156 @@
+"""The job registry: submissions, state transitions, snapshots.
+
+:class:`JobQueue` is the synchronous core under the asyncio service —
+every mutation happens through it, guarded by one lock so the
+:class:`~repro.service.api.ServiceClient` can read snapshots from any
+thread.  It is deliberately *policy-free*: ordering and placement live
+in :class:`~repro.service.scheduler.Scheduler`, which makes the queue's
+state machine (and the scheduler's decisions) unit-testable with a fake
+clock and no event loop.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Callable
+
+from repro.service.job import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    PENDING,
+    PREEMPTING,
+    RUNNING,
+    Job,
+    JobControl,
+    JobSpec,
+    UnknownJobError,
+    default_clock,
+)
+
+__all__ = ["JobQueue"]
+
+
+class JobQueue:
+    """All jobs ever submitted, by id, with thread-safe transitions."""
+
+    def __init__(self, clock: Callable[[], float] = default_clock):
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._jobs: dict[str, Job] = {}
+        self._counter = itertools.count()
+
+    # -- intake -------------------------------------------------------------
+    def submit(self, spec: JobSpec, predicted_seconds: float) -> Job:
+        """Register one submission as a pending job (no admission here —
+        the service checks quotas *before* calling this)."""
+        with self._lock:
+            index = next(self._counter)
+            job_id = f"job-{index:05d}"
+            now = self.clock()
+            job = Job(
+                job_id=job_id,
+                spec=spec,
+                predicted_seconds=float(predicted_seconds),
+                submit_index=index,
+                submitted_at=now,
+                control=JobControl(job_id, spec.tenant),
+            )
+            self._jobs[job_id] = job
+        return job
+
+    # -- lookup -------------------------------------------------------------
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            try:
+                return self._jobs[job_id]
+            except KeyError:
+                raise UnknownJobError(f"unknown job id {job_id!r}") from None
+
+    def jobs(self) -> list[Job]:
+        """Every job, in submission order."""
+        with self._lock:
+            return sorted(self._jobs.values(), key=lambda j: j.submit_index)
+
+    def pending(self) -> list[Job]:
+        return [j for j in self.jobs() if j.state == PENDING]
+
+    def running(self) -> list[Job]:
+        """Jobs currently holding slots (includes ``preempting`` — their
+        slots are not free until the checkpoint commits and they exit)."""
+        return [j for j in self.jobs() if j.state in (RUNNING, PREEMPTING)]
+
+    def busy_slots(self) -> int:
+        return sum(j.slots for j in self.running())
+
+    def tenant_running_slots(self, tenant: str) -> int:
+        return sum(j.slots for j in self.running() if j.tenant == tenant)
+
+    def tenant_pending_count(self, tenant: str) -> int:
+        return sum(1 for j in self.pending() if j.tenant == tenant)
+
+    def unfinished(self) -> list[Job]:
+        return [j for j in self.jobs() if not j.finished]
+
+    # -- transitions --------------------------------------------------------
+    def mark_running(self, job: Job) -> None:
+        with self._lock:
+            self._expect(job, PENDING)
+            now = self.clock()
+            job.queue_wait_seconds += max(0.0, now - job.enqueued_at)
+            job.state = RUNNING
+            job.started_at = now
+            if job.first_started_at is None:
+                job.first_started_at = now
+            job.control.clear_preempt()
+
+    def mark_preempting(self, job: Job) -> None:
+        """Ask a running job to checkpoint and yield its slots."""
+        with self._lock:
+            self._expect(job, RUNNING)
+            job.state = PREEMPTING
+        job.control.request_preempt()
+
+    def requeue(self, job: Job, *, preempted: bool) -> None:
+        """A preempted or restartable-crashed attempt goes back to pending."""
+        with self._lock:
+            self._expect(job, RUNNING, PREEMPTING)
+            self._settle_attempt(job)
+            if preempted:
+                job.preemptions += 1
+            else:
+                job.restarts += 1
+            job.state = PENDING
+            job.enqueued_at = self.clock()
+            job.started_at = None
+            job.control.clear_preempt()
+
+    def finish(
+        self, job: Job, state: str, value=None, error: str | None = None
+    ) -> None:
+        if state not in (DONE, FAILED, CANCELLED):
+            raise ValueError(f"not a terminal state: {state!r}")
+        with self._lock:
+            if state == CANCELLED and job.state == PENDING:
+                pass  # a pending job can be cancelled without ever running
+            else:
+                self._expect(job, RUNNING, PREEMPTING)
+                self._settle_attempt(job)
+            job.state = state
+            job.finished_at = self.clock()
+            job.value = value
+            job.error = error
+
+    def _settle_attempt(self, job: Job) -> None:
+        """Accumulate the finished attempt's slots × wall-seconds."""
+        if job.started_at is not None:
+            elapsed = max(0.0, self.clock() - job.started_at)
+            job.slot_seconds += elapsed * job.slots
+
+    @staticmethod
+    def _expect(job: Job, *states: str) -> None:
+        if job.state not in states:
+            raise RuntimeError(
+                f"job {job.job_id} is {job.state!r}, expected one of {states}"
+            )

@@ -1,0 +1,148 @@
+"""Per-tenant quotas and the weighted fair-share ledger.
+
+A :class:`TenantQuota` bounds what one tenant may hold (pending depth,
+concurrently running slots, a slot-seconds budget priced by the cost
+model at admission); the :class:`QuotaLedger` accumulates each tenant's
+*charged* usage — actual slots × wall-seconds, trued up when attempts
+finish — and turns it into the fair-share score the scheduler orders
+pending work by: ``usage / weight``, so a tenant with twice the weight
+earns twice the throughput before its jobs start queueing behind
+others'.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.service.job import ServiceError
+from repro.util.validation import check_nonnegative, check_positive
+
+__all__ = ["QuotaExceededError", "QuotaLedger", "TenantQuota"]
+
+
+class QuotaExceededError(ServiceError):
+    """A submission or placement would bust the tenant's quota."""
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """What one tenant may hold; ``None`` bounds mean unbounded.
+
+    ``slot_seconds_budget`` is enforced at *admission* against the cost
+    model's prediction plus the tenant's charged usage — the service
+    refuses work it can already price as unaffordable instead of letting
+    it starve in the queue.
+    """
+
+    weight: float = 1.0
+    max_pending: int | None = None
+    max_running_slots: int | None = None
+    slot_seconds_budget: float | None = None
+
+    def __post_init__(self) -> None:
+        check_positive("weight", self.weight)
+        if self.max_pending is not None:
+            check_positive("max_pending", self.max_pending)
+        if self.max_running_slots is not None:
+            check_positive("max_running_slots", self.max_running_slots)
+        if self.slot_seconds_budget is not None:
+            check_positive("slot_seconds_budget", self.slot_seconds_budget)
+
+
+class QuotaLedger:
+    """Charged usage + quota checks for every tenant.
+
+    Unknown tenants fall back to ``default`` (weight 1, unbounded) so an
+    open service works with zero configuration; a configured service
+    passes explicit ``quotas``.
+    """
+
+    def __init__(
+        self,
+        quotas: dict[str, TenantQuota] | None = None,
+        default: TenantQuota | None = None,
+    ):
+        self.quotas = dict(quotas or {})
+        self.default = default if default is not None else TenantQuota()
+        #: tenant -> charged slot-seconds (actual, accumulated).
+        self.usage: dict[str, float] = {}
+        #: tenant -> predicted slot-seconds admitted but not yet charged.
+        self.admitted: dict[str, float] = {}
+
+    def quota(self, tenant: str) -> TenantQuota:
+        return self.quotas.get(tenant, self.default)
+
+    def tenants(self) -> list[str]:
+        """Every tenant the ledger has seen (configured or charged)."""
+        return sorted(set(self.quotas) | set(self.usage) | set(self.admitted))
+
+    # -- admission ----------------------------------------------------------
+    def check_submit(
+        self, tenant: str, predicted_seconds: float, pending_count: int
+    ) -> None:
+        """Raise :class:`QuotaExceededError` when the submission can't be
+        admitted: pending queue full, or the cost-model price (plus what
+        the tenant already used and has in flight) busts the budget."""
+        quota = self.quota(tenant)
+        if (
+            quota.max_pending is not None
+            and pending_count >= quota.max_pending
+        ):
+            raise QuotaExceededError(
+                f"tenant {tenant!r} already has {pending_count} pending "
+                f"job(s) (max_pending={quota.max_pending})"
+            )
+        if quota.slot_seconds_budget is not None:
+            committed = (
+                self.usage.get(tenant, 0.0)
+                + self.admitted.get(tenant, 0.0)
+                + predicted_seconds
+            )
+            if committed > quota.slot_seconds_budget:
+                raise QuotaExceededError(
+                    f"tenant {tenant!r} predicted spend {committed:.3f} "
+                    f"slot-seconds exceeds budget "
+                    f"{quota.slot_seconds_budget:.3f} (cost-model admission)"
+                )
+
+    def allows_start(
+        self, tenant: str, slots: int, tenant_running_slots: int
+    ) -> bool:
+        """Placement check: may ``tenant`` take ``slots`` more right now?"""
+        quota = self.quota(tenant)
+        if quota.max_running_slots is None:
+            return True
+        return tenant_running_slots + slots <= quota.max_running_slots
+
+    # -- accounting ---------------------------------------------------------
+    def admit(self, tenant: str, predicted_seconds: float) -> None:
+        check_nonnegative("predicted_seconds", predicted_seconds)
+        self.admitted[tenant] = (
+            self.admitted.get(tenant, 0.0) + predicted_seconds
+        )
+
+    def settle(
+        self, tenant: str, predicted_seconds: float, actual_slot_seconds: float
+    ) -> None:
+        """True up one finished (or abandoned) admission: the prediction
+        leaves the in-flight pool and the measured spend is charged."""
+        check_nonnegative("actual_slot_seconds", actual_slot_seconds)
+        self.admitted[tenant] = max(
+            0.0, self.admitted.get(tenant, 0.0) - predicted_seconds
+        )
+        if actual_slot_seconds:
+            self.charge(tenant, actual_slot_seconds)
+
+    def charge(self, tenant: str, slot_seconds: float) -> None:
+        check_nonnegative("slot_seconds", slot_seconds)
+        self.usage[tenant] = self.usage.get(tenant, 0.0) + slot_seconds
+
+    # -- fair share ---------------------------------------------------------
+    def share_score(self, tenant: str) -> float:
+        """Weighted usage the scheduler sorts by — lower runs first.
+
+        In-flight admissions count too, so a tenant cannot jump the line
+        by submitting many jobs before its first charge lands.
+        """
+        spent = self.usage.get(tenant, 0.0) + self.admitted.get(tenant, 0.0)
+        return spent / self.quota(tenant).weight

@@ -1,0 +1,233 @@
+"""Versioned service reports: one JSON artifact per serving session.
+
+A :class:`ServiceReport` is to the service what a
+:class:`~repro.telemetry.report.RunReport` is to one campaign: the
+durable, schema-validated rollup.  Per tenant it records billing-grade
+attribution — predicted vs. actual slot-seconds (the cost model's
+admission price against the measured spend), queue wait, preemption and
+restart counts, job outcomes — and globally the slot budget, the
+queue-wait / slot-utilization histograms (with
+:meth:`~repro.telemetry.metrics.Histogram.percentiles`) and the phase
+totals aggregated from every job-scoped tracer.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "SERVICE_REPORT_SCHEMA",
+    "ServiceReport",
+    "TenantUsage",
+    "render_service_report",
+    "validate_service_report",
+]
+
+SERVICE_REPORT_SCHEMA = "senkf-service-report/1"
+
+_REQUIRED: dict[str, type | tuple[type, ...]] = {
+    "schema": str,
+    "kind": str,
+    "total_slots": int,
+    "wall_seconds": (int, float),
+    "jobs": list,
+    "tenants": dict,
+    "metrics": dict,
+    "phase_totals": dict,
+    "notes": list,
+}
+
+_TENANT_NUMBERS = (
+    "predicted_slot_seconds",
+    "actual_slot_seconds",
+    "queue_wait_seconds",
+)
+_TENANT_COUNTS = (
+    "submitted",
+    "done",
+    "failed",
+    "cancelled",
+    "preemptions",
+    "restarts",
+)
+
+
+@dataclass
+class TenantUsage:
+    """One tenant's rollup: the billing row."""
+
+    submitted: int = 0
+    done: int = 0
+    failed: int = 0
+    cancelled: int = 0
+    preemptions: int = 0
+    restarts: int = 0
+    predicted_slot_seconds: float = 0.0
+    actual_slot_seconds: float = 0.0
+    queue_wait_seconds: float = 0.0
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+@dataclass
+class ServiceReport:
+    """One serving session's rollup (see module docstring)."""
+
+    kind: str = "assimilation-service"
+    total_slots: int = 0
+    wall_seconds: float = 0.0
+    #: per-job status snapshots (:meth:`repro.service.job.Job.snapshot`).
+    jobs: list[dict] = field(default_factory=list)
+    #: tenant -> :class:`TenantUsage` payload.
+    tenants: dict[str, dict] = field(default_factory=dict)
+    #: the service metrics registry's snapshot (queue-wait and
+    #: slot-utilization histograms live here, percentiles included).
+    metrics: dict[str, Any] = field(default_factory=dict)
+    #: per-category seconds aggregated across every job-scoped tracer.
+    phase_totals: dict[str, float] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+    schema: str = SERVICE_REPORT_SCHEMA
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, default=_coerce)
+
+    def write(self, path: str | Path) -> Path:
+        """Validate and write; an invalid report never hits disk."""
+        payload = json.loads(self.to_json())
+        validate_service_report(payload)
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2))
+        return path
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ServiceReport":
+        validate_service_report(payload)
+        return cls(**{k: payload[k] for k in _REQUIRED if k != "schema"})
+
+
+def _coerce(value):
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    if hasattr(value, "tolist"):  # numpy array
+        return value.tolist()
+    return str(value)
+
+
+def validate_service_report(payload: dict) -> dict:
+    """Check one parsed payload against the service-report schema.
+
+    Returns the payload on success; raises ``ValueError`` naming every
+    violation at once, in the style of
+    :func:`~repro.telemetry.report.validate_run_report`.
+    """
+    errors: list[str] = []
+    if not isinstance(payload, dict):
+        raise ValueError(
+            f"service report must be a JSON object, got {type(payload).__name__}"
+        )
+    for key, expected in _REQUIRED.items():
+        if key not in payload:
+            errors.append(f"missing key {key!r}")
+        elif not isinstance(payload[key], expected):
+            errors.append(
+                f"{key!r} must be {getattr(expected, '__name__', expected)}, "
+                f"got {type(payload[key]).__name__}"
+            )
+    if not errors:
+        if payload["schema"] != SERVICE_REPORT_SCHEMA:
+            errors.append(
+                f"unknown schema {payload['schema']!r} "
+                f"(expected {SERVICE_REPORT_SCHEMA!r})"
+            )
+        if payload["total_slots"] < 0:
+            errors.append(
+                f"total_slots must be >= 0, got {payload['total_slots']}"
+            )
+        if payload["wall_seconds"] < 0:
+            errors.append(
+                f"wall_seconds must be >= 0, got {payload['wall_seconds']}"
+            )
+        for row in payload["jobs"]:
+            if not isinstance(row, dict) or "job_id" not in row:
+                errors.append(f"jobs entries must be objects with a job_id")
+                break
+        for tenant, usage in payload["tenants"].items():
+            if not isinstance(usage, dict):
+                errors.append(f"tenants[{tenant!r}] must be an object")
+                continue
+            for key in _TENANT_COUNTS:
+                value = usage.get(key)
+                if not isinstance(value, int) or value < 0:
+                    errors.append(
+                        f"tenants[{tenant!r}].{key} must be a "
+                        f"non-negative integer"
+                    )
+            for key in _TENANT_NUMBERS:
+                value = usage.get(key)
+                if not isinstance(value, (int, float)) or value < 0:
+                    errors.append(
+                        f"tenants[{tenant!r}].{key} must be a "
+                        f"non-negative number"
+                    )
+        for name, value in payload["phase_totals"].items():
+            if not isinstance(value, (int, float)) or value < 0:
+                errors.append(
+                    f"phase_totals[{name!r}] must be a non-negative number"
+                )
+    if errors:
+        raise ValueError("invalid service report: " + "; ".join(errors))
+    return payload
+
+
+def render_service_report(report: "ServiceReport | dict") -> str:
+    """ASCII dashboard: tenant billing table + service-health percentiles.
+
+    The health panel renders the ``service.*`` histograms of the
+    embedded metrics snapshot through
+    :func:`repro.telemetry.ascii.render_histograms` — queue wait and
+    slot utilization are inspectable offline from the report alone.
+    """
+    from repro.telemetry.ascii import render_histograms
+
+    payload = report.to_dict() if isinstance(report, ServiceReport) else report
+    lines = [
+        f"assimilation service — {payload['total_slots']} slot(s), "
+        f"{len(payload['jobs'])} job(s), "
+        f"{payload['wall_seconds']:.3f}s wall",
+        f"  {'tenant':<12} {'jobs':>5} {'done':>5} {'fail':>5} {'canc':>5} "
+        f"{'preempt':>8} {'restart':>8} {'wait (s)':>9} "
+        f"{'pred (ss)':>10} {'actual (ss)':>11}",
+    ]
+    for tenant in sorted(payload["tenants"]):
+        usage = payload["tenants"][tenant]
+        lines.append(
+            f"  {tenant:<12} {usage['submitted']:>5} {usage['done']:>5} "
+            f"{usage['failed']:>5} {usage['cancelled']:>5} "
+            f"{usage['preemptions']:>8} {usage['restarts']:>8} "
+            f"{usage['queue_wait_seconds']:>9.3f} "
+            f"{usage['predicted_slot_seconds']:>10.3f} "
+            f"{usage['actual_slot_seconds']:>11.3f}"
+        )
+    histograms = (payload.get("metrics") or {}).get("histograms") or {}
+    service_names = [n for n in sorted(histograms) if n.startswith("service.")]
+    if service_names:
+        lines.append("")
+        lines.append(
+            render_histograms(
+                payload["metrics"],
+                names=service_names,
+                title="service health (histogram percentiles)",
+            )
+        )
+    notes = payload.get("notes") or []
+    for note in notes:
+        lines.append(f"  note: {note}")
+    return "\n".join(lines)

@@ -1,0 +1,201 @@
+"""Packing pending campaigns onto a bounded slot budget.
+
+The :class:`Scheduler` is a pure decision function: given the pending
+and running jobs, the free slots and the clock reading, :meth:`plan`
+returns which jobs to start and which running jobs to preempt.  No
+sleeping, no I/O, no event loop — the asyncio service calls it on every
+state change, and the unit tests drive it with a fake clock.
+
+Three oracles shape the decisions:
+
+* **cost model (admission/placement)** — every submission is priced at
+  admission with Eqs. (7)–(10) via its :class:`~repro.service.job.CostEstimate`,
+  *fault-aware*: a job under a chaos regime has its read term inflated
+  by the expected-retries factor (:func:`service_read_inflation`), the
+  same machinery the auto-tuner uses.  Predictions feed the quota
+  budget check and break ties toward shorter jobs (better packing).
+* **weighted fair share with starvation aging** — pending jobs are
+  ordered by their tenant's charged-usage-over-weight score minus an
+  aging credit per waiting second, so heavy tenants queue behind light
+  ones but nobody starves.
+* **priority preemption** — when the best pending job cannot fit, the
+  scheduler asks strictly-lower-priority running jobs (youngest first —
+  least completed work lost) to checkpoint and release their slots;
+  resume is bit-identical, so preemption costs latency, never answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.service.job import RUNNING, Job, JobSpec
+from repro.service.quota import QuotaLedger
+from repro.util.validation import check_nonnegative, check_positive
+
+__all__ = ["Scheduler", "SchedulerPlan", "service_read_inflation"]
+
+
+def service_read_inflation(faults, retry=None) -> float:
+    """Expected read-term multiplier for a job's chaos regime.
+
+    Combines the simulated-disk factor of
+    :func:`repro.tuning.read_inflation_from_schedule` (``disk_fault_rate``
+    / slowdowns, truncated-geometric retries) with the real-file member
+    path: a member read that fails its first ``member_fault_attempts``
+    attempts with probability ``member_fault_rate`` costs that many extra
+    service intervals in expectation, an independent multiplier of
+    ``1 + rate · attempts``.  ``None`` or a null schedule prices clean.
+    """
+    if faults is None or faults.is_null:
+        return 1.0
+    from repro.tuning import read_inflation_from_schedule
+
+    inflation = read_inflation_from_schedule(faults, retry)
+    inflation *= 1.0 + faults.member_fault_rate * faults.member_fault_attempts
+    return inflation
+
+
+@dataclass
+class SchedulerPlan:
+    """One dispatch round's decisions."""
+
+    #: pending jobs to start now, in start order.
+    place: list[Job] = field(default_factory=list)
+    #: running jobs to ask for checkpoint-then-release.
+    preempt: list[Job] = field(default_factory=list)
+
+    @property
+    def empty(self) -> bool:
+        return not self.place and not self.preempt
+
+
+class Scheduler:
+    """Admission, ordering and placement policy (see module docstring).
+
+    Parameters
+    ----------
+    total_slots:
+        The bounded worker-slot budget every running job draws from.
+    ledger:
+        The fair-share usage ledger (also enforces quotas).
+    aging_rate:
+        Slot-seconds of fair-share credit earned per second a job waits
+        — the starvation valve.  At the default ``0.05``, one minute of
+        waiting forgives three slot-seconds of past usage.
+    default_seconds:
+        Prediction for jobs submitted without a :class:`CostEstimate`.
+    """
+
+    def __init__(
+        self,
+        total_slots: int,
+        ledger: QuotaLedger | None = None,
+        *,
+        aging_rate: float = 0.05,
+        default_seconds: float = 1.0,
+    ):
+        check_positive("total_slots", total_slots)
+        check_nonnegative("aging_rate", aging_rate)
+        check_positive("default_seconds", default_seconds)
+        self.total_slots = int(total_slots)
+        self.ledger = ledger if ledger is not None else QuotaLedger()
+        self.aging_rate = float(aging_rate)
+        self.default_seconds = float(default_seconds)
+
+    # -- admission oracle ---------------------------------------------------
+    def predict_seconds(self, spec: JobSpec) -> float:
+        """Cost-model price of one submission, fault-aware."""
+        if spec.cost is None:
+            return self.default_seconds
+        return spec.cost.seconds(
+            read_inflation=service_read_inflation(spec.faults)
+        )
+
+    # -- ordering -----------------------------------------------------------
+    def order_key(self, job: Job, now: float):
+        """Sort key for pending jobs: priority class first, then aged
+        fair share, then the cost model's shortest-job tiebreak."""
+        aged_share = (
+            self.ledger.share_score(job.tenant)
+            - self.aging_rate * job.wait_seconds(now)
+        )
+        return (
+            -job.priority,
+            aged_share,
+            job.predicted_seconds,
+            job.submit_index,
+        )
+
+    def ordered_pending(self, pending: Sequence[Job], now: float) -> list[Job]:
+        return sorted(pending, key=lambda j: self.order_key(j, now))
+
+    # -- one dispatch round -------------------------------------------------
+    def plan(
+        self,
+        pending: Sequence[Job],
+        running: Sequence[Job],
+        free_slots: int,
+        now: float,
+    ) -> SchedulerPlan:
+        """Greedy fair-share packing plus (at most) one preemption request.
+
+        Jobs are considered in fair-share order; each job that fits the
+        remaining free slots — and whose tenant is under its
+        ``max_running_slots`` cap — is placed.  The *first* job that
+        does not fit may trigger preemption: if running jobs of strictly
+        lower priority can release enough slots, they are asked to
+        checkpoint-and-exit (youngest victims first), and the job is
+        placed on a later round once the slots actually free.  Lower-
+        ranked jobs may still backfill the remaining gaps this round.
+        """
+        check_nonnegative("free_slots", free_slots)
+        plan = SchedulerPlan()
+        free = int(free_slots)
+        tenant_running: dict[str, int] = {}
+        for job in running:
+            tenant_running[job.tenant] = (
+                tenant_running.get(job.tenant, 0) + job.slots
+            )
+        preemption_considered = False
+        for job in self.ordered_pending(pending, now):
+            held = tenant_running.get(job.tenant, 0)
+            if not self.ledger.allows_start(job.tenant, job.slots, held):
+                continue
+            if job.slots <= free:
+                plan.place.append(job)
+                free -= job.slots
+                tenant_running[job.tenant] = held + job.slots
+                continue
+            if not preemption_considered:
+                preemption_considered = True
+                victims = self._preemption_victims(job, running, free)
+                if victims:
+                    plan.preempt.extend(victims)
+        return plan
+
+    def _preemption_victims(
+        self, job: Job, running: Sequence[Job], free: int
+    ) -> list[Job]:
+        """Minimal set of strictly-lower-priority running jobs whose slots
+        (plus what is already free) cover ``job``'s demand; empty when
+        the demand cannot be covered (then nobody is disturbed)."""
+        candidates = [
+            victim
+            for victim in running
+            if victim.state == RUNNING and victim.priority < job.priority
+        ]
+        # Youngest first: the least completed work is re-done ... none,
+        # actually — resume is bit-identical from the last checkpoint —
+        # but the youngest victim has the least progress to re-load.
+        candidates.sort(
+            key=lambda v: (v.priority, -(v.started_at or 0.0), v.submit_index)
+        )
+        victims: list[Job] = []
+        releasable = free
+        for victim in candidates:
+            if releasable >= job.slots:
+                break
+            victims.append(victim)
+            releasable += victim.slots
+        return victims if releasable >= job.slots else []

@@ -20,6 +20,7 @@ See ``docs/OBSERVABILITY.md`` for the span/metric taxonomy.
 """
 
 from repro.telemetry.ascii import (
+    render_histograms,
     render_phase_totals,
     render_spans,
     render_supervision,
@@ -74,6 +75,7 @@ from repro.telemetry.tracer import (
     Tracer,
     get_tracer,
     set_tracer,
+    use_thread_tracer,
     use_tracer,
 )
 
@@ -106,6 +108,7 @@ __all__ = [
     "get_metrics",
     "get_tracer",
     "read_history",
+    "render_histograms",
     "render_phase_totals",
     "render_spans",
     "render_supervision",
@@ -117,6 +120,7 @@ __all__ = [
     "spans_from_chrome",
     "spans_from_timeline",
     "use_metrics",
+    "use_thread_tracer",
     "use_tracer",
     "validate_attribution_report",
     "validate_run_report",

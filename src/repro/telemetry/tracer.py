@@ -49,6 +49,7 @@ __all__ = [
     "get_tracer",
     "set_tracer",
     "use_tracer",
+    "use_thread_tracer",
 ]
 
 
@@ -304,10 +305,17 @@ class Tracer:
 
 # -- process-global default ---------------------------------------------------
 _global_tracer: NullTracer | Tracer = NULL_TRACER
+#: per-thread override (see :func:`use_thread_tracer`); wins over the global.
+_thread_tracer = threading.local()
 
 
 def get_tracer() -> NullTracer | Tracer:
-    """The process-global tracer (the :data:`NULL_TRACER` by default)."""
+    """The ambient tracer: this thread's override if one is installed
+    (see :func:`use_thread_tracer`), else the process-global default
+    (the :data:`NULL_TRACER` out of the box)."""
+    override = getattr(_thread_tracer, "tracer", None)
+    if override is not None:
+        return override
     return _global_tracer
 
 
@@ -328,3 +336,27 @@ def use_tracer(tracer: Tracer | None) -> Iterator[NullTracer | Tracer]:
         yield get_tracer()
     finally:
         set_tracer(previous if previous is not NULL_TRACER else None)
+
+
+@contextmanager
+def use_thread_tracer(tracer: Tracer | None) -> Iterator[NullTracer | Tracer]:
+    """Scope ``tracer`` for the *calling thread only*.
+
+    Concurrent captures — the service running several jobs in worker
+    threads, each with its own job-scoped tracer — cannot share the
+    process-global slot: the installs would clobber each other and spans
+    from different jobs would interleave into one capture.  A
+    thread-local override confines each capture to its thread, wins over
+    the global in :func:`get_tracer`, and nests (the previous override
+    is restored on exit).  ``None`` is a no-op pass-through to whatever
+    was ambient.
+    """
+    if tracer is None:
+        yield get_tracer()
+        return
+    previous = getattr(_thread_tracer, "tracer", None)
+    _thread_tracer.tracer = tracer
+    try:
+        yield tracer
+    finally:
+        _thread_tracer.tracer = previous

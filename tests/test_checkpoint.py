@@ -400,3 +400,138 @@ class TestRetentionAndStore:
             CheckpointManifest.from_json(
                 json.dumps({"schema_version": 1, "cycle": 0, "surprise": 1})
             )
+
+
+class TestGracefulDrain:
+    """An interrupt (Ctrl-C or SIGTERM) commits a final checkpoint of the
+    completed cycles before the campaign dies, and the resumed campaign
+    is bit-identical to one that was never interrupted."""
+
+    KILL_AT = 3  # between checkpoints with interval=5
+
+    def test_interrupt_at_cycle_boundary_leaves_resumable_store(
+        self, tmp_path, reference
+    ):
+        ref_final, ref_result = reference
+        twin, truth0, ensemble0 = make_twin()
+        runner = CampaignRunner(twin, tmp_path, interval=5)
+
+        def interrupt(state):
+            if state.cycle == self.KILL_AT:
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            runner.run(truth0, ensemble0, N_CYCLES, on_cycle=interrupt)
+        # The drain committed the in-between cycle (interval alone would
+        # have left nothing newer than cycle 0).
+        assert runner.store.latest() == self.KILL_AT
+
+        resumed = CampaignRunner(twin, tmp_path, interval=5)
+        result = resumed.resume(N_CYCLES)
+        assert np.array_equal(
+            resumed.store.load(N_CYCLES).ensemble, ref_final
+        )
+        assert result.analysis_rmse == ref_result.analysis_rmse
+
+    def test_interrupt_mid_cycle_drains_completed_prefix(
+        self, tmp_path, reference
+    ):
+        """A kill in the middle of a cycle (here: mid-analysis) must not
+        checkpoint the partial cycle — the drain describes the completed
+        prefix and truncates its half-appended diagnostics."""
+        ref_final, ref_result = reference
+        twin, truth0, ensemble0 = make_twin()
+        inner = twin.assimilate
+        calls = []
+
+        def exploding(states, y, rng):
+            calls.append(1)
+            if len(calls) == self.KILL_AT + 1:  # inside cycle KILL_AT+1
+                raise KeyboardInterrupt
+            return inner(states, y, rng)
+
+        twin.assimilate = exploding
+        runner = CampaignRunner(twin, tmp_path, interval=5)
+        with pytest.raises(KeyboardInterrupt):
+            runner.run(truth0, ensemble0, N_CYCLES)
+        assert runner.store.latest() == self.KILL_AT
+        manifest = runner.store.load_best().manifest
+        for name, series in manifest.diagnostics.items():
+            assert len(series) == self.KILL_AT, name
+
+        twin.assimilate = inner
+        resumed = CampaignRunner(twin, tmp_path, interval=5)
+        result = resumed.resume(N_CYCLES)
+        assert np.array_equal(
+            resumed.store.load(N_CYCLES).ensemble, ref_final
+        )
+        assert result.free_rmse == ref_result.free_rmse
+
+    def test_sigterm_is_drained_like_ctrl_c(self, tmp_path):
+        import os
+        import signal
+
+        twin, truth0, ensemble0 = make_twin()
+        runner = CampaignRunner(twin, tmp_path, interval=5)
+
+        def terminate(state):
+            if state.cycle == self.KILL_AT:
+                os.kill(os.getpid(), signal.SIGTERM)
+
+        with pytest.raises(KeyboardInterrupt):
+            runner.run(truth0, ensemble0, N_CYCLES, on_cycle=terminate)
+        assert runner.store.latest() == self.KILL_AT
+
+    def test_sigterm_handler_restored_after_run(self, tmp_path):
+        import signal
+
+        previous = signal.getsignal(signal.SIGTERM)
+        twin, truth0, ensemble0 = make_twin()
+        CampaignRunner(twin, tmp_path, interval=INTERVAL).run(
+            truth0, ensemble0, 2
+        )
+        assert signal.getsignal(signal.SIGTERM) is previous
+
+
+class TestSharedCheckpointRoot:
+    """Two campaigns GC'ing under one parent directory must never collect
+    each other's checkpoints — retention is scoped to a campaign's own
+    cycle directories."""
+
+    def test_gc_is_campaign_scoped(self, tmp_path):
+        twin_a, truth0, ensemble0 = make_twin()
+        twin_b, _, _ = make_twin()
+        runner_a = CampaignRunner(
+            twin_a, tmp_path / "campaign-a", interval=1,
+            retention=RetentionPolicy(keep_last=2, keep_every=4),
+        )
+        runner_b = CampaignRunner(
+            twin_b, tmp_path / "campaign-b", interval=1,
+            retention=RetentionPolicy(keep_last=1, keep_every=100),
+        )
+        runner_a.run(truth0, ensemble0, N_CYCLES)
+        runner_b.run(truth0, ensemble0, N_CYCLES)
+        # Each store enforces exactly its own policy on its own cycles.
+        assert runner_a.store.cycles() == [4, 7, 8]
+        assert runner_b.store.cycles() == [8]
+        # Another GC pass on A must not reach into B's directory.
+        runner_a.store.gc()
+        assert runner_b.store.cycles() == [8]
+        assert runner_a.store.cycles() == [4, 7, 8]
+
+    def test_interleaved_saves_do_not_cross_collect(self, tmp_path):
+        rng = np.random.default_rng(0)
+        store_a = CheckpointStore(
+            tmp_path / "a", retention=RetentionPolicy(keep_last=1)
+        )
+        store_b = CheckpointStore(
+            tmp_path / "b", retention=RetentionPolicy(keep_last=1)
+        )
+        for cycle in (1, 2, 3):
+            store_a.save(cycle, rng.normal(size=(6, 3)))
+            store_b.save(cycle, rng.normal(size=(6, 3)))
+        assert store_a.cycles() == [3]
+        assert store_b.cycles() == [3]
+        assert np.array_equal(
+            store_b.load(3).ensemble, store_b.load_best().ensemble
+        )

@@ -1,0 +1,603 @@
+"""Unit tests for the service core (``repro.service``).
+
+The queue, quota ledger and scheduler are synchronous and clock-injected,
+so every policy decision here is asserted deterministically against a
+fake clock — no sleeps, no event loop.  The asyncio layer is exercised
+with tiny synthetic payloads through :class:`ServiceClient` (events, not
+timers, gate the concurrency).
+"""
+
+import threading
+
+import pytest
+
+from repro.costmodel.model import CostParams
+from repro.faults import FaultSchedule
+from repro.service import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    PENDING,
+    PREEMPTING,
+    RUNNING,
+    AdmissionError,
+    AssimilationService,
+    CostEstimate,
+    JobCancelled,
+    JobControl,
+    JobPreempted,
+    JobQueue,
+    JobSpec,
+    QuotaExceededError,
+    QuotaLedger,
+    Scheduler,
+    ServiceClient,
+    ServiceReport,
+    TenantQuota,
+    UnknownJobError,
+    render_service_report,
+    service_read_inflation,
+    validate_service_report,
+)
+from repro.telemetry import render_histograms
+
+
+class FakeClock:
+    """Deterministic monotonic clock for queue/scheduler tests."""
+
+    def __init__(self, t: float = 0.0):
+        self.t = float(t)
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+def spec(tenant="a", *, payload=None, **kwargs) -> JobSpec:
+    return JobSpec(
+        tenant=tenant, payload=payload or (lambda control: None), **kwargs
+    )
+
+
+def demo_cost(n_cycles=1, **kwargs) -> CostEstimate:
+    params = CostParams(
+        n_x=16, n_y=8, n_members=8, h=8.0, xi=2, eta=1,
+        a=1e-4, b=1e-8, c=1e-6, theta=1e-8,
+    )
+    return CostEstimate(
+        params=params, n_sdx=2, n_sdy=2, n_layers=1, n_cg=1,
+        n_cycles=n_cycles, **kwargs,
+    )
+
+
+# -- cost estimates and fault-aware pricing -----------------------------------
+
+class TestCostEstimate:
+    def test_scales_with_cycles(self):
+        one = demo_cost(1).seconds()
+        ten = demo_cost(10).seconds()
+        assert ten == pytest.approx(10 * one)
+
+    def test_read_inflation_raises_price(self):
+        assert demo_cost().seconds(read_inflation=3.0) > demo_cost().seconds()
+
+    def test_read_inflation_below_one_rejected(self):
+        with pytest.raises(ValueError, match="read_inflation"):
+            demo_cost().seconds(read_inflation=0.5)
+
+    def test_bad_objective_rejected(self):
+        with pytest.raises(ValueError, match="objective"):
+            demo_cost(objective="fastest")
+
+    def test_paper_objective_at_least_pipelined(self):
+        assert demo_cost(objective="paper").seconds() >= demo_cost().seconds()
+
+    def test_service_read_inflation_clean(self):
+        assert service_read_inflation(None) == 1.0
+        assert service_read_inflation(FaultSchedule(1)) == 1.0
+
+    def test_service_read_inflation_member_faults(self):
+        faults = FaultSchedule(
+            1, member_fault_rate=0.5, member_fault_attempts=2
+        )
+        assert service_read_inflation(faults) == pytest.approx(2.0)
+
+    def test_fault_aware_admission_price(self):
+        scheduler = Scheduler(2)
+        clean = scheduler.predict_seconds(spec(cost=demo_cost(4)))
+        chaotic = scheduler.predict_seconds(spec(
+            cost=demo_cost(4),
+            faults=FaultSchedule(1, member_fault_rate=0.5),
+        ))
+        assert chaotic > clean
+
+    def test_default_prediction_without_cost(self):
+        scheduler = Scheduler(2, default_seconds=7.5)
+        assert scheduler.predict_seconds(spec()) == 7.5
+
+
+# -- the job state machine ----------------------------------------------------
+
+class TestJobQueue:
+    def test_submit_assigns_sequential_ids(self):
+        queue = JobQueue(FakeClock())
+        ids = [queue.submit(spec(), 1.0).job_id for _ in range(3)]
+        assert ids == ["job-00000", "job-00001", "job-00002"]
+
+    def test_unknown_job_id(self):
+        queue = JobQueue(FakeClock())
+        with pytest.raises(UnknownJobError, match="nope"):
+            queue.get("nope")
+
+    def test_queue_wait_accumulates_across_attempts(self):
+        clock = FakeClock()
+        queue = JobQueue(clock)
+        job = queue.submit(spec(), 1.0)
+        clock.advance(2.0)
+        queue.mark_running(job)
+        assert job.queue_wait_seconds == pytest.approx(2.0)
+        clock.advance(1.0)
+        queue.requeue(job, preempted=True)
+        clock.advance(3.0)
+        queue.mark_running(job)
+        assert job.queue_wait_seconds == pytest.approx(5.0)
+        assert job.preemptions == 1
+
+    def test_slot_seconds_accumulate_with_slots(self):
+        clock = FakeClock()
+        queue = JobQueue(clock)
+        job = queue.submit(spec(slots=2), 1.0)
+        queue.mark_running(job)
+        clock.advance(4.0)
+        queue.requeue(job, preempted=False)
+        assert job.restarts == 1
+        queue.mark_running(job)
+        clock.advance(1.0)
+        queue.finish(job, DONE, value=42)
+        assert job.slot_seconds == pytest.approx(2 * 4.0 + 2 * 1.0)
+        assert job.value == 42
+        assert job.finished
+
+    def test_preempting_jobs_still_hold_slots(self):
+        queue = JobQueue(FakeClock())
+        job = queue.submit(spec(slots=2), 1.0)
+        queue.mark_running(job)
+        queue.mark_preempting(job)
+        assert job.state == PREEMPTING
+        assert job.control.preempt_requested()
+        assert queue.busy_slots() == 2
+        assert queue.pending() == []
+
+    def test_requeue_clears_preempt_request(self):
+        queue = JobQueue(FakeClock())
+        job = queue.submit(spec(), 1.0)
+        queue.mark_running(job)
+        queue.mark_preempting(job)
+        queue.requeue(job, preempted=True)
+        assert job.state == PENDING
+        assert not job.control.preempt_requested()
+
+    def test_pending_job_can_be_cancelled_without_running(self):
+        queue = JobQueue(FakeClock())
+        job = queue.submit(spec(), 1.0)
+        queue.finish(job, CANCELLED, error="cancelled while pending")
+        assert job.state == CANCELLED
+        assert job.slot_seconds == 0.0
+
+    def test_invalid_transition_rejected(self):
+        queue = JobQueue(FakeClock())
+        job = queue.submit(spec(), 1.0)
+        with pytest.raises(RuntimeError, match="expected"):
+            queue.requeue(job, preempted=True)
+
+    def test_finish_requires_terminal_state(self):
+        queue = JobQueue(FakeClock())
+        job = queue.submit(spec(), 1.0)
+        with pytest.raises(ValueError, match="terminal"):
+            queue.finish(job, RUNNING)
+
+
+class TestJobControl:
+    def test_cancel_wins_over_preempt(self):
+        control = JobControl("job-0", "a")
+        control.request_preempt()
+        control.request_cancel()
+        with pytest.raises(JobCancelled):
+            control.checkpoint_point()
+
+    def test_preempt_raises_at_checkpoint_point(self):
+        control = JobControl("job-0", "a")
+        control.request_preempt()
+        with pytest.raises(JobPreempted):
+            control.checkpoint_point()
+        control.clear_preempt()
+        control.checkpoint_point()  # no request pending: passes
+
+
+# -- quotas and fair share ----------------------------------------------------
+
+class TestQuotaLedger:
+    def test_max_pending_enforced(self):
+        ledger = QuotaLedger({"a": TenantQuota(max_pending=1)})
+        ledger.check_submit("a", 1.0, pending_count=0)
+        with pytest.raises(QuotaExceededError, match="pending"):
+            ledger.check_submit("a", 1.0, pending_count=1)
+
+    def test_budget_counts_usage_and_inflight(self):
+        ledger = QuotaLedger({"a": TenantQuota(slot_seconds_budget=10.0)})
+        ledger.charge("a", 6.0)
+        ledger.admit("a", 3.0)
+        ledger.check_submit("a", 1.0, 0)  # 6 + 3 + 1 == 10: admitted
+        with pytest.raises(QuotaExceededError, match="budget"):
+            ledger.check_submit("a", 1.5, 0)
+
+    def test_settle_moves_prediction_to_charge(self):
+        ledger = QuotaLedger()
+        ledger.admit("a", 5.0)
+        assert ledger.share_score("a") == pytest.approx(5.0)
+        ledger.settle("a", 5.0, 2.0)
+        assert ledger.admitted["a"] == 0.0
+        assert ledger.usage["a"] == pytest.approx(2.0)
+
+    def test_weight_divides_share(self):
+        ledger = QuotaLedger({"heavy": TenantQuota(weight=4.0)})
+        ledger.charge("heavy", 8.0)
+        ledger.charge("light", 4.0)
+        assert ledger.share_score("heavy") < ledger.share_score("light")
+
+    def test_max_running_slots(self):
+        ledger = QuotaLedger({"a": TenantQuota(max_running_slots=2)})
+        assert ledger.allows_start("a", 2, tenant_running_slots=0)
+        assert not ledger.allows_start("a", 1, tenant_running_slots=2)
+        assert ledger.allows_start("b", 99, tenant_running_slots=0)
+
+
+# -- scheduling policy --------------------------------------------------------
+
+def _pending(queue, *specs, predicted=1.0):
+    return [queue.submit(s, predicted) for s in specs]
+
+
+class TestScheduler:
+    def test_priority_orders_first(self):
+        clock = FakeClock()
+        queue = JobQueue(clock)
+        low, high = _pending(queue, spec(priority=0), spec(priority=5))
+        scheduler = Scheduler(2)
+        assert scheduler.ordered_pending([low, high], clock()) == [high, low]
+
+    def test_fair_share_orders_within_priority(self):
+        clock = FakeClock()
+        queue = JobQueue(clock)
+        hog, newcomer = _pending(queue, spec("hog"), spec("new"))
+        scheduler = Scheduler(2)
+        scheduler.ledger.charge("hog", 100.0)
+        assert scheduler.ordered_pending([hog, newcomer], clock()) == [
+            newcomer, hog,
+        ]
+
+    def test_aging_eventually_outranks_usage(self):
+        clock = FakeClock()
+        queue = JobQueue(clock)
+        old = queue.submit(spec("hog"), 1.0)
+        scheduler = Scheduler(2, aging_rate=0.05)
+        scheduler.ledger.charge("hog", 10.0)
+        clock.advance(500.0)  # 500s * 0.05 = 25 slot-seconds of credit
+        fresh = queue.submit(spec("new"), 1.0)
+        assert scheduler.ordered_pending([fresh, old], clock()) == [old, fresh]
+
+    def test_shortest_job_breaks_ties(self):
+        clock = FakeClock()
+        queue = JobQueue(clock)
+        slow = queue.submit(spec(), 9.0)
+        fast = queue.submit(spec(), 2.0)
+        scheduler = Scheduler(2)
+        assert scheduler.ordered_pending([slow, fast], clock()) == [fast, slow]
+
+    def test_plan_packs_up_to_free_slots(self):
+        clock = FakeClock()
+        queue = JobQueue(clock)
+        jobs = _pending(queue, spec(slots=1), spec(slots=1), spec(slots=1))
+        plan = Scheduler(2).plan(jobs, [], free_slots=2, now=clock())
+        assert len(plan.place) == 2
+        assert plan.preempt == []
+
+    def test_plan_respects_tenant_running_cap(self):
+        clock = FakeClock()
+        queue = JobQueue(clock)
+        a1, a2, b1 = _pending(
+            queue, spec("a"), spec("a"), spec("b"),
+        )
+        scheduler = Scheduler(
+            3, QuotaLedger({"a": TenantQuota(max_running_slots=1)})
+        )
+        plan = scheduler.plan([a1, a2, b1], [], free_slots=3, now=clock())
+        assert a1 in plan.place and b1 in plan.place and a2 not in plan.place
+
+    def test_preempts_lower_priority_when_full(self):
+        clock = FakeClock()
+        queue = JobQueue(clock)
+        victim = queue.submit(spec("bg", priority=0), 1.0)
+        queue.mark_running(victim)
+        urgent = queue.submit(spec("ops", priority=5), 1.0)
+        plan = Scheduler(1).plan([urgent], [victim], free_slots=0, now=clock())
+        assert plan.place == []
+        assert plan.preempt == [victim]
+
+    def test_never_preempts_equal_or_higher_priority(self):
+        clock = FakeClock()
+        queue = JobQueue(clock)
+        running = queue.submit(spec("bg", priority=5), 1.0)
+        queue.mark_running(running)
+        pending = queue.submit(spec("ops", priority=5), 1.0)
+        plan = Scheduler(1).plan(
+            [pending], [running], free_slots=0, now=clock()
+        )
+        assert plan.empty
+
+    def test_youngest_victim_chosen_first(self):
+        clock = FakeClock()
+        queue = JobQueue(clock)
+        older = queue.submit(spec("bg"), 1.0)
+        queue.mark_running(older)
+        clock.advance(5.0)
+        younger = queue.submit(spec("bg"), 1.0)
+        queue.mark_running(younger)
+        urgent = queue.submit(spec("ops", priority=1), 1.0)
+        plan = Scheduler(2).plan(
+            [urgent], [older, younger], free_slots=0, now=clock()
+        )
+        assert plan.preempt == [younger]
+
+    def test_no_partial_preemption_when_demand_uncoverable(self):
+        clock = FakeClock()
+        queue = JobQueue(clock)
+        small = queue.submit(spec("bg", slots=1), 1.0)
+        queue.mark_running(small)
+        wide = queue.submit(spec("ops", priority=5, slots=3), 1.0)
+        plan = Scheduler(3).plan([wide], [small], free_slots=0, now=clock())
+        assert plan.empty  # 1 releasable + 0 free < 3 demanded: nobody dies
+
+    def test_preempting_jobs_are_not_revictimised(self):
+        clock = FakeClock()
+        queue = JobQueue(clock)
+        victim = queue.submit(spec("bg"), 1.0)
+        queue.mark_running(victim)
+        queue.mark_preempting(victim)
+        urgent = queue.submit(spec("ops", priority=5), 1.0)
+        plan = Scheduler(1).plan([urgent], [victim], free_slots=0, now=clock())
+        assert plan.empty  # already asked; wait for the slots to free
+
+    def test_backfill_continues_past_blocked_job(self):
+        clock = FakeClock()
+        queue = JobQueue(clock)
+        wide = queue.submit(spec("a", slots=2), 1.0)
+        narrow = queue.submit(spec("b", slots=1), 5.0)
+        plan = Scheduler(2).plan([wide, narrow], [], free_slots=1, now=clock())
+        assert plan.place == [narrow]
+
+
+# -- the service report -------------------------------------------------------
+
+class TestServiceReport:
+    def payload(self):
+        return ServiceReport(
+            total_slots=2,
+            wall_seconds=1.5,
+            jobs=[{"job_id": "job-00000", "state": DONE}],
+            tenants={
+                "a": {
+                    "submitted": 1, "done": 1, "failed": 0, "cancelled": 0,
+                    "preemptions": 0, "restarts": 0,
+                    "predicted_slot_seconds": 1.0,
+                    "actual_slot_seconds": 1.2,
+                    "queue_wait_seconds": 0.1,
+                }
+            },
+        ).to_dict()
+
+    def test_roundtrip_validates(self):
+        payload = self.payload()
+        assert validate_service_report(payload) is payload
+        report = ServiceReport.from_dict(payload)
+        assert report.total_slots == 2
+
+    def test_all_violations_reported_at_once(self):
+        payload = self.payload()
+        payload["total_slots"] = -1
+        payload["wall_seconds"] = -2.0
+        payload["tenants"]["a"]["done"] = -5
+        with pytest.raises(ValueError) as err:
+            validate_service_report(payload)
+        message = str(err.value)
+        assert "total_slots" in message
+        assert "wall_seconds" in message
+        assert "done" in message
+
+    def test_unknown_schema_rejected(self):
+        payload = self.payload()
+        payload["schema"] = "senkf-service-report/99"
+        with pytest.raises(ValueError, match="schema"):
+            validate_service_report(payload)
+
+    def test_write_refuses_invalid(self, tmp_path):
+        report = ServiceReport(total_slots=-3)
+        with pytest.raises(ValueError):
+            report.write(tmp_path / "report.json")
+        assert not (tmp_path / "report.json").exists()
+
+    def test_render_lists_tenants(self):
+        text = render_service_report(self.payload())
+        assert "a" in text and "2 slot(s)" in text
+
+
+class TestRenderHistograms:
+    def snapshot(self):
+        from repro.telemetry import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        hist = metrics.histogram("service.queue_wait_seconds", (0.1, 1.0))
+        for v in (0.05, 0.2, 0.5, 2.0):
+            hist.observe(v)
+        metrics.histogram("empty.series", (1.0,))
+        return metrics.snapshot()
+
+    def test_rows_have_percentiles(self):
+        text = render_histograms(self.snapshot())
+        assert "service.queue_wait_seconds" in text
+        assert "p50" in text and "p99" in text
+        assert "4" in text  # the count
+
+    def test_empty_histogram_renders_dashes(self):
+        text = render_histograms(self.snapshot())
+        assert "empty.series" in text and "-" in text
+
+    def test_names_filter_and_order(self):
+        text = render_histograms(
+            self.snapshot(), names=["service.queue_wait_seconds"]
+        )
+        assert "empty.series" not in text
+
+    def test_no_histograms(self):
+        assert "no histograms" in render_histograms({})
+
+
+# -- the asyncio service with synthetic payloads ------------------------------
+
+def gated_payload(started: threading.Event, release: threading.Event,
+                  value="ok"):
+    """A payload that parks at a checkpoint boundary until released —
+    the synthetic stand-in for a long campaign (events, not sleeps)."""
+
+    def payload(control):
+        started.set()
+        while not release.wait(0.005):
+            control.checkpoint_point()
+        control.checkpoint_point()
+        return value
+
+    return payload
+
+
+class TestAssimilationService:
+    def test_submit_run_result(self):
+        with ServiceClient(total_slots=1) as client:
+            job_id = client.submit(spec(payload=lambda control: 7))
+            assert client.result(job_id, timeout=30) == 7
+            assert client.status(job_id)["state"] == DONE
+
+    def test_oversized_job_rejected_at_admission(self):
+        with ServiceClient(total_slots=1) as client:
+            with pytest.raises(AdmissionError, match="slot"):
+                client.submit(spec(slots=2))
+
+    def test_quota_rejection_at_submit(self):
+        quotas = {"a": TenantQuota(max_pending=1)}
+        started, release = threading.Event(), threading.Event()
+        with ServiceClient(total_slots=1, quotas=quotas) as client:
+            running = client.submit(spec(payload=gated_payload(started, release)))
+            assert started.wait(30)
+            waiting = client.submit(spec())  # pending #1: fine
+            with pytest.raises(QuotaExceededError):
+                client.submit(spec())  # pending #2: over max_pending
+            release.set()
+            client.result(running, timeout=30)
+            client.result(waiting, timeout=30)
+
+    def test_cancel_pending_job(self):
+        started, release = threading.Event(), threading.Event()
+        with ServiceClient(total_slots=1) as client:
+            blocker = client.submit(spec(payload=gated_payload(started, release)))
+            assert started.wait(30)
+            queued = client.submit(spec())
+            client.cancel(queued)
+            with pytest.raises(JobCancelled):
+                client.result(queued, timeout=30)
+            release.set()
+            client.result(blocker, timeout=30)
+
+    def test_cancel_running_job_drains_gracefully(self):
+        started, release = threading.Event(), threading.Event()
+        with ServiceClient(total_slots=1) as client:
+            job_id = client.submit(spec(payload=gated_payload(started, release)))
+            assert started.wait(30)
+            client.cancel(job_id)
+            with pytest.raises(JobCancelled):
+                client.result(job_id, timeout=30)
+            assert client.status(job_id)["state"] == CANCELLED
+
+    def test_restartable_crash_requeues_then_succeeds(self):
+        attempts = []
+
+        def flaky(control):
+            attempts.append(1)
+            if len(attempts) == 1:
+                raise OSError("transient disk trouble")
+            return "recovered"
+
+        with ServiceClient(total_slots=1) as client:
+            job_id = client.submit(spec(payload=flaky, max_restarts=2))
+            assert client.result(job_id, timeout=30) == "recovered"
+            assert client.status(job_id)["restarts"] == 1
+
+    def test_restart_budget_exhaustion_fails_job(self):
+        def always_down(control):
+            raise OSError("dead disk")
+
+        with ServiceClient(total_slots=1) as client:
+            job_id = client.submit(spec(payload=always_down, max_restarts=1))
+            with pytest.raises(RuntimeError, match="restart budget"):
+                client.result(job_id, timeout=30)
+            assert client.status(job_id)["restarts"] == 1
+            assert client.status(job_id)["state"] == FAILED
+
+    def test_programming_errors_fail_without_restart(self):
+        def broken(control):
+            raise ValueError("bad maths")
+
+        with ServiceClient(total_slots=1) as client:
+            job_id = client.submit(spec(payload=broken, max_restarts=5))
+            with pytest.raises(RuntimeError, match="bad maths"):
+                client.result(job_id, timeout=30)
+            assert client.status(job_id)["restarts"] == 0
+
+    def test_high_priority_preempts_and_both_finish(self):
+        started, release = threading.Event(), threading.Event()
+        with ServiceClient(total_slots=1) as client:
+            low = client.submit(spec(
+                "bg", payload=gated_payload(started, release, value="low"),
+            ))
+            assert started.wait(30)
+            urgent = client.submit(spec(
+                "ops", payload=lambda control: "urgent", priority=5,
+            ))
+            assert client.result(urgent, timeout=30) == "urgent"
+            release.set()
+            assert client.result(low, timeout=30) == "low"
+            status = client.status(low)
+            assert status["preemptions"] == 1
+            assert status["state"] == DONE
+
+    def test_report_rolls_up_tenants_and_metrics(self):
+        with ServiceClient(total_slots=2) as client:
+            for _ in range(2):
+                client.submit(spec("a", payload=lambda control: 1))
+            client.submit(spec("b", payload=lambda control: 2))
+            client.drain(timeout=30)
+            report = client.report(notes=["unit"])
+        payload = report.to_dict()
+        validate_service_report(payload)
+        assert payload["tenants"]["a"]["submitted"] == 2
+        assert payload["tenants"]["b"]["done"] == 1
+        assert "service.queue_wait_seconds" in payload["metrics"]["histograms"]
+        assert "unit" in payload["notes"]
+        assert "tenant" in render_service_report(payload)
+
+    def test_job_snapshots_visible_from_any_thread(self):
+        with ServiceClient(total_slots=1) as client:
+            client.submit(spec(name="first"))
+            client.drain(timeout=30)
+            names = [j["name"] for j in client.jobs()]
+        assert names == ["first"]

@@ -1,0 +1,102 @@
+"""End-to-end service acceptance (the ISSUE 7 headline scenario).
+
+Three tenants submit real P-EnKF campaigns onto a two-slot service with
+chaos faults on; once the low-priority campaign is mid-flight a
+high-priority job arrives and forces a checkpoint-then-release
+preemption.  Every job's final checkpointed ensemble must be
+bit-identical to a solo :class:`CampaignRunner` run of the same seed —
+queueing, preemption and chaos must never change an answer.
+
+This is the slow tier of the service tests (real campaigns, real
+threads); the fast, fake-clock policy tests live in
+``tests/test_service.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.service import validate_service_report
+from repro.service.demo import (
+    demo_faults,
+    final_ensemble,
+    run_acceptance_scenario,
+    solo_final_ensemble,
+)
+
+N_CYCLES = 5
+
+
+@pytest.fixture(scope="module")
+def scenario(tmp_path_factory):
+    root = tmp_path_factory.mktemp("service-e2e")
+    return run_acceptance_scenario(
+        root, n_cycles=N_CYCLES, total_slots=2, chaos=True, timeout=300.0
+    )
+
+
+class TestAcceptanceScenario:
+    def test_every_job_completes(self, scenario):
+        states = {name: j["state"] for name, j in scenario["jobs"].items()}
+        assert states == {
+            "student": "done", "ops": "done",
+            "research": "done", "urgent": "done",
+        }
+        assert len(states) >= 4  # >= 3 tenants + the urgent submission
+
+    def test_priority_preemption_happened(self, scenario):
+        assert scenario["preemptions"] >= 1
+        # The urgent job itself was never the victim.
+        assert scenario["jobs"]["urgent"]["preemptions"] == 0
+
+    def test_results_bit_identical_to_solo_runs(self, scenario):
+        assert scenario["identical"] == {
+            "student": True, "ops": True, "research": True, "urgent": True,
+        }
+
+    def test_progress_reached_final_cycle(self, scenario):
+        for name, job in scenario["jobs"].items():
+            assert job["progress"] == N_CYCLES, name
+
+    def test_report_validates_and_attributes_tenants(self, scenario):
+        payload = scenario["report"].to_dict()
+        validate_service_report(payload)
+        assert set(payload["tenants"]) == {"ops", "research", "student"}
+        for usage in payload["tenants"].values():
+            assert usage["actual_slot_seconds"] > 0.0
+            assert usage["predicted_slot_seconds"] > 0.0
+        # Job-scoped tracers rolled up into per-category phase totals.
+        assert payload["phase_totals"].get("cycle", 0.0) > 0.0
+        hist = payload["metrics"]["histograms"]
+        assert hist["service.queue_wait_seconds"]["count"] >= 4
+        assert hist["service.slot_utilization"]["count"] >= 1
+
+
+class TestPreemptedResumeEquivalence:
+    SEEDS = {"student": 303, "ops": 101, "research": 202, "urgent": 404}
+
+    def test_preempted_job_resumed_not_recomputed(self, scenario, tmp_path):
+        """The preempted job's directory holds a mid-campaign checkpoint
+        trail *and* the final cycle — evidence it resumed from its
+        preemption checkpoint rather than restarting — and its answer
+        still matches a solo run of the same seed."""
+        preempted = [
+            name for name, job in scenario["jobs"].items()
+            if job["preemptions"] > 0
+        ]
+        assert preempted, "scenario produced no preempted job"
+        name = preempted[0]
+        job = scenario["jobs"][name]
+        service_dir = (
+            scenario["root"] / "service" / job["tenant"]
+            / scenario["ids"][name]
+        )
+        from repro.checkpoint.store import CheckpointStore
+
+        cycles = CheckpointStore(service_dir).cycles()
+        assert cycles[-1] == N_CYCLES
+        assert len(cycles) > 1  # the preemption checkpoint trail
+        solo = solo_final_ensemble(
+            self.SEEDS[name], N_CYCLES, tmp_path / "solo-again",
+            faults=demo_faults(),
+        )
+        assert np.array_equal(solo, final_ensemble(service_dir))
