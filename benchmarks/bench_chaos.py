@@ -228,11 +228,15 @@ def run_supervision_smoke(out_dir, history_path=None, n_cycles=4, interval=2):
         DeadlinePolicy,
         SupervisionPolicy,
     )
+    import json
+
     from repro.telemetry import (
+        MetricsRegistry,
         append_history,
         check_regression,
         read_history,
         render_supervision,
+        use_metrics,
     )
 
     out = Path(out_dir)
@@ -275,15 +279,19 @@ def run_supervision_smoke(out_dir, history_path=None, n_cycles=4, interval=2):
                 f"simulated crash after cycle {state.cycle}"
             )
 
+    metrics = MetricsRegistry()
     t0 = time.perf_counter()
     try:
-        runner = CampaignRunner(
-            twin, out / "supervised-ckpt", interval=interval,
-            config={"experiment": "supervision-smoke", "mode": "supervised"},
-        )
-        result = runner.supervise(
-            truth0, ensemble0, n_cycles, max_restarts=2, on_cycle=kill_once
-        )
+        with use_metrics(metrics):
+            runner = CampaignRunner(
+                twin, out / "supervised-ckpt", interval=interval,
+                config={"experiment": "supervision-smoke",
+                        "mode": "supervised"},
+            )
+            result = runner.supervise(
+                truth0, ensemble0, n_cycles, max_restarts=2,
+                on_cycle=kill_once,
+            )
     finally:
         filt.close()
         executor.close()
@@ -307,6 +315,18 @@ def run_supervision_smoke(out_dir, history_path=None, n_cycles=4, interval=2):
         f"simulated crash after cycle {interval}",
     ])
     report_path = run_report.write(out / "run_report.json")
+    # Persist the run's metrics snapshot beside the bench payload — the
+    # supervision counters and retry histograms are otherwise lost with
+    # the registry when the process exits.
+    metrics_path = out / "metrics.json"
+    metrics_path.write_text(json.dumps(
+        {
+            "schema": "senkf-bench-metrics/1",
+            "bench": "chaos-supervision",
+            "metrics": metrics.snapshot(),
+        },
+        indent=2, sort_keys=True,
+    ) + "\n")
 
     verdicts = []
     if history_path is not None:
@@ -331,6 +351,7 @@ def run_supervision_smoke(out_dir, history_path=None, n_cycles=4, interval=2):
 
     print(render_supervision(report.to_dict()))
     print(f"wrote {report_path}  (schema {run_report.schema})")
+    print(f"wrote {metrics_path}  (metrics snapshot)")
     return report, verdicts
 
 

@@ -33,12 +33,19 @@ _DEFAULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_service.json"
 
 
 def run_service_bench(cycles: int = 6, slots: int = 2) -> dict:
-    """Run the acceptance scenario once; return the artifact payload."""
+    """Run the acceptance scenario once; return the artifact payload.
+
+    Runs with the metrics exporter bound (ephemeral port) so the health
+    plane is part of the acceptance: the mid-run ``/metrics`` scrape
+    must carry the key series and ``/healthz`` must answer while jobs
+    execute.
+    """
     from repro.service.demo import run_acceptance_scenario
 
     with tempfile.TemporaryDirectory() as root:
         scenario = run_acceptance_scenario(
-            root, n_cycles=cycles, total_slots=slots, chaos=True
+            root, n_cycles=cycles, total_slots=slots, chaos=True,
+            exporter_port=0,
         )
     assert all(scenario["identical"].values()), (
         f"service results diverged from solo runs: {scenario['identical']}"
@@ -48,6 +55,16 @@ def run_service_bench(cycles: int = 6, slots: int = 2) -> dict:
     assert all(j["state"] == "done" for j in jobs.values()), {
         name: j["state"] for name, j in jobs.items()
     }
+    series = {
+        line.split(" ")[0]
+        for line in (scenario["metrics_text"] or "").splitlines()
+        if line and not line.startswith("#")
+    }
+    for prefix in ("service_", "health_"):
+        assert any(name.startswith(prefix) for name in series), (
+            f"mid-run scrape missing {prefix}* series"
+        )
+    assert scenario["healthz"]["status"] == "ok", scenario["healthz"]
     wall = scenario["wall_seconds"]
     report = scenario["report"].to_dict()
     return {
@@ -66,13 +83,40 @@ def run_service_bench(cycles: int = 6, slots: int = 2) -> dict:
             for tenant, usage in report["tenants"].items()
         },
         "report": report,
+        "healthz": scenario["healthz"],
+        "midrun_exposition": scenario["metrics_text"],
     }
 
 
 def write_payload(payload: dict) -> Path:
     path = Path(os.environ.get("BENCH_SERVICE_PATH", _DEFAULT_PATH))
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    _write_metrics_snapshot(path, payload)
     _append_to_history(payload)
+    return path
+
+
+def _write_metrics_snapshot(payload_path: Path, payload: dict) -> Path:
+    """Persist the run's metrics beside the bench payload.
+
+    ``<payload>.metrics.json`` carries the service registry snapshot
+    (queue-wait / slot-utilization histograms with percentiles), the
+    mid-run ``/healthz`` document and the raw Prometheus exposition of
+    the mid-run scrape — so a bench run's whole metric state survives as
+    one small sibling artifact even when the report itself is discarded.
+    """
+    path = payload_path.with_name(payload_path.stem + ".metrics.json")
+    path.write_text(json.dumps(
+        {
+            "schema": "senkf-bench-metrics/1",
+            "bench": "service",
+            "metrics": payload["report"]["metrics"],
+            "health": payload["report"].get("health"),
+            "healthz": payload["healthz"],
+            "midrun_exposition": payload["midrun_exposition"],
+        },
+        indent=2, sort_keys=True,
+    ) + "\n")
     return path
 
 

@@ -430,6 +430,10 @@ class CampaignRunner:
                 series = list(getattr(result, name))
                 if series:
                     diagnostics[name] = [float(v) for v in series]
+        probe = getattr(self.experiment, "health", None)
+        health = None
+        if probe is not None and probe.engine.evaluations:
+            health = probe.report(kind="filter").to_dict()
         return RunReport(
             kind="twin-campaign",
             config=dict(self.config),
@@ -445,6 +449,7 @@ class CampaignRunner:
                 self.supervision.to_dict()
                 if self.supervision is not None else None
             ),
+            health=health,
             notes=list(notes or []),
         )
 

@@ -100,6 +100,8 @@ def _campaign_problem(workers: int | None = None, executor=None):
 
 def _run_campaign(args) -> int:
     """``senkf-experiments campaign``: checkpointed cycling with restart."""
+    from contextlib import ExitStack
+
     from repro.checkpoint import CampaignRunner, NoCheckpointError, SimulatedCrash
 
     executor = None
@@ -131,6 +133,27 @@ def _run_campaign(args) -> int:
         workers=None if executor is not None else args.workers,
         executor=executor,
     )
+    stack = ExitStack()
+    if args.metrics_port is not None:
+        from repro.telemetry import (
+            HealthProbe,
+            MetricsExporter,
+            get_metrics,
+        )
+
+        # Filter-health gauges stream into the ambient registry every
+        # cycle; the exporter serves that registry live on /metrics.
+        twin.health = HealthProbe(always_publish=True)
+        exporter = stack.enter_context(MetricsExporter(
+            [get_metrics()],
+            health_source=lambda: {
+                "alerts_active": [a.message for a in twin.health.engine.active],
+                "evaluations": twin.health.engine.evaluations,
+            },
+            port=args.metrics_port,
+        ))
+        print(f"metrics exposition at {exporter.url}/metrics "
+              f"(health: {exporter.url}/healthz)")
     try:
         runner = CampaignRunner(
             twin,
@@ -185,6 +208,7 @@ def _run_campaign(args) -> int:
         filt.close()
         if executor is not None:
             executor.close()
+        stack.close()
 
     print(f"campaign complete: {result.n_cycles} cycles "
           f"(checkpoints at {runner.store.cycles()})")
@@ -193,6 +217,12 @@ def _run_campaign(args) -> int:
 
         print()
         print(render_supervision(runner.supervision.to_dict()))
+    probe = getattr(twin, "health", None)
+    if probe is not None and probe.engine.evaluations:
+        from repro.telemetry import render_health
+
+        print()
+        print(render_health(probe.report(kind="filter").to_dict()))
     print("  cycle   background-RMSE   analysis-RMSE")
     for k in range(0, result.n_cycles, max(1, args.interval)):
         print(f"  {k + 1:5d}   {result.background_rmse[k]:15.3f}   "
@@ -394,6 +424,50 @@ def _render_service_report_panel(path) -> int:
     return 1 if failed else 0
 
 
+def _render_health_panel(path) -> int:
+    """``doctor --health``: the health panel of a report artifact.
+
+    Accepts a run report, a service report, or a bare
+    ``senkf-health/1`` payload (e.g. a flight dump's report slice) and
+    renders the alert-rule panel.  Exit status 1 when any *critical*
+    alert fired — the panel doubles as a CI tripwire for filter
+    divergence.
+    """
+    import json
+    from pathlib import Path
+
+    from repro.telemetry.health import (
+        HEALTH_SCHEMA,
+        render_health,
+        validate_health_report,
+    )
+
+    payload = json.loads(Path(path).read_text())
+    if payload.get("schema") == HEALTH_SCHEMA:
+        health = payload
+    else:
+        health = payload.get("health")
+    if health is None:
+        print(
+            f"{path}: no health section "
+            "(run had no HealthProbe attached)"
+        )
+        return 0
+    validate_health_report(health)
+    print(render_health(health))
+    critical = [
+        a for a in health.get("alerts", [])
+        if a.get("severity") == "critical"
+    ]
+    if critical:
+        print(
+            f"{len(critical)} critical alert(s) fired; "
+            "inspect the filter configuration or the flight dump",
+            file=sys.stderr,
+        )
+    return 1 if critical else 0
+
+
 def _run_doctor(args) -> int:
     """``senkf-experiments doctor``: observe → calibrate → attribute.
 
@@ -411,6 +485,8 @@ def _run_doctor(args) -> int:
         return _render_report_supervision(args.run_report)
     if args.service_report:
         return _render_service_report_panel(args.service_report)
+    if args.health:
+        return _render_health_panel(args.health)
 
     from pathlib import Path
 
@@ -573,7 +649,22 @@ def _run_serve(args) -> int:
         n_cycles=cycles,
         total_slots=args.slots,
         chaos=args.chaos,
+        exporter_port=args.metrics_port,
     )
+    if scenario["healthz"] is not None:
+        hz = scenario["healthz"]
+        print(
+            f"mid-run /healthz: status={hz.get('status')} "
+            f"queue_depth={hz.get('queue_depth')} "
+            f"running={hz.get('running')} "
+            f"alerts_active={len(hz.get('alerts_active') or [])}"
+        )
+        n_series = sum(
+            1 for line in (scenario["metrics_text"] or "").splitlines()
+            if line and not line.startswith("#")
+        )
+        print(f"mid-run /metrics scrape: {n_series} samples")
+        print()
     print(render_service_report(scenario["report"]))
     print()
     all_identical = all(scenario["identical"].values())
@@ -626,9 +717,58 @@ def _run_submit(args) -> int:
     return 0 if status["state"] == "done" else 1
 
 
-def _run_jobs(args) -> int:
-    """``senkf-experiments jobs``: the job table of a service report."""
+def _jobs_table(payload: dict) -> str:
+    """The queue/quota table of one service-report payload."""
+    lines = [
+        f"  {'job':<10} {'tenant':<10} {'name':<20} {'state':<11} "
+        f"{'prio':>4} {'prog':>5} {'preempt':>8} {'restart':>8} "
+        f"{'wait (s)':>9} {'spent (ss)':>11}"
+    ]
+    for job in payload["jobs"]:
+        lines.append(
+            f"  {job['job_id']:<10} {job['tenant']:<10} "
+            f"{(job.get('name') or '-'):<20} {job['state']:<11} "
+            f"{job['priority']:>4} {job['progress']:>5} "
+            f"{job['preemptions']:>8} {job['restarts']:>8} "
+            f"{job['queue_wait_seconds']:>9.3f} {job['slot_seconds']:>11.3f}"
+        )
+    return "\n".join(lines)
+
+
+def _scrape_healthz(port: int) -> str:
+    """One line of live service health from a running exporter."""
     import json
+    import urllib.request
+
+    try:
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}/healthz", timeout=5
+        ) as resp:
+            hz = json.loads(resp.read().decode())
+    except OSError as exc:
+        return f"  /healthz (port {port}): unreachable ({exc})"
+    active = hz.get("alerts_active") or []
+    line = (
+        f"  /healthz: status={hz.get('status')} "
+        f"uptime={hz.get('uptime_seconds', 0.0):.1f}s "
+        f"queue_depth={hz.get('queue_depth')} "
+        f"running={hz.get('running')} "
+        f"last_cycle_age={hz.get('last_cycle_age_seconds')}"
+    )
+    for message in active:
+        line += f"\n  ALERT {message}"
+    return line
+
+
+def _run_jobs(args) -> int:
+    """``senkf-experiments jobs``: the job table of a service report.
+
+    With ``--watch SECONDS`` the table re-renders in place every period
+    (re-reading the report from disk); with ``--metrics-port`` each
+    refresh also scrapes the live service's ``/healthz``.
+    """
+    import json
+    import time as _time
     from pathlib import Path
 
     from repro.service.report import validate_service_report
@@ -637,21 +777,29 @@ def _run_jobs(args) -> int:
         args.service_report
         or Path(args.out or "service-out") / "service-report.json"
     )
-    payload = validate_service_report(json.loads(path.read_text()))
-    print(
-        f"  {'job':<10} {'tenant':<10} {'name':<20} {'state':<11} "
-        f"{'prio':>4} {'prog':>5} {'preempt':>8} {'restart':>8} "
-        f"{'wait (s)':>9} {'spent (ss)':>11}"
-    )
-    for job in payload["jobs"]:
-        print(
-            f"  {job['job_id']:<10} {job['tenant']:<10} "
-            f"{(job.get('name') or '-'):<20} {job['state']:<11} "
-            f"{job['priority']:>4} {job['progress']:>5} "
-            f"{job['preemptions']:>8} {job['restarts']:>8} "
-            f"{job['queue_wait_seconds']:>9.3f} {job['slot_seconds']:>11.3f}"
-        )
-    return 0
+
+    def render_once() -> None:
+        payload = validate_service_report(json.loads(path.read_text()))
+        print(_jobs_table(payload))
+        if args.metrics_port is not None:
+            print(_scrape_healthz(args.metrics_port))
+
+    if args.watch is None:
+        render_once()
+        return 0
+    period = max(0.1, args.watch)
+    try:
+        while True:
+            # ANSI clear + home, same contract as watch(1).
+            print("\x1b[2J\x1b[H", end="")
+            print(f"{path}  (refreshing every {period:g}s, ^C to stop)")
+            try:
+                render_once()
+            except (OSError, ValueError) as exc:
+                print(f"  {type(exc).__name__}: {exc}")
+            _time.sleep(period)
+    except KeyboardInterrupt:
+        return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -782,6 +930,14 @@ def main(argv: list[str] | None = None) -> int:
         help="render the supervision panel of an existing run report "
              "(exit 1 when recovery spend exceeds 15%% of wall time)",
     )
+    doctor.add_argument(
+        "--health",
+        default=None,
+        metavar="PATH",
+        help="render the filter/service health panel of a run report, "
+             "service report or flight-dump report "
+             "(exit 1 when any critical alert fired)",
+    )
     service = parser.add_argument_group(
         "serve / submit / jobs (assimilation-as-a-service)"
     )
@@ -823,6 +979,25 @@ def main(argv: list[str] | None = None) -> int:
         help="service report artifact for 'jobs' and "
              "'doctor --service-report' (default: service-out/"
              "service-report.json)",
+    )
+    service.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="bind the live metrics exporter: 'serve' exposes the "
+             "service's /metrics + /healthz (0 = ephemeral port), "
+             "'campaign' attaches a filter HealthProbe and serves the "
+             "process registry, 'jobs --watch' scrapes /healthz on each "
+             "refresh",
+    )
+    service.add_argument(
+        "--watch",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="with 'jobs': re-render the table every SECONDS instead of "
+             "printing once",
     )
     parser.add_argument(
         "--workers",

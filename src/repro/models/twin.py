@@ -92,6 +92,11 @@ class TwinExperiment:
         RNG for observation perturbations.
     steps_per_cycle:
         Model steps between consecutive analyses.
+    health:
+        Optional :class:`~repro.telemetry.health.HealthProbe` fed each
+        cycle's in/out ensembles after the analysis.  Pure observation:
+        the probe reads copies, consumes no RNG draws and mutates no
+        state, so the bit-identity/resume contract is untouched.
     """
 
     def __init__(
@@ -101,6 +106,7 @@ class TwinExperiment:
         assimilate: Callable[[np.ndarray, np.ndarray, np.random.Generator], np.ndarray],
         steps_per_cycle: int = 1,
         master_seed: int = 0,
+        health=None,
     ):
         check_positive("steps_per_cycle", steps_per_cycle)
         self.model = model
@@ -108,6 +114,7 @@ class TwinExperiment:
         self.assimilate = assimilate
         self.steps_per_cycle = int(steps_per_cycle)
         self.master_seed = int(master_seed)
+        self.health = health
 
     def initial_state(
         self,
@@ -163,12 +170,27 @@ class TwinExperiment:
             with tracer.span("cycle.observe", category="model"):
                 y = self.network.observe(truth, rng=cycle_rng)
             result.background_rmse.append(rmse(states.mean(axis=1), truth))
+            # A filter may update in place; the probe needs the pre-update
+            # ensemble, so keep a copy only when someone is watching.
+            background = states.copy() if self.health is not None else None
             with tracer.span("cycle.analysis", category="filter"):
                 states = self.assimilate(states, y, cycle_rng)
             result.analysis_rmse.append(rmse(states.mean(axis=1), truth))
             result.spread.append(ensemble_spread(states))
             if tracer.enabled:
                 self._record_diagnostics(result)
+            if self.health is not None:
+                with tracer.span("cycle.health", category="health"):
+                    self.health.observe_cycle(
+                        state.cycle,
+                        background,
+                        states,
+                        y,
+                        self.network.operator,
+                        self.network.obs_error_std**2,
+                        analysis_rmse=result.analysis_rmse[-1],
+                        spread=result.spread[-1],
+                    )
         # Commit the whole cycle at once: an interrupt landing mid-cycle
         # must leave the state describing the *previous* completed cycle
         # (the graceful-drain checkpoint depends on this), so nothing on
@@ -228,6 +250,9 @@ class TwinExperiment:
             for name in ("background_rmse", "analysis_rmse", "free_rmse", "spread")
             if getattr(result, name)
         }
+        health = None
+        if self.health is not None and self.health.engine.evaluations:
+            health = self.health.report(kind="filter").to_dict()
         return RunReport(
             kind="twin-experiment",
             config=dict(config or {}),
@@ -238,4 +263,5 @@ class TwinExperiment:
             metrics=get_metrics().snapshot() if tracer.enabled else {},
             diagnostics=diagnostics,
             notes=list(notes or []),
+            health=health,
         )

@@ -47,7 +47,17 @@ from repro.service.queue import JobQueue
 from repro.service.quota import QuotaLedger, TenantQuota
 from repro.service.report import ServiceReport, TenantUsage
 from repro.service.scheduler import Scheduler
-from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.flightrec import DEFAULT_CAPACITY, FlightRecorder
+from repro.telemetry.health import (
+    AlertRule,
+    HealthProbe,
+    default_service_rules,
+)
+from repro.telemetry.metrics import (
+    MetricsRegistry,
+    get_metrics,
+    use_thread_metrics,
+)
 from repro.telemetry.tracer import Tracer, use_thread_tracer
 
 __all__ = ["AssimilationService", "ServiceClient", "campaign_payload"]
@@ -76,8 +86,30 @@ class AssimilationService:
         Injectable monotonic clock shared by queue and accounting.
     tracing:
         When true (default) every job runs under its own job-scoped
-        :class:`Tracer`, and per-category phase totals roll up into the
-        service report.
+        tracer — a bounded :class:`~repro.telemetry.flightrec.FlightRecorder`
+        of ``flight_capacity`` spans, so a service that assimilates for
+        days holds a fixed-size trace window per job — plus its own
+        job-scoped :class:`MetricsRegistry`
+        (:func:`~repro.telemetry.metrics.use_thread_metrics`), and
+        per-category phase totals roll up into the service report.
+    exporter_port:
+        When not ``None``, :meth:`start` binds a
+        :class:`~repro.telemetry.exporter.MetricsExporter` on this port
+        (0 = ephemeral; read ``service.exporter.port``) serving
+        ``/metrics`` (service + per-job + process registries merged) and
+        ``/healthz`` (:meth:`health_snapshot`).
+    alert_rules:
+        Service-level :class:`~repro.telemetry.health.AlertRule` set
+        evaluated against the queue/outcome statistics on every dispatch
+        round (default :func:`~repro.telemetry.health.default_service_rules`,
+        pass ``()`` to disable); newly fired alerts bump
+        ``health.alerts_fired`` in the service registry and auto-dump
+        every live flight recorder into ``dump_dir``.
+    flight_capacity:
+        Ring capacity of each job's flight recorder.
+    dump_dir:
+        Where automatic and requested flight dumps land; defaults to
+        ``root/_flight`` when a root is set.
     """
 
     def __init__(
@@ -91,6 +123,10 @@ class AssimilationService:
         aging_rate: float = 0.05,
         default_seconds: float = 1.0,
         tracing: bool = True,
+        exporter_port: int | None = None,
+        alert_rules: list[AlertRule] | tuple[AlertRule, ...] | None = None,
+        flight_capacity: int = DEFAULT_CAPACITY,
+        dump_dir: str | Path | None = None,
     ):
         self.clock = clock
         self.root = Path(root) if root is not None else None
@@ -109,6 +145,24 @@ class AssimilationService:
         self._tasks: dict[str, asyncio.Task] = {}
         self._done_events: dict[str, asyncio.Event] = {}
         self._tracers: dict[str, Tracer] = {}
+        self._registries: dict[str, MetricsRegistry] = {}
+        self.flight_capacity = int(flight_capacity)
+        if dump_dir is not None:
+            self.dump_dir: Path | None = Path(dump_dir)
+        else:
+            self.dump_dir = (
+                self.root / "_flight" if self.root is not None else None
+            )
+        self._exporter_port = exporter_port
+        self.exporter = None
+        self.health = HealthProbe(
+            rules=(
+                default_service_rules() if alert_rules is None
+                else alert_rules
+            ),
+            on_alert=self._on_service_alert,
+            always_publish=True,
+        )
 
     @property
     def total_slots(self) -> int:
@@ -116,9 +170,22 @@ class AssimilationService:
 
     # -- lifecycle ------------------------------------------------------------
     async def start(self) -> None:
-        """Mark the serving session open (wall clock for the report)."""
+        """Mark the serving session open (wall clock for the report) and,
+        when configured, bind the metrics exporter."""
         if self._started_at is None:
             self._started_at = self.clock()
+        if self._exporter_port is not None and self.exporter is None:
+            from repro.telemetry.exporter import MetricsExporter
+
+            self.exporter = MetricsExporter(
+                [
+                    lambda: get_metrics().snapshot(),  # process-global
+                    self._jobs_snapshot,  # per-job registries, merged
+                    self.metrics,  # service registry (authoritative)
+                ],
+                health_source=self.health_snapshot,
+                port=self._exporter_port,
+            ).start()
 
     async def stop(self, *, drain: bool = True) -> None:
         """Stop serving.  With ``drain`` (default) wait for every
@@ -130,6 +197,9 @@ class AssimilationService:
         if self._started_at is not None:
             self._stopped_wall += self.clock() - self._started_at
             self._started_at = None
+        if self.exporter is not None:
+            self.exporter.stop()
+            self.exporter = None
 
     async def drain(self) -> None:
         """Wait until no job is pending or running."""
@@ -168,9 +238,13 @@ class AssimilationService:
         if self.root is not None:
             job.control.directory = self.root / spec.tenant / job.job_id
         if self.tracing:
-            tracer = Tracer()
+            registry = MetricsRegistry()
+            tracer = FlightRecorder(
+                capacity=self.flight_capacity, metrics=registry
+            )
             job.control.tracer = tracer
             self._tracers[job.job_id] = tracer
+            self._registries[job.job_id] = registry
         self._done_events[job.job_id] = asyncio.Event()
         self.metrics.counter("service.submitted").inc()
         self._dispatch()
@@ -243,6 +317,9 @@ class AssimilationService:
                     phase_totals[category] = (
                         phase_totals.get(category, 0.0) + seconds
                     )
+        health = None
+        if self.health.engine.evaluations:
+            health = self.health.report(kind="service").to_dict()
         return ServiceReport(
             total_slots=self.total_slots,
             wall_seconds=max(0.0, wall),
@@ -250,12 +327,115 @@ class AssimilationService:
             tenants={t: u.to_dict() for t, u in sorted(tenants.items())},
             metrics=self.metrics.snapshot(),
             phase_totals=phase_totals,
+            health=health,
             notes=list(notes or []),
         )
 
     def job_tracer(self, job_id: str) -> Tracer | None:
         """The job-scoped tracer (spans/events), for exports and tests."""
         return self._tracers.get(job_id)
+
+    def job_metrics(self, job_id: str) -> MetricsRegistry | None:
+        """The job-scoped metrics registry installed for the payload."""
+        return self._registries.get(job_id)
+
+    # -- the health plane ------------------------------------------------------
+    def _jobs_snapshot(self) -> dict:
+        """All job registries merged into one snapshot (exporter source)."""
+        from repro.telemetry.exporter import merge_snapshots
+
+        return merge_snapshots(
+            *[r.snapshot() for r in list(self._registries.values())]
+        )
+
+    def _service_stats(self) -> dict[str, float]:
+        """The numeric statistics the service alert rules see."""
+        counters = self.metrics.snapshot()["counters"]
+        busy = self.queue.busy_slots()
+        running = self.queue.running()
+        age = float("nan")
+        if running:
+            import time as _time
+
+            now = _time.monotonic()
+            ages = [
+                now - j.control.progress_at
+                for j in running
+                if j.control.progress_at is not None
+            ]
+            if ages:
+                age = min(ages)
+        return {
+            "queue_depth": float(len(self.queue.pending())),
+            "running": float(len(running)),
+            "slots_busy": float(busy),
+            "slot_utilization": (
+                busy / self.total_slots if self.total_slots else 0.0
+            ),
+            "submitted": counters.get("service.submitted", 0.0),
+            "done": counters.get("service.done", 0.0),
+            "failed": counters.get("service.failed", 0.0),
+            "restarts": counters.get("service.restarts", 0.0),
+            "preemptions": counters.get("service.preemptions", 0.0),
+            "last_cycle_age_seconds": age,
+        }
+
+    def health_snapshot(self) -> dict:
+        """The ``/healthz`` document: liveness + queue + health state."""
+        import math as _math
+
+        stats = self._service_stats()
+        doc = {
+            k: (None if _math.isnan(v) else v) for k, v in stats.items()
+        }
+        doc["total_slots"] = self.total_slots
+        doc["alerts_fired"] = self.health.alerts_fired
+        doc["alerts_active"] = list(self.health.engine.active)
+        windows = {}
+        for job_id, tracer in list(self._tracers.items()):
+            if isinstance(tracer, FlightRecorder):
+                windows[job_id] = tracer.window()
+        if windows:
+            doc["flight"] = windows
+        return doc
+
+    def _on_service_alert(self, alerts, stats) -> None:
+        """Service-level alert hook: dump every live flight recorder."""
+        for alert in alerts:
+            self.metrics.counter(f"service.alert.{alert.rule}").inc()
+        self._dump_all(reason=f"alert:{alerts[0].rule}")
+
+    def _flight_dump(self, job_id: str, reason: str) -> dict | None:
+        """Dump one job's flight recorder; failures never hurt dispatch."""
+        tracer = self._tracers.get(job_id)
+        if self.dump_dir is None or not isinstance(tracer, FlightRecorder):
+            return None
+        try:
+            paths = tracer.dump(
+                self.dump_dir,
+                reason=reason,
+                prefix=f"{job_id}",
+                extra_metrics=self._registries.get(job_id),
+            )
+        except Exception:
+            self.metrics.counter("service.flight_dump_errors").inc()
+            return None
+        self.metrics.counter("service.flight_dumps").inc()
+        return {"job_id": job_id, **{k: str(v) for k, v in paths.items()}}
+
+    def _dump_all(self, reason: str) -> list[dict]:
+        dumps = []
+        for job_id in list(self._tracers):
+            entry = self._flight_dump(job_id, reason)
+            if entry is not None:
+                dumps.append(entry)
+        return dumps
+
+    async def dump(self, reason: str = "request") -> list[dict]:
+        """Dump every job's flight-recorder window (the service-API
+        equivalent of kicking a SIGUSR1 at the process).  Returns one
+        ``{"job_id", "trace", "report"}`` row per dumped recorder."""
+        return self._dump_all(reason=reason)
 
     # -- dispatch (event-loop thread only) ------------------------------------
     def _dispatch(self) -> None:
@@ -280,6 +460,13 @@ class AssimilationService:
         self.metrics.histogram(
             "service.slot_utilization", _UTIL_BOUNDS
         ).observe(busy / self.total_slots)
+        # Health plane: evaluate the service alert rules against the
+        # post-round statistics, accounting into the service registry.
+        if self.health.engine.rules:
+            with use_thread_metrics(self.metrics):
+                self.health.observe_stats(
+                    self.health.engine.evaluations, self._service_stats()
+                )
 
     async def _execute(self, job: Job) -> None:
         """Run one placed attempt in a worker thread and classify the exit."""
@@ -295,6 +482,9 @@ class AssimilationService:
         except RESTARTABLE_ERRORS as exc:
             message = f"{type(exc).__name__}: {exc}"
             job.attempt_errors.append(message)
+            # Freeze the moments before the crash while they are still
+            # in the ring — the whole point of the flight recorder.
+            self._flight_dump(job.job_id, reason=f"crash:{type(exc).__name__}")
             if job.restarts < job.spec.max_restarts:
                 # The PR 6 supervision path: back into the queue; the
                 # next attempt resumes from the newest good checkpoint.
@@ -323,10 +513,26 @@ class AssimilationService:
             self._dispatch()
 
     def _run_payload(self, job: Job):
-        """Worker-thread body: payload under the job-scoped tracer."""
+        """Worker-thread body: payload under the job-scoped tracer and
+        the job-scoped metrics registry, so concurrent jobs stop
+        bleeding ``cycle.*``/``parallel.*``/``service.*`` accounting
+        into one shared snapshot."""
         tracer = self._tracers.get(job.job_id)
-        with use_thread_tracer(tracer):
-            return job.spec.payload(job.control)
+        registry = self._registries.get(job.job_id)
+        with use_thread_tracer(tracer), use_thread_metrics(registry):
+            if registry is not None:
+                registry.counter("service.job_attempts").inc()
+            started = self.clock()
+            try:
+                return job.spec.payload(job.control)
+            finally:
+                if registry is not None:
+                    registry.gauge("service.job_progress").set(
+                        job.control.progress
+                    )
+                    registry.counter("service.job_busy_seconds").inc(
+                        max(0.0, self.clock() - started)
+                    )
 
     def _signal_done(self, job: Job) -> None:
         event = self._done_events.get(job.job_id)
@@ -365,6 +571,23 @@ def campaign_payload(
                 "service with root=... or set control.directory"
             )
         experiment, truth0, ensemble0 = build()
+        # Auto-wire filter-health alerts to the job's flight recorder:
+        # the trace of the cycles *before* the collapse lands on disk the
+        # moment the alert fires, not when someone asks later.
+        probe = getattr(experiment, "health", None)
+        if (
+            probe is not None
+            and probe.on_alert is None
+            and isinstance(control.tracer, FlightRecorder)
+        ):
+            flight_dir = control.directory / "flight"
+
+            def _dump_on_alert(alerts, stats):
+                control.tracer.dump(
+                    flight_dir, reason=f"alert:{alerts[0].rule}"
+                )
+
+            probe.on_alert = _dump_on_alert
         runner = CampaignRunner(
             experiment,
             control.directory,
@@ -441,6 +664,14 @@ class ServiceClient:
 
     def report(self, notes: list[str] | None = None) -> ServiceReport:
         return self.service.report(notes)
+
+    def dump(self, reason: str = "request") -> list[dict]:
+        """Force a flight-recorder dump of every job (see
+        :meth:`AssimilationService.dump`)."""
+        return self._call(self.service.dump(reason))
+
+    def healthz(self) -> dict:
+        return self.service.health_snapshot()
 
     def close(self, *, drain: bool = True) -> None:
         if self._loop.is_closed():

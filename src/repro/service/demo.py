@@ -60,12 +60,22 @@ def demo_faults(seed: int = 23) -> FaultSchedule:
     )
 
 
-def campaign_builder(master_seed: int):
+def campaign_builder(
+    master_seed: int,
+    *,
+    inflation: float = 1.05,
+    n_members: int = 8,
+    health: bool = True,
+):
     """``build()`` closure for :func:`~repro.service.api.campaign_payload`.
 
     Rebuilds the full experiment from scratch on every call — exactly
     what a re-queued attempt needs — and is a pure function of
-    ``master_seed``.
+    ``master_seed``.  ``health`` attaches a fresh
+    :class:`~repro.telemetry.health.HealthProbe` with the stock filter
+    rules (pure observation — bit-identity is untouched); ``inflation``/
+    ``n_members`` exist so tests can build the *pathological* variant
+    (inflation off, tiny ensemble) whose collapse the probe must catch.
     """
 
     def build():
@@ -91,7 +101,9 @@ def campaign_builder(master_seed: int):
             grid, m=30, obs_error_std=0.2,
             rng=np.random.default_rng(master_seed + 1),
         )
-        filt = PEnKF(radius_km=radius_km, inflation=1.05, ridge=1e-2)
+        from repro.telemetry.health import HealthProbe
+
+        filt = PEnKF(radius_km=radius_km, inflation=inflation, ridge=1e-2)
         twin = TwinExperiment(
             model,
             network,
@@ -100,12 +112,13 @@ def campaign_builder(master_seed: int):
             ),
             steps_per_cycle=2,
             master_seed=master_seed,
+            health=HealthProbe() if health else None,
         )
         rng = np.random.default_rng(master_seed + 2)
         truth0 = correlated_ensemble(grid, 1, length_scale_km=15.0, rng=rng)[:, 0]
         ensemble0 = correlated_ensemble(
-            grid, 8, length_scale_km=15.0, mean=np.zeros(grid.n), std=0.8,
-            rng=rng,
+            grid, n_members, length_scale_km=15.0, mean=np.zeros(grid.n),
+            std=0.8, rng=rng,
         )
         return twin, truth0, ensemble0
 
@@ -122,6 +135,8 @@ def campaign_spec(
     interval: int = 1,
     faults: FaultSchedule | None = None,
     name: str = "",
+    inflation: float = 1.05,
+    n_members: int = 8,
 ) -> JobSpec:
     """One demo campaign as a priced, admission-ready submission."""
     cost = CostEstimate(
@@ -132,7 +147,9 @@ def campaign_spec(
     return JobSpec(
         tenant=tenant,
         payload=campaign_payload(
-            campaign_builder(master_seed),
+            campaign_builder(
+                master_seed, inflation=inflation, n_members=n_members
+            ),
             n_cycles,
             interval=interval,
             faults=faults,
@@ -185,6 +202,7 @@ def run_acceptance_scenario(
     total_slots: int = 2,
     chaos: bool = True,
     timeout: float = 300.0,
+    exporter_port: int | None = None,
 ) -> dict:
     """The service acceptance run: three tenants, chaos on, one preemption.
 
@@ -195,7 +213,15 @@ def run_acceptance_scenario(
     ensemble is compared bit for bit against a solo run of the same
     seed.  Returns the scenario summary (used by the e2e test, the
     service benchmark and the CLI demo).
+
+    With ``exporter_port`` (0 = ephemeral) the service binds its
+    :class:`~repro.telemetry.exporter.MetricsExporter` and the scenario
+    scrapes ``/metrics`` + ``/healthz`` *while jobs run*, returning the
+    exposition text in ``metrics_text`` / ``healthz`` — the live health
+    plane exercised end to end.
     """
+    import urllib.request
+
     root = Path(root)
     faults = demo_faults() if chaos else None
     quotas = {
@@ -204,9 +230,12 @@ def run_acceptance_scenario(
         "student": TenantQuota(weight=1.0, max_running_slots=1),
     }
     seeds = {"ops": 101, "research": 202, "student": 303, "urgent": 404}
+    metrics_text: str | None = None
+    healthz: dict | None = None
     wall0 = time.perf_counter()
     with ServiceClient(
-        total_slots=total_slots, root=root / "service", quotas=quotas
+        total_slots=total_slots, root=root / "service", quotas=quotas,
+        exporter_port=exporter_port,
     ) as client:
         low_id = client.submit(campaign_spec(
             "student", seeds["student"], n_cycles,
@@ -236,6 +265,19 @@ def run_acceptance_scenario(
             "ops", seeds["urgent"], n_cycles,
             priority=10, faults=faults, name="urgent",
         ))
+        exporter = client.service.exporter
+        if exporter is not None:
+            # Mid-run scrape: jobs are still executing right now.
+            with urllib.request.urlopen(
+                f"{exporter.url}/metrics", timeout=30
+            ) as resp:
+                metrics_text = resp.read().decode()
+            with urllib.request.urlopen(
+                f"{exporter.url}/healthz", timeout=30
+            ) as resp:
+                import json as _json
+
+                healthz = _json.loads(resp.read().decode())
         for job_id in ids.values():
             client.result(job_id, timeout=timeout)
         jobs = {name: client.status(job_id) for name, job_id in ids.items()}
@@ -262,4 +304,6 @@ def run_acceptance_scenario(
         "preemptions": sum(j["preemptions"] for j in jobs.values()),
         "wall_seconds": wall,
         "report": report,
+        "metrics_text": metrics_text,
+        "healthz": healthz,
     }

@@ -200,6 +200,9 @@ class JobControl:
         self._preempt = threading.Event()
         self._cancel = threading.Event()
         self.progress: int = 0
+        #: monotonic instant of the newest ``report_progress`` call —
+        #: the "last cycle age" the health plane serves on ``/healthz``.
+        self.progress_at: float | None = None
 
     def preempt_requested(self) -> bool:
         return self._preempt.is_set()
@@ -219,6 +222,7 @@ class JobControl:
 
     def report_progress(self, progress: int) -> None:
         self.progress = int(progress)
+        self.progress_at = time.monotonic()
 
     def checkpoint_point(self) -> None:
         """Yield here: raise if a cancel or preempt request is pending.

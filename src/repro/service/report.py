@@ -90,6 +90,10 @@ class ServiceReport:
     #: per-category seconds aggregated across every job-scoped tracer.
     phase_totals: dict[str, float] = field(default_factory=dict)
     notes: list[str] = field(default_factory=list)
+    #: optional service-health rollup (a
+    #: :class:`~repro.telemetry.health.HealthReport` payload); validated
+    #: against the ``senkf-health/1`` schema when present.
+    health: dict | None = None
     schema: str = SERVICE_REPORT_SCHEMA
 
     def to_dict(self) -> dict:
@@ -110,7 +114,10 @@ class ServiceReport:
     @classmethod
     def from_dict(cls, payload: dict) -> "ServiceReport":
         validate_service_report(payload)
-        return cls(**{k: payload[k] for k in _REQUIRED if k != "schema"})
+        return cls(
+            **{k: payload[k] for k in _REQUIRED if k != "schema"},
+            health=payload.get("health"),
+        )
 
 
 def _coerce(value):
@@ -182,6 +189,14 @@ def validate_service_report(payload: dict) -> dict:
                 errors.append(
                     f"phase_totals[{name!r}] must be a non-negative number"
                 )
+        health = payload.get("health")
+        if health is not None:
+            from repro.telemetry.health import validate_health_report
+
+            try:
+                validate_health_report(health)
+            except ValueError as exc:
+                errors.append(f"health: {exc}")
     if errors:
         raise ValueError("invalid service report: " + "; ".join(errors))
     return payload
@@ -227,6 +242,12 @@ def render_service_report(report: "ServiceReport | dict") -> str:
                 title="service health (histogram percentiles)",
             )
         )
+    health = payload.get("health")
+    if health is not None:
+        from repro.telemetry.health import render_health
+
+        lines.append("")
+        lines.append(render_health(health, title="service health"))
     notes = payload.get("notes") or []
     for note in notes:
         lines.append(f"  note: {note}")

@@ -52,6 +52,25 @@ from repro.telemetry.chrome import (
     spans_from_timeline,
     write_chrome_trace,
 )
+from repro.telemetry.exporter import (
+    MetricsExporter,
+    merge_snapshots,
+    prometheus_text,
+    sanitize_metric_name,
+)
+from repro.telemetry.flightrec import FlightRecorder, SpanRing
+from repro.telemetry.health import (
+    HEALTH_SCHEMA,
+    Alert,
+    AlertEngine,
+    AlertRule,
+    HealthProbe,
+    HealthReport,
+    default_filter_rules,
+    default_service_rules,
+    render_health,
+    validate_health_report,
+)
 from repro.telemetry.metrics import (
     DEFAULT_TIME_BUCKETS,
     Counter,
@@ -59,8 +78,10 @@ from repro.telemetry.metrics import (
     Histogram,
     MetricsRegistry,
     get_metrics,
+    percentiles_from_buckets,
     set_metrics,
     use_metrics,
+    use_thread_metrics,
 )
 from repro.telemetry.report import (
     RUN_REPORT_SCHEMA,
@@ -81,14 +102,22 @@ from repro.telemetry.tracer import (
 
 __all__ = [
     "ATTRIBUTION_SCHEMA",
+    "Alert",
+    "AlertEngine",
+    "AlertRule",
     "AttributionReport",
     "BENCH_HISTORY_SCHEMA",
     "BenchEntry",
     "Counter",
     "CycleAttribution",
     "DEFAULT_TIME_BUCKETS",
+    "FlightRecorder",
     "Gauge",
+    "HEALTH_SCHEMA",
+    "HealthProbe",
+    "HealthReport",
     "Histogram",
+    "MetricsExporter",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
@@ -97,6 +126,7 @@ __all__ = [
     "RunReport",
     "SentinelVerdict",
     "Span",
+    "SpanRing",
     "TraceEvent",
     "Tracer",
     "append_history",
@@ -105,24 +135,33 @@ __all__ = [
     "chrome_trace",
     "cycle_from_sim_report",
     "cycle_from_spans",
+    "default_filter_rules",
+    "default_service_rules",
     "get_metrics",
     "get_tracer",
+    "merge_snapshots",
+    "percentiles_from_buckets",
+    "prometheus_text",
     "read_history",
+    "render_health",
     "render_histograms",
     "render_phase_totals",
     "render_spans",
     "render_supervision",
     "render_timeline",
     "robust_baseline",
+    "sanitize_metric_name",
     "sentinel_report",
     "set_metrics",
     "set_tracer",
     "spans_from_chrome",
     "spans_from_timeline",
     "use_metrics",
+    "use_thread_metrics",
     "use_thread_tracer",
     "use_tracer",
     "validate_attribution_report",
+    "validate_health_report",
     "validate_run_report",
     "write_chrome_trace",
 ]

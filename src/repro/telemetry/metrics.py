@@ -26,8 +26,10 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "get_metrics",
+    "percentiles_from_buckets",
     "set_metrics",
     "use_metrics",
+    "use_thread_metrics",
 ]
 
 #: Log-spaced seconds buckets covering 10 µs .. 100 s — wide enough for a
@@ -124,33 +126,54 @@ class Histogram:
             counts = list(self.counts)
             count = self.count
             lo, hi = self.min, self.max
-        if not count:
-            return {}
-        out: dict[str, float] = {}
-        for q in quantiles:
-            if not 0.0 <= q <= 1.0:
-                raise ValueError(f"quantile must be in [0, 1], got {q}")
-            target = q * count
-            cumulative = 0
-            value = hi
-            for index, bucket_count in enumerate(counts):
-                if not bucket_count:
-                    continue
-                lower = self.bounds[index - 1] if index > 0 else lo
-                upper = self.bounds[index] if index < len(self.bounds) else hi
-                lower = min(max(lower, lo), hi)
-                upper = min(max(upper, lo), hi)
-                if cumulative + bucket_count >= target:
-                    fraction = (
-                        (target - cumulative) / bucket_count
-                        if bucket_count
-                        else 0.0
-                    )
-                    value = lower + (upper - lower) * fraction
-                    break
-                cumulative += bucket_count
-            out[f"p{round(q * 100)}"] = min(max(value, lo), hi)
-        return out
+        return percentiles_from_buckets(
+            self.bounds, counts, count, lo, hi, quantiles
+        )
+
+
+def percentiles_from_buckets(
+    bounds: Sequence[float],
+    counts: Sequence[int],
+    count: int,
+    lo: float,
+    hi: float,
+    quantiles: Sequence[float] = Histogram.DEFAULT_QUANTILES,
+) -> dict[str, float]:
+    """Interpolated quantiles from raw fixed-bucket state.
+
+    The estimator :meth:`Histogram.percentiles` uses, exposed as a pure
+    function so merged snapshots (several registries summed bucket-wise,
+    see :func:`repro.telemetry.exporter.merge_snapshots`) can recompute
+    percentiles without a live :class:`Histogram`.  Zero ``count`` →
+    empty dict.
+    """
+    if not count:
+        return {}
+    out: dict[str, float] = {}
+    for q in quantiles:
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        target = q * count
+        cumulative = 0
+        value = hi
+        for index, bucket_count in enumerate(counts):
+            if not bucket_count:
+                continue
+            lower = bounds[index - 1] if index > 0 else lo
+            upper = bounds[index] if index < len(bounds) else hi
+            lower = min(max(lower, lo), hi)
+            upper = min(max(upper, lo), hi)
+            if cumulative + bucket_count >= target:
+                fraction = (
+                    (target - cumulative) / bucket_count
+                    if bucket_count
+                    else 0.0
+                )
+                value = lower + (upper - lower) * fraction
+                break
+            cumulative += bucket_count
+        out[f"p{round(q * 100)}"] = min(max(value, lo), hi)
+    return out
 
 
 class MetricsRegistry:
@@ -222,11 +245,18 @@ class MetricsRegistry:
 
 # -- process-global default ---------------------------------------------------
 _global_metrics = MetricsRegistry()
+#: per-thread override (see :func:`use_thread_metrics`); wins over the global.
+_thread_metrics = threading.local()
 
 
 def get_metrics() -> MetricsRegistry:
-    """The process-global registry (always a real one; updates are cheap
-    and call sites gate on ``get_tracer().enabled`` anyway)."""
+    """The ambient registry: this thread's override if one is installed
+    (see :func:`use_thread_metrics`), else the process-global default
+    (always a real one; updates are cheap and call sites gate on
+    ``get_tracer().enabled`` anyway)."""
+    override = getattr(_thread_metrics, "registry", None)
+    if override is not None:
+        return override
     return _global_metrics
 
 
@@ -247,3 +277,32 @@ def use_metrics(registry: MetricsRegistry | None) -> Iterator[MetricsRegistry]:
         yield get_metrics()
     finally:
         set_metrics(previous)
+
+
+@contextmanager
+def use_thread_metrics(
+    registry: MetricsRegistry | None,
+) -> Iterator[MetricsRegistry]:
+    """Scope ``registry`` for the *calling thread only*.
+
+    The metrics twin of
+    :func:`~repro.telemetry.tracer.use_thread_tracer`: concurrent
+    service jobs each instrument the same call sites, and without a
+    thread-local override their counters all bleed into the one shared
+    process registry — job A's ``cycle.count`` becomes indistinguishable
+    from job B's.  Installing a per-job registry confines each job's
+    accounting to its worker thread; it wins over the global in
+    :func:`get_metrics` and nests (the previous override is restored on
+    exit).  ``None`` is a no-op pass-through to whatever was ambient.
+    Threads the job spawns itself (e.g. a thread-strategy executor pool)
+    do not inherit the override and fall through to the global registry.
+    """
+    if registry is None:
+        yield get_metrics()
+        return
+    previous = getattr(_thread_metrics, "registry", None)
+    _thread_metrics.registry = registry
+    try:
+        yield registry
+    finally:
+        _thread_metrics.registry = previous

@@ -57,6 +57,10 @@ class RunReport:
     #: :class:`~repro.parallel.supervise.SupervisionReport` payload) from
     #: a supervised campaign; must be an object when present.
     supervision: dict | None = None
+    #: optional health rollup (a
+    #: :class:`~repro.telemetry.health.HealthReport` payload); validated
+    #: against the ``senkf-health/1`` schema when present.
+    health: dict | None = None
     schema: str = RUN_REPORT_SCHEMA
 
     def to_dict(self) -> dict:
@@ -81,6 +85,7 @@ class RunReport:
             **{k: payload[k] for k in _REQUIRED},
             attribution=payload.get("attribution"),
             supervision=payload.get("supervision"),
+            health=payload.get("health"),
         )
 
 
@@ -149,6 +154,14 @@ def validate_run_report(payload: dict) -> dict:
                 "supervision must be an object when present, "
                 f"got {type(supervision).__name__}"
             )
+        health = payload.get("health")
+        if health is not None:
+            from repro.telemetry.health import validate_health_report
+
+            try:
+                validate_health_report(health)
+            except ValueError as exc:
+                errors.append(f"health: {exc}")
     if errors:
         raise ValueError("invalid run report: " + "; ".join(errors))
     return payload

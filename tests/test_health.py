@@ -1,0 +1,534 @@
+"""The live health plane: probes, alert rules, flight recorder, exporter.
+
+Fast tier: everything here runs on tiny ensembles or synthetic stats.
+The slow service-integration half (scraping ``/metrics`` mid-acceptance)
+lives in ``tests/test_service_e2e.py``.
+"""
+
+import json
+import math
+import threading
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.telemetry import (
+    HEALTH_SCHEMA,
+    Alert,
+    AlertEngine,
+    AlertRule,
+    FlightRecorder,
+    HealthProbe,
+    HealthReport,
+    MetricsExporter,
+    MetricsRegistry,
+    RunReport,
+    SpanRing,
+    Tracer,
+    default_filter_rules,
+    default_service_rules,
+    merge_snapshots,
+    prometheus_text,
+    render_health,
+    sanitize_metric_name,
+    use_metrics,
+    use_tracer,
+    validate_health_report,
+    validate_run_report,
+)
+
+
+class TestAlertRule:
+    def test_bad_op_rejected(self):
+        with pytest.raises(ValueError, match="op"):
+            AlertRule("r", "m", "!=", 1.0)
+
+    def test_bad_sustained_rejected(self):
+        with pytest.raises(ValueError, match="sustained"):
+            AlertRule("r", "m", "<", 1.0, sustained=0)
+
+    def test_bad_severity_rejected(self):
+        with pytest.raises(ValueError, match="severity"):
+            AlertRule("r", "m", "<", 1.0, severity="page")
+
+    def test_holds_is_nan_safe(self):
+        rule = AlertRule("r", "m", "<", 1.0)
+        assert rule.holds(0.5)
+        assert not rule.holds(2.0)
+        assert not rule.holds(math.nan)
+
+    def test_alert_message_names_rule_and_cycle(self):
+        alert = Alert(
+            rule="collapse", metric="spread_skill", cycle=4,
+            value=0.1, threshold=0.2, op="<", severity="critical",
+        )
+        assert "collapse" in alert.message and "cycle 4" in alert.message
+
+
+class TestAlertEngine:
+    def test_sustained_counts_consecutive_violations(self):
+        engine = AlertEngine([AlertRule("low", "x", "<", 1.0, sustained=3)])
+        assert engine.evaluate(0, {"x": 0.5}) == []
+        assert engine.evaluate(1, {"x": 0.5}) == []
+        fired = engine.evaluate(2, {"x": 0.5})
+        assert [a.rule for a in fired] == ["low"]
+        assert fired[0].cycle == 2
+
+    def test_streak_resets_on_recovery(self):
+        engine = AlertEngine([AlertRule("low", "x", "<", 1.0, sustained=2)])
+        engine.evaluate(0, {"x": 0.5})
+        engine.evaluate(1, {"x": 5.0})  # recovers, streak resets
+        assert engine.evaluate(2, {"x": 0.5}) == []
+        assert engine.evaluate(3, {"x": 0.5}) != []
+
+    def test_missing_or_nan_stat_is_no_evidence(self):
+        engine = AlertEngine([AlertRule("low", "x", "<", 1.0, sustained=2)])
+        engine.evaluate(0, {"x": 0.5})
+        engine.evaluate(1, {})  # missing → streak reset
+        engine.evaluate(2, {"x": 0.5})
+        assert engine.evaluate(3, {"x": math.nan}) == []
+        assert engine.fired == []
+
+    def test_latched_until_cleared_then_rearms(self):
+        engine = AlertEngine([AlertRule("low", "x", "<", 1.0)])
+        assert len(engine.evaluate(0, {"x": 0.5})) == 1
+        # Still violating: latched, no duplicate alert.
+        assert engine.evaluate(1, {"x": 0.4}) == []
+        assert engine.active == ["low"]
+        # Clears, then violates again: fires anew.
+        engine.evaluate(2, {"x": 2.0})
+        assert engine.active == []
+        assert len(engine.evaluate(3, {"x": 0.5})) == 1
+        assert len(engine.fired) == 2
+
+    def test_default_rule_sets_validate(self):
+        for rule in (*default_filter_rules(), *default_service_rules()):
+            assert rule.severity in ("warning", "critical")
+
+
+def _healthy_ensembles(rng, n=12, members=8):
+    background = rng.normal(size=(n, members))
+    analysis = background * 0.9
+    return background, analysis
+
+
+class TestHealthProbe:
+    def test_healthy_cycle_fires_nothing(self):
+        rng = np.random.default_rng(0)
+        probe = HealthProbe()
+        background, analysis = _healthy_ensembles(rng)
+        stats = probe.observe_cycle(
+            0, background, analysis, None, None, None,
+            analysis_rmse=1.0,
+        )
+        assert probe.engine.fired == []
+        assert stats["spread_skill"] == pytest.approx(
+            float(np.sqrt(np.mean(analysis.std(axis=1, ddof=1) ** 2)))
+        )
+        assert math.isnan(stats["innovation_chi2"])
+
+    def test_collapse_detected_from_degenerate_ensemble(self):
+        rng = np.random.default_rng(1)
+        probe = HealthProbe()
+        background, analysis = _healthy_ensembles(rng)
+        collapsed = analysis * 1e-3  # spread ≪ error
+        for cycle in range(3):
+            probe.observe_cycle(
+                cycle, background, collapsed, None, None, None,
+                analysis_rmse=1.0,
+            )
+        assert "ensemble_collapse" in [a.rule for a in probe.engine.fired]
+
+    def test_rank_deficiency_detected(self):
+        probe = HealthProbe()
+        member = np.random.default_rng(2).normal(size=12)
+        # Every member identical up to scale: anomaly rank 1 < N - 1.
+        analysis = np.column_stack([member * s for s in (1.0, 2.0, 3.0, 4.0)])
+        stats = probe.observe_cycle(
+            0, analysis, analysis, None, None, None, analysis_rmse=1.0
+        )
+        assert stats["rank_deficiency"] > 0
+        assert "rank_deficiency" in [a.rule for a in probe.engine.fired]
+
+    def test_divergence_tracks_best_rmse(self):
+        rng = np.random.default_rng(3)
+        probe = HealthProbe()
+        background, analysis = _healthy_ensembles(rng)
+        for cycle, rmse in enumerate([1.0, 0.5, 2.0, 2.0]):
+            probe.observe_cycle(
+                cycle, background, analysis, None, None, None,
+                analysis_rmse=rmse,
+            )
+        # 2.0 / 0.5 = 4 > 3 for two cycles → filter_divergence.
+        assert "filter_divergence" in [a.rule for a in probe.engine.fired]
+
+    def test_on_alert_hook_receives_new_alerts(self):
+        seen = []
+        probe = HealthProbe(
+            rules=[AlertRule("low", "x", "<", 1.0)],
+            on_alert=lambda alerts, stats: seen.append(
+                [a.rule for a in alerts]
+            ),
+        )
+        probe.observe_stats(0, {"x": 0.5})
+        probe.observe_stats(1, {"x": 0.5})  # latched: hook not re-invoked
+        assert seen == [["low"]]
+
+    def test_gauges_published_only_with_tracer_or_always(self):
+        registry = MetricsRegistry()
+        probe = HealthProbe(rules=())
+        with use_metrics(registry):
+            probe.observe_stats(0, {"x": 1.0})
+        assert registry.snapshot()["gauges"] == {}
+
+        with use_metrics(registry):
+            with use_tracer(Tracer()):
+                probe.observe_stats(1, {"x": 2.0})
+        assert registry.snapshot()["gauges"]["health.x"] == 2.0
+
+        always = HealthProbe(rules=(), always_publish=True)
+        with use_metrics(registry):
+            always.observe_stats(0, {"y": 3.0})
+        assert registry.snapshot()["gauges"]["health.y"] == 3.0
+
+    def test_alert_counter_bumped_even_without_tracer(self):
+        registry = MetricsRegistry()
+        probe = HealthProbe(rules=[AlertRule("low", "x", "<", 1.0)])
+        with use_metrics(registry):
+            probe.observe_stats(0, {"x": 0.5})
+        assert registry.snapshot()["counters"]["health.alerts_fired"] == 1
+
+
+class TestDemoCampaignHealth:
+    """The seeded scenarios of the acceptance criteria, on the demo twin."""
+
+    def test_healthy_demo_campaign_fires_zero_alerts(self):
+        from repro.service.demo import campaign_builder
+
+        twin, truth0, ensemble0 = campaign_builder(5)()
+        twin.run(truth0, ensemble0, 5)
+        assert twin.health.engine.fired == []
+        assert twin.health.engine.evaluations == 5
+
+    def test_seeded_collapse_fires_within_three_cycles(self):
+        from repro.service.demo import campaign_builder
+
+        twin, truth0, ensemble0 = campaign_builder(
+            9, inflation=1.0, n_members=3
+        )()
+        twin.run(truth0, ensemble0, 3)
+        collapse = [
+            a for a in twin.health.engine.fired
+            if a.rule == "ensemble_collapse"
+        ]
+        assert collapse and collapse[0].cycle < 3
+
+    def test_run_report_embeds_validating_health(self):
+        from repro.service.demo import campaign_builder
+
+        twin, truth0, ensemble0 = campaign_builder(5)()
+        result = twin.run(truth0, ensemble0, 3)
+        report = twin.run_report(result)
+        payload = json.loads(report.to_json())
+        assert payload["health"]["schema"] == HEALTH_SCHEMA
+        validate_run_report(payload)
+        assert payload["health"]["n_evaluations"] == 3
+
+
+class TestHealthReport:
+    def make(self):
+        probe = HealthProbe(rules=[AlertRule("low", "x", "<", 1.0)])
+        probe.observe_stats(0, {"x": 2.0})
+        probe.observe_stats(1, {"x": 0.5})
+        return probe.report(kind="filter", notes=["unit test"])
+
+    def test_roundtrip(self, tmp_path):
+        path = self.make().write(tmp_path / "health.json")
+        report = HealthReport.from_dict(json.loads(path.read_text()))
+        assert report.kind == "filter"
+        assert report.alerts_fired == 1
+        assert report.series["x"] == [2.0, 0.5]
+
+    def test_nan_stats_serialize_as_null(self):
+        probe = HealthProbe(rules=())
+        probe.observe_stats(0, {"x": math.nan})
+        payload = json.loads(probe.report().to_json())
+        assert payload["series"]["x"] == [None]
+        assert payload["last"]["x"] is None
+        validate_health_report(payload)
+
+    def test_validate_names_every_violation(self):
+        payload = self.make().to_dict()
+        del payload["rules"]
+        payload["n_evaluations"] = "two"
+        with pytest.raises(ValueError) as err:
+            validate_health_report(payload)
+        message = str(err.value)
+        assert "rules" in message
+        assert "n_evaluations" in message
+
+    def test_validate_rejects_incomplete_alert_rows(self):
+        payload = self.make().to_dict()
+        payload["alerts"] = [{"rule": "low"}]  # missing keys
+        with pytest.raises(ValueError, match=r"alerts\[0\]"):
+            validate_health_report(payload)
+
+    def test_unknown_schema_rejected(self):
+        payload = self.make().to_dict()
+        payload["schema"] = "senkf-health/99"
+        with pytest.raises(ValueError, match="unknown schema"):
+            validate_health_report(payload)
+
+    def test_invalid_report_never_hits_disk(self, tmp_path):
+        report = self.make()
+        report.n_evaluations = -1
+        target = tmp_path / "health.json"
+        with pytest.raises(ValueError):
+            report.write(target)
+        assert not target.exists()
+
+    def test_run_report_rejects_bad_health_section(self):
+        run = RunReport(kind="t", health={"schema": "nope"})
+        with pytest.raises(ValueError, match="health"):
+            validate_run_report(json.loads(run.to_json()))
+
+    def test_render_flags_violated_rules_and_lists_alerts(self):
+        text = render_health(self.make().to_dict())
+        assert "1 alert(s) fired" in text
+        assert "!! violated now" in text
+        assert "ALERT critical: low at cycle 1" in text
+
+
+class TestSpanRing:
+    def test_capacity_bounds_and_counts_drops(self):
+        ring = SpanRing(3)
+        for i in range(7):
+            ring.append(i)
+        assert len(ring) == 3
+        assert ring.dropped == 4
+        assert list(ring) == [4, 5, 6]  # oldest evicted first
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="capacity"):
+            SpanRing(0)
+
+
+class TestFlightRecorder:
+    def test_memory_bounded_under_span_load(self):
+        rec = FlightRecorder(capacity=16, metrics=MetricsRegistry())
+        for i in range(100):
+            with rec.span("cycle", category="cycle", i=i):
+                pass
+        assert len(rec.spans) == 16
+        assert rec.dropped_spans == 84
+        held = [s.attrs["i"] for s in rec.spans]
+        assert held == list(range(84, 100))  # the newest window
+
+    def test_aggregation_still_works_over_the_ring(self):
+        rec = FlightRecorder(capacity=8)
+        for _ in range(20):
+            with rec.span("cycle", category="cycle"):
+                pass
+        totals = rec.phase_totals()
+        assert set(totals) == {"cycle"}
+
+    def test_dump_writes_trace_and_validating_report(self, tmp_path):
+        rec = FlightRecorder(capacity=8, metrics=MetricsRegistry())
+        for i in range(12):
+            with rec.span("cycle", category="cycle"):
+                rec.event("tick", category="cycle", i=i)
+        paths = rec.dump(tmp_path, reason="unit-test", notes=["n1"])
+        trace = json.loads(paths["trace"].read_text())
+        window = trace["metadata"]["flight_recorder"]
+        assert window["reason"] == "unit-test"
+        assert window["spans_dropped"] == 4
+        payload = json.loads(paths["report"].read_text())
+        validate_run_report(payload)
+        assert payload["kind"] == "flight-dump"
+        assert payload["config"]["reason"] == "unit-test"
+
+    def test_sequential_dumps_get_distinct_names(self, tmp_path):
+        rec = FlightRecorder(capacity=8)
+        with rec.span("cycle", category="cycle"):
+            pass
+        first = rec.dump(tmp_path, reason="one")
+        second = rec.dump(tmp_path, reason="two")
+        assert first["trace"] != second["trace"]
+        assert rec.window()["dumps"] == 2
+
+    def test_concurrent_dumps_are_serialized(self, tmp_path):
+        rec = FlightRecorder(capacity=32)
+        with rec.span("cycle", category="cycle"):
+            pass
+        results = []
+
+        def dump():
+            results.append(rec.dump(tmp_path, reason="race"))
+
+        threads = [threading.Thread(target=dump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        traces = {r["trace"] for r in results}
+        assert len(traces) == 4  # no clobbered sequence numbers
+
+
+class TestPrometheusText:
+    def test_sanitize(self):
+        assert sanitize_metric_name("service.jobs-done") == "service_jobs_done"
+        assert sanitize_metric_name("9lives") == "_9lives"
+
+    def test_counters_gauges_histograms_render(self):
+        registry = MetricsRegistry()
+        registry.counter("svc.done").inc(3)
+        registry.gauge("svc.depth").set(1.5)
+        hist = registry.histogram("svc.wait", (1.0, 2.0))
+        hist.observe(0.5)
+        hist.observe(1.5)
+        hist.observe(5.0)
+        text = prometheus_text(registry.snapshot())
+        assert "# TYPE svc_done counter\nsvc_done 3.0" in text
+        assert "# TYPE svc_depth gauge\nsvc_depth 1.5" in text
+        # Buckets are cumulative and close with +Inf/_sum/_count.
+        assert 'svc_wait_bucket{le="1.0"} 1' in text
+        assert 'svc_wait_bucket{le="2.0"} 2' in text
+        assert 'svc_wait_bucket{le="+Inf"} 3' in text
+        assert "svc_wait_count 3" in text
+        assert "svc_wait_p50" in text
+        assert text.endswith("\n")
+
+
+class TestMergeSnapshots:
+    def test_counters_sum_and_gauges_last_win(self):
+        a = {"counters": {"c": 1.0}, "gauges": {"g": 1.0}, "histograms": {}}
+        b = {"counters": {"c": 2.0}, "gauges": {"g": 7.0}, "histograms": {}}
+        merged = merge_snapshots(a, b)
+        assert merged["counters"]["c"] == 3.0
+        assert merged["gauges"]["g"] == 7.0
+
+    def test_histograms_sum_bucketwise_with_recomputed_percentiles(self):
+        r1, r2 = MetricsRegistry(), MetricsRegistry()
+        for value in (0.5, 1.5):
+            r1.histogram("h", (1.0, 2.0)).observe(value)
+        for value in (0.2, 5.0):
+            r2.histogram("h", (1.0, 2.0)).observe(value)
+        merged = merge_snapshots(r1.snapshot(), r2.snapshot())
+        hist = merged["histograms"]["h"]
+        assert hist["count"] == 4
+        assert hist["counts"] == [2, 1, 1]
+        assert hist["min"] == 0.2 and hist["max"] == 5.0
+        assert "p50" in hist["percentiles"]
+
+    def test_bound_mismatch_recorded_not_misbinned(self):
+        r1, r2 = MetricsRegistry(), MetricsRegistry()
+        r1.histogram("h", (1.0,)).observe(0.5)
+        r2.histogram("h", (9.0,)).observe(0.5)
+        merged = merge_snapshots(r1.snapshot(), r2.snapshot())
+        assert merged["histograms"]["h"]["bounds"] == [1.0]
+        assert merged["histograms"]["h"]["count"] == 1
+        assert any("bounds mismatch" in c for c in merged["conflicts"])
+
+    def test_empty_sources_ignored(self):
+        assert merge_snapshots({}, None or {})["counters"] == {}
+
+
+class TestMetricsExporter:
+    def _get(self, url):
+        with urllib.request.urlopen(url, timeout=10) as resp:
+            return resp.status, resp.headers.get("Content-Type"), resp.read()
+
+    def test_metrics_and_healthz_served_live(self):
+        registry = MetricsRegistry()
+        registry.counter("svc.done").inc(2)
+        with MetricsExporter(
+            [registry],
+            health_source=lambda: {"queue_depth": 3},
+        ) as exporter:
+            status, ctype, body = self._get(f"{exporter.url}/metrics")
+            assert status == 200 and "text/plain" in ctype
+            assert "svc_done 2.0" in body.decode()
+
+            status, ctype, body = self._get(f"{exporter.url}/healthz")
+            doc = json.loads(body)
+            assert status == 200 and doc["status"] == "ok"
+            assert doc["queue_depth"] == 3
+            assert doc["uptime_seconds"] >= 0.0
+
+            # The exporter observes its own scrapes (visible one scrape
+            # later, since timing lands after the response is sent).
+            _, _, body = self._get(f"{exporter.url}/metrics")
+            assert "exporter_scrapes" in body.decode()
+            assert "exporter_scrape_seconds_bucket" in body.decode()
+
+    def test_unknown_path_404s(self):
+        with MetricsExporter() as exporter:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                self._get(f"{exporter.url}/nope")
+            assert err.value.code == 404
+
+    def test_broken_source_degrades_not_dies(self):
+        def broken():
+            raise RuntimeError("boom")
+
+        with MetricsExporter(
+            [broken], health_source=broken
+        ) as exporter:
+            _, _, body = self._get(f"{exporter.url}/metrics")
+            assert "exporter_broken_source 1.0" in body.decode()
+            _, _, body = self._get(f"{exporter.url}/healthz")
+            doc = json.loads(body)
+            assert doc["status"] == "degraded"
+            assert "boom" in doc["health_source_error"]
+
+    def test_stop_is_idempotent_and_releases_port(self):
+        exporter = MetricsExporter([MetricsRegistry()])
+        exporter.start()
+        exporter.stop()
+        exporter.stop()
+        with pytest.raises(OSError):
+            urllib.request.urlopen(
+                f"http://127.0.0.1:{exporter.port}/metrics", timeout=1
+            )
+
+
+class TestServiceFlightDumps:
+    """Alert → automatic flight dump, end to end through the service."""
+
+    def test_collapsing_job_dumps_flight_on_alert(self, tmp_path):
+        from repro.service import ServiceClient
+        from repro.service.demo import campaign_spec
+
+        with ServiceClient(total_slots=1, root=tmp_path / "svc") as client:
+            job_id = client.submit(campaign_spec(
+                "lab", 9, 3, inflation=1.0, n_members=3, name="collapse",
+            ))
+            client.result(job_id, timeout=300)
+            report = client.report()
+        flight_dir = tmp_path / "svc" / "lab" / job_id / "flight"
+        traces = sorted(flight_dir.glob("*.trace.json"))
+        assert traces, "alert should have dumped the flight recorder"
+        meta = json.loads(traces[0].read_text())["metadata"]["flight_recorder"]
+        assert meta["reason"].startswith("alert:ensemble_collapse")
+        payload = json.loads(sorted(flight_dir.glob("*.report.json"))[0]
+                             .read_text())
+        validate_run_report(payload)
+        # The job still completed: alerts observe, they never interfere.
+        assert report.to_dict()["tenants"]["lab"]["done"] == 1
+
+    def test_explicit_dump_request_via_client(self, tmp_path):
+        from repro.service import ServiceClient
+        from repro.service.demo import campaign_spec
+
+        with ServiceClient(total_slots=1, root=tmp_path / "svc") as client:
+            job_id = client.submit(campaign_spec("ops", 5, 2))
+            client.result(job_id, timeout=300)
+            dumps = client.dump(reason="operator-request")
+        assert dumps, "a finished job's recorder is still dumpable"
+        for entry in dumps:
+            meta = json.loads(
+                Path(entry["trace"]).read_text()
+            )["metadata"]["flight_recorder"]
+            assert meta["reason"] == "operator-request"

@@ -30,7 +30,8 @@ N_CYCLES = 5
 def scenario(tmp_path_factory):
     root = tmp_path_factory.mktemp("service-e2e")
     return run_acceptance_scenario(
-        root, n_cycles=N_CYCLES, total_slots=2, chaos=True, timeout=300.0
+        root, n_cycles=N_CYCLES, total_slots=2, chaos=True, timeout=300.0,
+        exporter_port=0,
     )
 
 
@@ -69,6 +70,51 @@ class TestAcceptanceScenario:
         hist = payload["metrics"]["histograms"]
         assert hist["service.queue_wait_seconds"]["count"] >= 4
         assert hist["service.slot_utilization"]["count"] >= 1
+
+
+class TestLiveHealthPlane:
+    """The exporter scraped *while the acceptance jobs ran* (the fixture
+    passes ``exporter_port=0``) — the ISSUE 8 live-health acceptance."""
+
+    def test_midrun_exposition_is_well_formed(self, scenario):
+        text = scenario["metrics_text"]
+        assert text is not None and text.endswith("\n")
+        for line in text.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            name, _, value = line.partition(" ")
+            assert name and value, line
+            float(value)  # every sample parses as a number
+
+    def test_midrun_scrape_carries_key_series(self, scenario):
+        names = {
+            line.split(" ")[0]
+            for line in scenario["metrics_text"].splitlines()
+            if line and not line.startswith("#")
+        }
+        for prefix in ("service_", "parallel_", "health_", "cycle_"):
+            assert any(n.startswith(prefix) for n in names), prefix
+        assert "service_submitted" in names
+        assert "health_spread_skill" in names
+
+    def test_midrun_healthz_reports_live_state(self, scenario):
+        hz = scenario["healthz"]
+        assert hz["status"] == "ok"
+        assert hz["uptime_seconds"] > 0.0
+        assert hz["total_slots"] == 2
+        # Jobs were running at scrape time; each live recorder reports
+        # its bounded window.
+        assert hz["running"] >= 1
+        for window in hz["flight"].values():
+            assert window["spans_held"] <= window["capacity"]
+
+    def test_healthy_acceptance_fires_zero_alerts(self, scenario):
+        health = scenario["report"].to_dict()["health"]
+        assert health["schema"] == "senkf-health/1"
+        assert health["alerts"] == []
+        assert health["n_evaluations"] > 0
+        # Filter probes ran inside every job too, and stayed quiet.
+        assert scenario["healthz"]["alerts_active"] == []
 
 
 class TestPreemptedResumeEquivalence:

@@ -20,7 +20,9 @@ from repro.telemetry import (
     render_timeline,
     spans_from_chrome,
     spans_from_timeline,
+    percentiles_from_buckets,
     use_metrics,
+    use_thread_metrics,
     use_tracer,
     validate_run_report,
     write_chrome_trace,
@@ -268,6 +270,90 @@ class TestMetrics:
             get_metrics().counter("x").inc()
         assert get_metrics() is not registry
         assert registry.counter("x").value == 1.0
+
+    def test_use_thread_metrics_overrides_per_thread(self):
+        """The thread-local override wins in its own thread only —
+        the isolation that keeps concurrent service jobs' accounting
+        from bleeding into each other."""
+        mine, theirs = MetricsRegistry(), MetricsRegistry()
+        observed = {}
+
+        def worker():
+            with use_thread_metrics(theirs):
+                get_metrics().counter("x").inc()
+                observed["inside"] = get_metrics()
+
+        with use_thread_metrics(mine):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+            assert get_metrics() is mine
+        assert observed["inside"] is theirs
+        assert theirs.counter("x").value == 1.0
+        assert mine.counter("x").value == 0.0
+
+    def test_use_thread_metrics_nests_and_none_passes_through(self):
+        outer, inner = MetricsRegistry(), MetricsRegistry()
+        with use_thread_metrics(outer):
+            with use_thread_metrics(inner):
+                assert get_metrics() is inner
+            assert get_metrics() is outer
+            with use_thread_metrics(None):  # no-op scope
+                assert get_metrics() is outer
+        assert get_metrics() is not outer
+
+    def test_snapshot_consistent_under_concurrent_writers(self):
+        """snapshot() taken while 8 threads hammer all three metric
+        kinds must be internally consistent (histogram bucket counts sum
+        to its count) and the final tallies lossless."""
+        registry = MetricsRegistry()
+        n_threads, n_ops = 8, 200
+        start = threading.Barrier(n_threads + 1)
+
+        def work(tid):
+            start.wait()
+            for i in range(n_ops):
+                registry.counter("c").inc()
+                registry.gauge(f"g.{tid}").set(float(i))
+                registry.histogram("h", bounds=(0.5,)).observe(i % 2)
+
+        threads = [
+            threading.Thread(target=work, args=(t,)) for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        start.wait()
+        for _ in range(20):  # snapshots taken mid-flight
+            snap = registry.snapshot()
+            hist = snap["histograms"].get("h")
+            if hist:
+                assert sum(hist["counts"]) == hist["count"]
+            json.dumps(snap)
+        for t in threads:
+            t.join()
+        final = registry.snapshot()
+        assert final["counters"]["c"] == n_threads * n_ops
+        assert final["histograms"]["h"]["count"] == n_threads * n_ops
+
+    def test_percentiles_from_buckets_empty_and_single(self):
+        assert percentiles_from_buckets([1.0], [0, 0], 0, math.inf, -math.inf) == {}
+        p = percentiles_from_buckets([10.0], [1, 0], 1, 4.2, 4.2)
+        assert p == pytest.approx(
+            {"p50": 4.2, "p90": 4.2, "p95": 4.2, "p99": 4.2}
+        )
+
+    def test_percentiles_from_buckets_matches_live_histogram(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat", bounds=(10.0, 20.0, 30.0))
+        for value in (2.0, 12.0, 14.0, 22.0, 28.0):
+            h.observe(value)
+        assert percentiles_from_buckets(
+            list(h.bounds), list(h.counts), h.count, h.min, h.max
+        ) == pytest.approx(h.percentiles())
+
+    def test_percentiles_from_buckets_rejects_bad_quantile(self):
+        with pytest.raises(ValueError, match="quantile"):
+            percentiles_from_buckets([1.0], [1, 0], 1, 0.5, 0.5, (2.0,))
 
 
 def _sample_tracer():
