@@ -1,0 +1,239 @@
+"""Pluggable array backend for the batched analysis kernels.
+
+The batched kernels in :mod:`repro.core.analysis`,
+:mod:`repro.core.cholesky` and :mod:`repro.core.etkf` are written once
+against a tiny numpy-like surface — :class:`ArrayBackend` — instead of
+``numpy`` directly.  NumPy is the default and the only *required*
+backend; JAX and CuPy are auto-detected when importable and never
+imported eagerly, so the repo keeps its zero-extra-dependency install.
+
+Design points:
+
+* **Batched linalg is the contract.**  ``cholesky``/``solve``/``eigh``
+  accept stacked ``(B, n, n)`` operands (NumPy has supported batched
+  ``linalg`` for years; JAX and CuPy mirror the API), which is what lets
+  one call replace a Python loop over pieces.
+* **Capability flags, not isinstance checks.**  Callers branch on
+  ``backend.immutable_arrays`` (JAX) or ``backend.device`` ("gpu" for
+  CuPy) rather than sniffing module names.  :meth:`ArrayBackend.index_update`
+  papers over the one semantic difference that matters here — in-place
+  assignment vs. JAX's functional ``.at[].set()``.
+* **Selection order.**  ``get_backend()`` with no argument honours the
+  ``SENKF_BACKEND`` environment variable, else returns NumPy.
+  ``get_backend("auto")`` prefers an accelerator when one is importable
+  (jax > cupy > numpy) — that is the opt-in "use what the machine has"
+  mode; the default stays deterministic NumPy so CI and bit-identity
+  contracts never depend on what happens to be installed.
+"""
+
+from __future__ import annotations
+
+import importlib
+import importlib.util
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+__all__ = [
+    "ArrayBackend",
+    "BackendUnavailableError",
+    "available_backends",
+    "backend_report",
+    "get_backend",
+]
+
+#: environment variable overriding the default backend choice
+BACKEND_ENV_VAR = "SENKF_BACKEND"
+
+#: registry order also defines "auto" preference (numpy listed last so
+#: auto prefers an accelerator when one is importable)
+_BACKEND_NAMES = ("jax", "cupy", "numpy")
+
+
+class BackendUnavailableError(RuntimeError):
+    """Raised when a requested backend's package cannot be imported."""
+
+
+@dataclass(frozen=True)
+class ArrayBackend:
+    """One array namespace plus the batched-linalg surface the kernels use.
+
+    Attributes
+    ----------
+    name:
+        ``"numpy"``, ``"jax"`` or ``"cupy"``.
+    xp:
+        The numpy-like module (``numpy``, ``jax.numpy``, ``cupy``); the
+        kernels use it for ``matmul``/``einsum``-style array math.
+    device:
+        ``"cpu"`` or ``"gpu"`` — where arrays live by default.
+    batched_linalg:
+        Whether ``solve``/``cholesky``/``eigh`` accept stacked
+        ``(B, n, n)`` operands (true for all three shipped backends;
+        the flag exists so a future minimal backend can opt out and the
+        bucketing layer can fall back to a per-slice loop).
+    immutable_arrays:
+        True when arrays cannot be assigned in place (JAX);
+        :meth:`index_update` is the portable write primitive.
+    jittable:
+        True when the backend can trace/compile the kernels (JAX).
+    """
+
+    name: str
+    xp: Any
+    device: str = "cpu"
+    batched_linalg: bool = True
+    immutable_arrays: bool = False
+    jittable: bool = False
+    #: backend-specific hook converting device arrays to host ndarrays
+    _to_numpy: Callable[[Any], np.ndarray] = field(default=np.asarray)
+
+    # -- array movement --------------------------------------------------------
+    def asarray(self, a, dtype=None):
+        """Convert to this backend's array type (host→device when needed)."""
+        if dtype is not None:
+            return self.xp.asarray(a, dtype=dtype)
+        return self.xp.asarray(a)
+
+    def to_numpy(self, a) -> np.ndarray:
+        """Convert back to a host ``numpy.ndarray`` (device sync point)."""
+        return self._to_numpy(a)
+
+    # -- batched linalg --------------------------------------------------------
+    def cholesky(self, a):
+        """Lower-triangular Cholesky factor; batched over leading dims."""
+        return self.xp.linalg.cholesky(a)
+
+    def solve(self, a, b):
+        """``a x = b`` solve; batched over leading dims of ``a``/``b``."""
+        return self.xp.linalg.solve(a, b)
+
+    def eigh(self, a):
+        """Symmetric eigendecomposition; batched over leading dims."""
+        return self.xp.linalg.eigh(a)
+
+    def einsum(self, spec: str, *operands):
+        return self.xp.einsum(spec, *operands)
+
+    # -- portable in-place update ---------------------------------------------
+    def index_update(self, a, idx, values):
+        """``a[idx] = values`` for mutable backends, ``a.at[idx].set``
+        for immutable ones; returns the updated array either way."""
+        if self.immutable_arrays:
+            return a.at[idx].set(values)
+        a[idx] = values
+        return a
+
+
+# -- construction --------------------------------------------------------------
+def _make_numpy() -> ArrayBackend:
+    return ArrayBackend(name="numpy", xp=np)
+
+
+def _make_jax() -> ArrayBackend:
+    try:
+        jax = importlib.import_module("jax")
+        jnp = importlib.import_module("jax.numpy")
+    except Exception as exc:  # pragma: no cover - exercised only with jax
+        raise BackendUnavailableError(
+            f"backend 'jax' requested but jax is not importable: {exc}"
+        ) from exc
+    jax.config.update("jax_enable_x64", True)  # kernels are float64
+    devices = jax.devices()
+    device = "gpu" if any(
+        d.platform in ("gpu", "cuda", "rocm") for d in devices
+    ) else "cpu"
+    return ArrayBackend(
+        name="jax",
+        xp=jnp,
+        device=device,
+        immutable_arrays=True,
+        jittable=True,
+        _to_numpy=lambda a: np.asarray(jax.device_get(a)),
+    )
+
+
+def _make_cupy() -> ArrayBackend:
+    try:
+        cupy = importlib.import_module("cupy")
+        # cupy imports without a GPU; fail here instead of at first kernel
+        cupy.cuda.runtime.getDeviceCount()
+    except Exception as exc:  # pragma: no cover - exercised only with cupy
+        raise BackendUnavailableError(
+            f"backend 'cupy' requested but no usable CUDA device: {exc}"
+        ) from exc
+    return ArrayBackend(
+        name="cupy",
+        xp=cupy,
+        device="gpu",
+        _to_numpy=lambda a: cupy.asnumpy(a),
+    )
+
+
+_FACTORIES: dict[str, Callable[[], ArrayBackend]] = {
+    "numpy": _make_numpy,
+    "jax": _make_jax,
+    "cupy": _make_cupy,
+}
+
+_cache: dict[str, ArrayBackend] = {}
+
+
+def _importable(name: str) -> bool:
+    if name == "numpy":
+        return True
+    try:
+        return importlib.util.find_spec(name) is not None
+    except (ImportError, ValueError):
+        return False
+
+
+def available_backends() -> tuple[str, ...]:
+    """Backend names whose packages are importable (numpy always is)."""
+    return tuple(n for n in _BACKEND_NAMES if _importable(n))
+
+
+def get_backend(name: str | None = None) -> ArrayBackend:
+    """Resolve a backend by name.
+
+    ``None`` (default) honours ``SENKF_BACKEND`` then falls back to
+    NumPy; ``"auto"`` picks the best importable backend
+    (jax > cupy > numpy).  Explicit names raise
+    :class:`BackendUnavailableError` when the package is missing so
+    callers can surface *why* instead of silently degrading.
+    """
+    if name is None:
+        name = os.environ.get(BACKEND_ENV_VAR, "").strip() or "numpy"
+    name = name.lower()
+    if name == "auto":
+        for candidate in _BACKEND_NAMES:
+            if _importable(candidate):
+                try:
+                    return get_backend(candidate)
+                except BackendUnavailableError:
+                    continue  # importable but unusable (e.g. cupy, no GPU)
+        name = "numpy"
+    if name not in _FACTORIES:
+        raise ValueError(
+            f"unknown backend {name!r}; expected one of "
+            f"{tuple(_FACTORIES)} or 'auto'"
+        )
+    cached = _cache.get(name)
+    if cached is None:
+        cached = _FACTORIES[name]()
+        _cache[name] = cached
+    return cached
+
+
+def backend_report(name: str | None = None) -> dict:
+    """A JSON-able description of the resolved backend (doctor/doctor CI)."""
+    backend = get_backend(name)
+    return {
+        "backend": backend.name,
+        "device": backend.device,
+        "batched_linalg": backend.batched_linalg,
+        "jittable": backend.jittable,
+        "available": list(available_backends()),
+    }

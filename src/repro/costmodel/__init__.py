@@ -17,8 +17,10 @@ against the simulator in the Fig. 12 benchmark.
 """
 
 from repro.costmodel.model import (
+    ANALYSIS_KERNELS,
     CostParams,
     expected_read_inflation,
+    kernel_comp_constant,
     t_comm,
     t_comp,
     t_read,
@@ -35,6 +37,7 @@ from repro.costmodel.calibrate import (
 )
 
 __all__ = [
+    "ANALYSIS_KERNELS",
     "CostParams",
     "FitResult",
     "PhaseFit",
@@ -42,6 +45,7 @@ __all__ = [
     "calibrate_from_machine",
     "expected_read_inflation",
     "fit_constants",
+    "kernel_comp_constant",
     "observation_from_sim_report",
     "t1",
     "t_comm",

@@ -42,19 +42,22 @@ from repro.experiments.registry import FIGURES, get_figure
 from repro.experiments.report import format_result
 
 
-def _campaign_problem(workers: int | None = None, executor=None):
+def _campaign_problem(workers: int | None = None, executor=None,
+                      strategy: str | None = None):
     """The CLI's fixed mini reanalysis: tiny ocean, P-EnKF numerics.
 
     Deterministic by construction — every invocation builds the same
     truth, ensemble and experiment, so ``--resume`` continues the exact
     run a crashed invocation left behind.  ``workers`` fans the local
     analyses over a filter-owned
-    :class:`~repro.parallel.executor.AnalysisExecutor` — the analysis is
-    bit-identical to the serial default, so resumes may freely mix
-    ``--workers`` values; alternatively pass a caller-owned ``executor``
+    :class:`~repro.parallel.executor.AnalysisExecutor` — the fan-out
+    analysis is bit-identical to the serial default, so resumes may
+    freely mix ``--workers`` values; ``strategy`` pins the executor's
+    strategy (``"vectorized"`` is equivalent to serial to rtol 1e-10,
+    not bit-identical); alternatively pass a caller-owned ``executor``
     (e.g. a supervised process-strategy one).  Returns ``(twin, truth0,
-    ensemble0, filt)``; callers that set ``workers`` must ``filt.close()``
-    when done.
+    ensemble0, filt)``; callers that set ``workers`` or ``strategy``
+    must ``filt.close()`` when done.
     """
     import numpy as np
 
@@ -80,7 +83,7 @@ def _campaign_problem(workers: int | None = None, executor=None):
         grid, m=60, obs_error_std=0.2, rng=np.random.default_rng(1)
     )
     filt = PEnKF(radius_km=radius_km, inflation=1.05, ridge=1e-2,
-                 workers=workers, executor=executor)
+                 workers=workers, strategy=strategy, executor=executor)
     twin = TwinExperiment(
         model,
         network,
@@ -106,6 +109,13 @@ def _run_campaign(args) -> int:
 
     executor = None
     if args.supervise:
+        if args.strategy not in (None, "process"):
+            print(
+                f"--supervise runs the supervised process-strategy "
+                f"executor; --strategy {args.strategy} conflicts",
+                file=sys.stderr,
+            )
+            return 2
         from repro.faults import FaultSchedule
         from repro.parallel import (
             AnalysisExecutor,
@@ -132,6 +142,7 @@ def _run_campaign(args) -> int:
     twin, truth0, ensemble0, filt = _campaign_problem(
         workers=None if executor is not None else args.workers,
         executor=executor,
+        strategy=None if executor is not None else args.strategy,
     )
     stack = ExitStack()
     if args.metrics_port is not None:
@@ -268,7 +279,9 @@ def _run_trace(args) -> int:
         )
         return 2
 
-    twin, truth0, ensemble0, filt = _campaign_problem(workers=args.workers)
+    twin, truth0, ensemble0, filt = _campaign_problem(
+        workers=args.workers, strategy=args.strategy
+    )
     # High enough that transient read faults reliably fire across the few
     # dozen member reads a resume performs (the schedule is a pure
     # function of (seed, site), so a given seed is reproducible).
@@ -491,6 +504,7 @@ def _run_doctor(args) -> int:
     from pathlib import Path
 
     from repro.cluster.params import MachineSpec
+    from repro.core.backend import backend_report
     from repro.costmodel import fit_constants
     from repro.faults import FaultSchedule, RetryPolicy
     from repro.filters.base import PerfScenario
@@ -516,6 +530,11 @@ def _run_doctor(args) -> int:
         seed=args.fault_seed, disk_fault_rate=args.doctor_fault_rate
     )
     retry = RetryPolicy()
+    # The live engine this installation would assimilate with: array
+    # backend (numpy unless jax/cupy is importable and selected) and the
+    # executor strategy the CLI verbs are configured for.
+    engine = backend_report()
+    engine_strategy = getattr(args, "strategy", None) or "auto"
     metrics = MetricsRegistry()
     cycle_seconds = metrics.histogram("doctor.cycle_seconds")
 
@@ -550,6 +569,9 @@ def _run_doctor(args) -> int:
                 f"expected read inflation {inflation:.3f} "
                 f"(tuning-side factor; retries are broken out, not folded "
                 f"into the read prediction)",
+                f"engine: backend {engine['backend']} on "
+                f"{engine['device']}, executor strategy {engine_strategy} "
+                f"(available backends: {', '.join(engine['available'])})",
             ],
         )
 
@@ -565,6 +587,8 @@ def _run_doctor(args) -> int:
             "clean_configs": [list(c) for c in _DOCTOR_CLEAN_CONFIGS],
             "chaos_config": list(_DOCTOR_CHAOS_CONFIG),
             "disk_fault_rate": faults.disk_fault_rate,
+            "backend": engine,
+            "strategy": engine_strategy,
         },
         seeds={"fault_seed": faults.seed},
         n_cycles=len(clean_reports) + 1,
@@ -1006,6 +1030,19 @@ def main(argv: list[str] | None = None) -> int:
         metavar="W",
         help="fan campaign/trace local analyses over W workers "
              "(auto strategy; results are bit-identical to serial)",
+    )
+    from repro.parallel.executor import STRATEGIES
+
+    parser.add_argument(
+        "--strategy",
+        choices=STRATEGIES,
+        default=None,
+        metavar="S",
+        help="execution strategy for campaign/trace local analyses "
+             f"({', '.join(STRATEGIES)}; default auto).  'vectorized' "
+             "runs the batched stacked-bucket kernel — equivalent to "
+             "serial to rtol 1e-10, not bit-identical (see "
+             "docs/PERFORMANCE.md)",
     )
     args = parser.parse_args(argv)
 

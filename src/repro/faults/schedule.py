@@ -78,6 +78,13 @@ class DiskOutage:
         return self.start <= t < self.end
 
 
+#: descriptive engine-metadata keys newer writers may annotate alongside a
+#: serialized schedule (executor strategy / array backend of the annotated
+#: run); not fault classes, so ``from_dict`` ignores them instead of
+#: raising the unknown-regime error.
+_METADATA_KEYS = ("strategy", "backend")
+
+
 def _rate(name: str, value: float) -> float:
     value = float(value)
     if not 0.0 <= value <= 1.0:
@@ -324,12 +331,18 @@ class FaultSchedule:
 
         Tolerant of *old* payloads: keys a newer schedule grew (e.g. the
         worker-fault knobs) may be absent and default to 0 / disabled, so
-        checkpoint manifests cut before an upgrade keep resuming.  Keys
-        this version does not know remain a hard error — silently
-        dropping an unknown fault class would replay a *different* chaos
-        regime than the manifest records.
+        checkpoint manifests cut before an upgrade keep resuming.
+        Descriptive engine-metadata keys (``strategy``, ``backend``) that
+        newer writers annotate alongside the schedule are ignored in
+        either direction — they describe *how* the annotated run
+        executed, not which faults to inject.  Keys this version does
+        not otherwise know remain a hard error — silently dropping an
+        unknown fault class would replay a *different* chaos regime than
+        the manifest records.
         """
         data = dict(data)
+        for meta_key in _METADATA_KEYS:
+            data.pop(meta_key, None)
         known = {f.name for f in fields(cls)}
         unknown = sorted(set(data) - known)
         if unknown:

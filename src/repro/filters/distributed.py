@@ -47,6 +47,11 @@ class DistributedEnKF:
         Convenience alternative to ``executor``: the filter builds and
         *owns* an auto-strategy executor of this width (release it with
         :meth:`close`).  Mutually exclusive with ``executor``.
+    strategy:
+        Execution strategy for the owned executor (one of
+        :data:`~repro.parallel.executor.STRATEGIES`, e.g.
+        ``"vectorized"``); combinable with ``workers``, mutually
+        exclusive with ``executor``.  Default ``None`` keeps ``"auto"``.
     geometry_cache:
         A :class:`~repro.parallel.geometry.GeometryCache` to share across
         filters; the filter builds its own when omitted.
@@ -62,6 +67,7 @@ class DistributedEnKF:
         sparse_solver: bool = False,
         executor: AnalysisExecutor | None = None,
         workers: int | None = None,
+        strategy: str | None = None,
         geometry_cache: GeometryCache | None = None,
     ):
         check_positive("radius_km", radius_km)
@@ -71,11 +77,17 @@ class DistributedEnKF:
         self.ridge = float(ridge)
         #: use the banded sparse B̂⁻¹ + sparse LU path in local analyses
         self.sparse_solver = bool(sparse_solver)
-        if executor is not None and workers is not None:
-            raise ValueError("pass either executor or workers, not both")
-        self._owns_executor = executor is None and workers is not None
+        if executor is not None and (workers is not None or strategy is not None):
+            raise ValueError(
+                "pass either executor or workers/strategy, not both"
+            )
+        self._owns_executor = executor is None and (
+            workers is not None or strategy is not None
+        )
         self.executor = (
-            AnalysisExecutor(workers=workers) if self._owns_executor else executor
+            AnalysisExecutor(strategy=strategy or "auto", workers=workers)
+            if self._owns_executor
+            else executor
         )
         self.geometry = (
             geometry_cache if geometry_cache is not None else GeometryCache()

@@ -50,15 +50,22 @@ class LETKF:
         inflation: float = 1.0,
         executor: AnalysisExecutor | None = None,
         workers: int | None = None,
+        strategy: str | None = None,
         geometry_cache: GeometryCache | None = None,
     ):
         check_positive("inflation", inflation)
         self.inflation = float(inflation)
-        if executor is not None and workers is not None:
-            raise ValueError("pass either executor or workers, not both")
-        self._owns_executor = executor is None and workers is not None
+        if executor is not None and (workers is not None or strategy is not None):
+            raise ValueError(
+                "pass either executor or workers/strategy, not both"
+            )
+        self._owns_executor = executor is None and (
+            workers is not None or strategy is not None
+        )
         self.executor = (
-            AnalysisExecutor(workers=workers) if self._owns_executor else executor
+            AnalysisExecutor(strategy=strategy or "auto", workers=workers)
+            if self._owns_executor
+            else executor
         )
         self.geometry = (
             geometry_cache if geometry_cache is not None else GeometryCache()

@@ -67,16 +67,18 @@ from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
+from repro.core.backend import ArrayBackend, get_backend
 from repro.parallel.geometry import GeometryCache, PieceGeometry
 from repro.parallel.shared import SharedEnsemble
 from repro.parallel.supervise import SupervisionPolicy, SupervisionStats
-from repro.parallel.worker import KIND_ENKF, compute_piece, run_chunk
+from repro.parallel.vectorized import VectorizedPolicy, run_vectorized
+from repro.parallel.worker import KIND_ENKF, KIND_ETKF, compute_piece, run_chunk
 from repro.telemetry.metrics import get_metrics
 from repro.telemetry.tracer import get_tracer
 
 __all__ = ["AnalysisExecutor", "AnalysisPlan", "serial_executor"]
 
-STRATEGIES = ("auto", "serial", "thread", "process")
+STRATEGIES = ("auto", "serial", "thread", "process", "vectorized")
 
 #: how long the consumer waits for the geometry-prefetch feeder thread to
 #: stop before declaring it wedged (module-level so tests can shrink it)
@@ -89,6 +91,14 @@ _FEEDER_JOIN_TIMEOUT = 5.0
 #: buy real concurrency.
 _SERIAL_POINTS_CEILING = 2_048
 _THREAD_POINTS_CEILING = 8_192
+
+#: auto-strategy thresholds for the vectorized (batched-kernel) path: it
+#: needs enough pieces for stacking to amortise, and small-enough mean
+#: expansions that per-piece Python/BLAS-dispatch overhead — not the
+#: solves themselves — dominates the fan-out strategies.  The win is
+#: core-count independent, so this check runs before the worker check.
+_VECTORIZED_MIN_PIECES = 16
+_VECTORIZED_MEAN_POINTS_CEILING = 512
 
 
 @dataclass
@@ -162,6 +172,16 @@ class AnalysisExecutor:
         actual recovery machinery.  Other fault classes are ignored
         here; the serial fallback path is deliberately injection-free
         (it is the recovery target).
+    backend:
+        Array backend for the vectorized strategy: an
+        :class:`~repro.core.backend.ArrayBackend`, a backend name
+        (``"numpy"``/``"jax"``/``"cupy"``/``"auto"``) or ``None`` for
+        the default resolution (``SENKF_BACKEND`` env var, else NumPy).
+        Resolved lazily on the first vectorized run, so constructing an
+        executor never imports an optional package.
+    bucket_policy:
+        :class:`~repro.parallel.vectorized.VectorizedPolicy` pad-or-split
+        knobs for the vectorized strategy's shape bucketer.
     """
 
     def __init__(
@@ -172,6 +192,8 @@ class AnalysisExecutor:
         chunks_per_worker: int = 2,
         supervision: SupervisionPolicy | None = None,
         faults=None,
+        backend: str | ArrayBackend | None = None,
+        bucket_policy: VectorizedPolicy | None = None,
     ):
         if strategy not in STRATEGIES:
             raise ValueError(
@@ -193,6 +215,11 @@ class AnalysisExecutor:
         self.chunks_per_worker = int(chunks_per_worker)
         self.supervision = supervision
         self.faults = faults
+        self.backend = backend
+        self.bucket_policy = bucket_policy
+        self._backend_obj: ArrayBackend | None = (
+            backend if isinstance(backend, ArrayBackend) else None
+        )
         self.supervision_stats = SupervisionStats()
         self._lock = threading.Lock()
         self._thread_pool: ThreadPoolExecutor | None = None
@@ -211,14 +238,31 @@ class AnalysisExecutor:
         """The concrete strategy this plan will run under."""
         if self.strategy != "auto":
             return self.strategy
-        if self.effective_workers(len(plan.pieces)) <= 1 or len(plan.pieces) < 2:
-            return "serial"
+        n_pieces = len(plan.pieces)
         points = sum(p.exp_size for p in plan.pieces)
+        # Batched kernels beat fan-out when many small pieces make the
+        # per-piece dispatch overhead dominate — a core-count-independent
+        # win, so it is tested before the worker-availability checks.
+        if (
+            plan.kind in (KIND_ENKF, KIND_ETKF)
+            and n_pieces >= _VECTORIZED_MIN_PIECES
+            and points <= n_pieces * _VECTORIZED_MEAN_POINTS_CEILING
+        ):
+            return "vectorized"
+        if self.effective_workers(n_pieces) <= 1 or n_pieces < 2:
+            return "serial"
         if points < _SERIAL_POINTS_CEILING:
             return "serial"
         if points < _THREAD_POINTS_CEILING:
             return "thread"
         return "process"
+
+    def _resolve_backend(self) -> ArrayBackend:
+        """The vectorized strategy's backend (resolved once, lazily)."""
+        if self._backend_obj is None:
+            name = self.backend if isinstance(self.backend, str) else None
+            self._backend_obj = get_backend(name)
+        return self._backend_obj
 
     # -- execution -------------------------------------------------------------
     def run(self, plan: AnalysisPlan) -> int:
@@ -241,6 +285,8 @@ class AnalysisExecutor:
                 self._run_serial(plan)
             elif strategy == "thread":
                 self._run_thread(plan, workers)
+            elif strategy == "vectorized":
+                self._run_vectorized(plan)
             else:
                 self._run_process(plan, workers)
         if tracer.enabled:
@@ -248,7 +294,7 @@ class AnalysisExecutor:
             metrics.counter("parallel.runs").inc()
             metrics.counter("parallel.pieces").inc(n_pieces)
             metrics.gauge("parallel.workers").set(
-                workers if strategy != "serial" else 1
+                workers if strategy not in ("serial", "vectorized") else 1
             )
         return n_pieces
 
@@ -343,6 +389,20 @@ class AnalysisExecutor:
     def _run_serial(self, plan: AnalysisPlan) -> None:
         for prepared in self._iter_prepared(plan):
             self._compute_one_traced(plan, prepared)
+
+    # -- vectorized (batched kernels) ------------------------------------------
+    def _run_vectorized(self, plan: AnalysisPlan) -> None:
+        """In-process batched execution; see :mod:`repro.parallel.vectorized`.
+
+        Supervision and worker-fault injection do not apply (there are
+        no workers to crash); a fault schedule's worker knobs are simply
+        inert under this strategy.
+        """
+        run_vectorized(
+            plan,
+            policy=self.bucket_policy,
+            backend=self._resolve_backend(),
+        )
 
     # -- thread pool -----------------------------------------------------------
     def _ensure_thread_pool(self, workers: int) -> ThreadPoolExecutor:

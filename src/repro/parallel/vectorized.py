@@ -1,0 +1,218 @@
+"""The vectorized strategy: stacked same-shape pieces, one batched solve.
+
+Where the fan-out strategies hide the per-piece Python/BLAS-dispatch
+cost behind concurrency, this strategy *removes* it: pieces whose
+geometry is structurally identical — same expansion size, same interior
+projection and (for the EnKF kind) the same modified-Cholesky stencil,
+compared by digest, never assumed from translation symmetry — are
+stacked into ``(B, ...)`` operands and updated by the batched kernels in
+:mod:`repro.core` (one batched LAPACK call per step instead of ``B``
+small ones; the per-row modified-Cholesky loop collapses from ``B·n̄``
+Python iterations to ``n̄``).  The win is therefore independent of core
+count, which is what lets the parallel bench assert its speedup on a
+1-CPU CI runner.
+
+Bucketing policy (:class:`VectorizedPolicy`): pieces first group by
+structural signature; within a group, observation counts may differ, so
+the group is *padded* to the largest count with exact no-op slots (zero
+``H`` rows, unit ``R``, masked observations — proven no-ops, see the
+batched-kernel docstrings) — or *split* into sub-batches when the
+padded-slot fraction would exceed ``max_pad_waste``.  The realised
+waste is recorded (``vectorized.pad_slots`` / ``vectorized.obs_slots``
+counters, ``vectorized.pad_waste`` gauge) so the policy is observable.
+
+Pieces with no observations bypass batching entirely and run through
+:func:`~repro.parallel.worker.compute_piece` — their "analysis" is a
+copy (plus ETKF inflation), already exact.
+
+Numerics: batched BLAS reorders reductions, so results match the serial
+reference to rtol ≤ 1e-10, not bit-for-bit — the tolerance-checked
+equivalence suite in ``tests/test_vectorized.py`` pins this contract for
+every filter × localization × chaos combination.  The serial / thread /
+process strategies are untouched and stay bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.analysis import analysis_precision_form_batched
+from repro.core.backend import ArrayBackend, get_backend
+from repro.core.cholesky import modified_cholesky_inverse_batched
+from repro.core.etkf import analysis_etkf_batched
+from repro.parallel.worker import KIND_ENKF, KIND_ETKF, compute_piece
+from repro.telemetry.metrics import get_metrics
+from repro.telemetry.tracer import get_tracer
+
+__all__ = ["VectorizedPolicy", "run_vectorized"]
+
+
+@dataclass(frozen=True)
+class VectorizedPolicy:
+    """Pad-or-split knobs for the shape bucketer.
+
+    ``max_pad_waste`` bounds the padded fraction of a sub-batch's
+    observation slots: within a structural group (sorted by observation
+    count, so each greedy sub-batch pads toward its own maximum) a new
+    sub-batch is started whenever admitting the next piece would push
+    the padded fraction above the bound.  ``0.0`` forbids padding
+    entirely (every distinct observation count becomes its own batch);
+    ``1.0`` always pads, never splits.
+    """
+
+    max_pad_waste: float = 0.25
+
+    def __post_init__(self):
+        if not 0.0 <= self.max_pad_waste <= 1.0:
+            raise ValueError(
+                f"max_pad_waste must be in [0, 1], got {self.max_pad_waste}"
+            )
+
+
+def _split_by_waste(
+    group: list[tuple[int, object, object]], max_pad_waste: float
+) -> list[list[tuple[int, object, object]]]:
+    """Split one structural group into sub-batches under the waste bound.
+
+    ``group`` holds ``(plan_index, piece, geometry)`` triples.  Sorting
+    by (obs count, plan index) keeps the split deterministic and puts
+    near-equal counts together, so padding is cheap where it is allowed.
+    """
+    ordered = sorted(
+        group, key=lambda item: (int(item[2].obs_positions.size), item[0])
+    )
+    batches: list[list] = []
+    current: list = []
+    slots = 0  # real observation slots in `current`
+    for item in ordered:
+        m = int(item[2].obs_positions.size)
+        if current:
+            # counts ascend, so admitting `item` re-pads everything to m
+            total = (len(current) + 1) * m
+            waste = (total - slots - m) / total if total else 0.0
+            if waste > max_pad_waste:
+                batches.append(current)
+                current, slots = [], 0
+        current.append(item)
+        slots += m
+    if current:
+        batches.append(current)
+    return batches
+
+
+def _compute_bucket(plan, bucket, backend: ArrayBackend) -> None:
+    """Analyse one stacked bucket into ``plan.out``."""
+    xb = plan.states[bucket.exp_index]  # (B, n̄, N)
+    if plan.kind == KIND_ENKF:
+        xb_dev = backend.asarray(xb, dtype=float)
+        b_inv = modified_cholesky_inverse_batched(
+            xb_dev,
+            bucket.predecessors,
+            ridge=plan.params["ridge"],
+            backend=backend,
+        )
+        ys = plan.obs[bucket.obs_index] * bucket.obs_mask[:, :, None]
+        analysed = analysis_precision_form_batched(
+            xb_dev, bucket.h_dense, bucket.r_diag, ys, b_inv,
+            backend=backend,
+        )
+    else:
+        y = plan.obs.ravel()[bucket.obs_index] * bucket.obs_mask
+        analysed = analysis_etkf_batched(
+            xb, bucket.h_dense, bucket.r_diag, y,
+            inflation=plan.params["inflation"], backend=backend,
+        )
+    interior = backend.to_numpy(analysed[:, bucket.interior_positions, :])
+    plan.out[bucket.interior_flat_cat] = interior.reshape(
+        -1, plan.states.shape[1]
+    )
+
+
+def run_vectorized(
+    plan,
+    policy: VectorizedPolicy | None = None,
+    backend: ArrayBackend | None = None,
+) -> dict:
+    """Run one plan under the vectorized strategy; returns bucket stats.
+
+    The plan's pieces are prepared through the :class:`GeometryCache`
+    (per-piece entries carry the structural digests), grouped, padded or
+    split per ``policy``, stacked via cached
+    :class:`~repro.parallel.geometry.BucketGeometry` entries and updated
+    by the batched kernels.  Empty-observation pieces run per-piece
+    (exact).  Writes land in ``plan.out`` exactly like every other
+    strategy.
+    """
+    if plan.kind not in (KIND_ENKF, KIND_ETKF):
+        raise ValueError(
+            f"vectorized strategy cannot run kind {plan.kind!r}"
+        )
+    policy = policy if policy is not None else VectorizedPolicy()
+    bk = backend if backend is not None else get_backend()
+    tracer = get_tracer()
+    prepared = [plan.prepare(i) for i in range(len(plan.pieces))]
+
+    groups: dict[tuple, list] = {}
+    empty: list = []
+    for item in prepared:
+        geo = item[2]
+        if geo.obs_positions.size == 0:
+            empty.append(item)
+            continue
+        key = (geo.expansion_flat.size, geo.interior_sig, geo.stencil_sig)
+        groups.setdefault(key, []).append(item)
+
+    # Empty pieces: the analysis is the (inflated) background — run the
+    # exact per-piece path, no batching needed.
+    for index, piece, geometry in empty:
+        xb = plan.states[geometry.expansion_flat]
+        plan.out[geometry.interior_flat] = compute_piece(
+            plan.kind, piece, xb, plan.obs, geometry, plan.params
+        )
+
+    n_buckets = 0
+    pad_slots = 0
+    total_slots = 0
+    for key in sorted(groups):
+        for batch in _split_by_waste(groups[key], policy.max_pad_waste):
+            bucket, cached = plan.cache.get_bucket(
+                plan.network, batch, plan.cache_radius
+            )
+            n_buckets += 1
+            pad_slots += bucket.pad_slots
+            total_slots += bucket.total_slots
+            if tracer.enabled:
+                with tracer.span(
+                    "vectorized.bucket", category="parallel",
+                    n_batch=bucket.n_batch,
+                    n_exp=int(bucket.exp_index.shape[1]),
+                    m_max=int(bucket.r_diag.shape[1]),
+                    pad_waste=round(bucket.pad_waste, 4),
+                    cached=cached,
+                ):
+                    _compute_bucket(plan, bucket, bk)
+            else:
+                _compute_bucket(plan, bucket, bk)
+
+    stats = {
+        "backend": bk.name,
+        "n_buckets": n_buckets,
+        "batched_pieces": len(prepared) - len(empty),
+        "empty_pieces": len(empty),
+        "pad_slots": pad_slots,
+        "obs_slots": total_slots,
+        "pad_waste": pad_slots / total_slots if total_slots else 0.0,
+    }
+    if tracer.enabled:
+        metrics = get_metrics()
+        metrics.counter("vectorized.buckets").inc(n_buckets)
+        metrics.counter("vectorized.batched_pieces").inc(
+            stats["batched_pieces"]
+        )
+        metrics.counter("vectorized.empty_pieces").inc(len(empty))
+        metrics.counter("vectorized.pad_slots").inc(pad_slots)
+        metrics.counter("vectorized.obs_slots").inc(total_slots)
+        metrics.gauge("vectorized.pad_waste").set(stats["pad_waste"])
+    return stats

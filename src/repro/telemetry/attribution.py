@@ -414,6 +414,9 @@ class AttributionReport:
                 f"  no drift: every phase within ±{self.threshold:.0%} "
                 f"of its prediction"
             )
+        if self.notes:
+            lines.append("  notes:")
+            lines.extend(f"    - {note}" for note in self.notes)
         return "\n".join(lines)
 
 

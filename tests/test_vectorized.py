@@ -1,0 +1,692 @@
+"""Tests for the vectorized batched-analysis strategy.
+
+The load-bearing contract differs from the fan-out strategies: the
+batched kernels route through different LAPACK drivers (batched LU vs
+per-piece Cholesky) so the guarantee is *tolerance-checked equivalence*
+— every analysed value matches the serial engine to ``rtol <= 1e-10``
+(with an absolute floor of 1e-11 for near-zero entries; solve accuracy
+is normwise) — for every filter kind, localization, chaos/degraded
+combination and bucketing policy, including the edge geometry: pieces
+with no observations, single-piece buckets, and ragged buckets that
+exercise the pad-or-split policy.  On top sit the shape-bucketer's
+padding exactness proof, auto-strategy selection, the ``vectorized.*``
+telemetry, the per-kernel cost-model calibration, and the
+forward/backward-compat round-trips of the payloads that grew
+strategy/backend fields.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import Decomposition, Grid, ObservationNetwork
+from repro.core.analysis import (
+    analysis_gain_form,
+    analysis_gain_form_batched,
+    analysis_precision_form,
+    analysis_precision_form_batched,
+)
+from repro.core.backend import get_backend
+from repro.core.cholesky import (
+    modified_cholesky_inverse,
+    modified_cholesky_inverse_batched,
+)
+from repro.core.etkf import analysis_etkf, analysis_etkf_batched
+from repro.costmodel import (
+    CostParams,
+    PhaseObservation,
+    fit_constants,
+    kernel_comp_constant,
+    t_comp,
+)
+from repro.faults import FaultSchedule
+from repro.filters import LETKF, SEnKF
+from repro.filters.distributed import DistributedEnKF
+from repro.models import correlated_ensemble
+from repro.parallel import (
+    AnalysisExecutor,
+    AnalysisPlan,
+    GeometryCache,
+    KIND_ENKF,
+    KIND_ETKF,
+    VectorizedPolicy,
+    run_vectorized,
+)
+from repro.parallel.vectorized import _split_by_waste
+from repro.telemetry import (
+    MetricsRegistry,
+    Tracer,
+    append_history,
+    read_history,
+    use_metrics,
+    use_tracer,
+)
+from repro.tuning import autotune
+
+#: the equivalence contract (see module docstring)
+RTOL, ATOL = 1e-10, 1e-11
+
+
+def problem(n_x=16, n_y=8, n_members=10, m=40, seed=0):
+    grid = Grid(n_x=n_x, n_y=n_y, dx_km=1.0, dy_km=1.0)
+    rng = np.random.default_rng(seed)
+    truth = correlated_ensemble(grid, 1, length_scale_km=4.0, rng=rng)[:, 0]
+    states = truth[:, None] + correlated_ensemble(
+        grid, n_members, length_scale_km=4.0, rng=rng
+    )
+    net = ObservationNetwork.random(grid, m=m, obs_error_std=0.3, rng=rng)
+    y = net.observe(truth, rng=rng)
+    return grid, truth, states, net, y
+
+
+def make_plan(kind, n_sdx=4, n_sdy=4, xi=2, eta=2, m=40, radius=2.0,
+              seed=0, n_x=16, n_y=8, n_members=10, cache=None):
+    """An :class:`AnalysisPlan` over every sub-domain of a fresh problem."""
+    grid, truth, states, net, y = problem(
+        n_x=n_x, n_y=n_y, n_members=n_members, m=m, seed=seed
+    )
+    decomp = Decomposition(grid, n_sdx=n_sdx, n_sdy=n_sdy, xi=xi, eta=eta)
+    rng = np.random.default_rng(seed + 1)
+    if kind == KIND_ENKF:
+        obs = y[:, None] + 0.3 * rng.standard_normal((net.m, n_members))
+        params = {"radius_km": radius, "ridge": 1e-3, "sparse_solver": False}
+    else:
+        obs = y
+        params = {"inflation": 1.03}
+    return AnalysisPlan(
+        kind=kind,
+        pieces=list(decomp),
+        states=states,
+        obs=obs,
+        out=np.zeros_like(states),
+        network=net,
+        params=params,
+        cache=cache if cache is not None else GeometryCache(),
+    )
+
+
+def serial_reference(plan):
+    """The serial engine's output for the same plan (fresh out array)."""
+    ref_plan = AnalysisPlan(
+        kind=plan.kind, pieces=plan.pieces, states=plan.states,
+        obs=plan.obs, out=np.zeros_like(plan.out), network=plan.network,
+        params=plan.params, cache=GeometryCache(),
+    )
+    with AnalysisExecutor(strategy="serial") as ex:
+        ex.run(ref_plan)
+    return ref_plan.out
+
+
+# ---------------------------------------------------------------------------
+# Batched kernels vs their per-piece references
+# ---------------------------------------------------------------------------
+class TestBatchedKernels:
+    def _stack(self, n_batch=5, n=12, n_members=8, m=6, seed=0):
+        rng = np.random.default_rng(seed)
+        xb = rng.standard_normal((n_batch, n, n_members))
+        h = rng.standard_normal((n_batch, m, n))
+        r = 0.1 + rng.random((n_batch, m))
+        ys = rng.standard_normal((n_batch, m, n_members))
+        return xb, h, r, ys
+
+    def test_gain_form_matches_per_piece(self):
+        xb, h, r, ys = self._stack()
+        out = analysis_gain_form_batched(xb, h, r, ys)
+        for b in range(xb.shape[0]):
+            ref = analysis_gain_form(xb[b], h[b], r[b], ys[b])
+            assert np.allclose(out[b], ref, rtol=RTOL, atol=ATOL)
+
+    def test_gain_form_explicit_b_matches(self):
+        xb, h, r, ys = self._stack(seed=1)
+        rng = np.random.default_rng(2)
+        a = rng.standard_normal((xb.shape[0], xb.shape[1], xb.shape[1]))
+        b_mats = a @ a.transpose(0, 2, 1) + 2 * np.eye(xb.shape[1])
+        out = analysis_gain_form_batched(xb, h, r, ys, b_matrices=b_mats)
+        for b in range(xb.shape[0]):
+            ref = analysis_gain_form(xb[b], h[b], r[b], ys[b],
+                                     b_matrix=b_mats[b])
+            assert np.allclose(out[b], ref, rtol=RTOL, atol=ATOL)
+
+    def test_precision_form_matches_per_piece(self):
+        xb, h, r, ys = self._stack(seed=3)
+        rng = np.random.default_rng(4)
+        a = rng.standard_normal((xb.shape[0], xb.shape[1], xb.shape[1]))
+        b_invs = a @ a.transpose(0, 2, 1) + 2 * np.eye(xb.shape[1])
+        out = analysis_precision_form_batched(xb, h, r, ys, b_invs)
+        for b in range(xb.shape[0]):
+            ref = analysis_precision_form(xb[b], h[b], r[b], ys[b], b_invs[b])
+            assert np.allclose(out[b], ref, rtol=RTOL, atol=ATOL)
+
+    def test_etkf_matches_per_piece(self):
+        xb, h, r, _ = self._stack(seed=5)
+        y = np.random.default_rng(6).standard_normal(
+            (xb.shape[0], h.shape[1])
+        )
+        out = analysis_etkf_batched(xb, h, r, y, inflation=1.04)
+        for b in range(xb.shape[0]):
+            ref = analysis_etkf(xb[b], h[b], r[b], y[b], inflation=1.04)
+            assert np.allclose(out[b], ref, rtol=RTOL, atol=ATOL)
+
+    def test_modified_cholesky_matches_per_piece(self):
+        grid, truth, states, net, y = problem()
+        decomp = Decomposition(grid, n_sdx=4, n_sdy=2, xi=2, eta=2)
+        sd = next(iter(decomp))
+        geo = GeometryCache().local_geometry(net, sd, radius_km=2.0)
+        rng = np.random.default_rng(7)
+        stack = rng.standard_normal((4, sd.exp_size, 8))
+        out = modified_cholesky_inverse_batched(
+            stack, geo.predecessors, ridge=1e-3
+        )
+        ix, iy = sd.expansion_coords
+        for b in range(stack.shape[0]):
+            ref = modified_cholesky_inverse(
+                stack[b], grid, ix, iy, radius_km=2.0, ridge=1e-3,
+                predecessors=geo.predecessors,
+            )
+            assert np.allclose(out[b], ref, rtol=RTOL, atol=ATOL)
+
+    def test_padding_is_an_exact_noop(self):
+        """A piece padded with zero-H/unit-R/masked-obs slots must produce
+        the same analysis as the unpadded computation — the proof behind
+        the pad-or-split bucketer."""
+        xb, h, r, ys = self._stack(n_batch=1, m=4, seed=8)
+        pad = 3
+        h_p = np.concatenate([h, np.zeros((1, pad, h.shape[2]))], axis=1)
+        r_p = np.concatenate([r, np.ones((1, pad))], axis=1)
+        ys_p = np.concatenate(
+            [ys, np.zeros((1, pad, ys.shape[2]))], axis=1
+        )
+        rng = np.random.default_rng(9)
+        a = rng.standard_normal((1, xb.shape[1], xb.shape[1]))
+        b_invs = a @ a.transpose(0, 2, 1) + 2 * np.eye(xb.shape[1])
+
+        unpadded = analysis_precision_form_batched(xb, h, r, ys, b_invs)
+        padded = analysis_precision_form_batched(xb, h_p, r_p, ys_p, b_invs)
+        assert np.allclose(unpadded, padded, rtol=1e-12, atol=1e-13)
+
+        y = rng.standard_normal((1, 4))
+        y_p = np.concatenate([y, np.zeros((1, pad))], axis=1)
+        etkf_unpadded = analysis_etkf_batched(xb, h, r, y, inflation=1.02)
+        etkf_padded = analysis_etkf_batched(
+            xb, h_p, r_p, y_p, inflation=1.02
+        )
+        assert np.allclose(etkf_unpadded, etkf_padded, rtol=1e-12, atol=1e-13)
+
+    def test_shape_mismatch_raises(self):
+        xb, h, r, ys = self._stack()
+        with pytest.raises(ValueError):
+            analysis_gain_form_batched(xb, h[:-1], r, ys)
+        with pytest.raises(ValueError):
+            analysis_gain_form_batched(xb, h, r[:, :-1], ys)
+
+
+# ---------------------------------------------------------------------------
+# Filter-level equivalence: every filter x localization x chaos combination
+# ---------------------------------------------------------------------------
+def _filter_cases():
+    # At radius 3.5 the largest predecessor stencil (18) exceeds the
+    # 10-member ensemble's degrees of freedom, so the per-variable Gram
+    # solve is rank-deficient at the default ridge and ANY change in BLAS
+    # reduction order diverges far beyond rounding — the tolerance
+    # contract assumes a ridge that keeps the regression conditioned
+    # (see docs/PERFORMANCE.md), hence ridge=1e-3 throughout.
+    for radius in (2.0, 3.5):
+        yield (
+            f"enkf-dense-r{radius}",
+            lambda ex, radius=radius: DistributedEnKF(
+                radius_km=radius, inflation=1.02, ridge=1e-3, executor=ex
+            ),
+        )
+        yield (
+            f"enkf-sparse-r{radius}",
+            lambda ex, radius=radius: DistributedEnKF(
+                radius_km=radius, sparse_solver=True, ridge=1e-3, executor=ex
+            ),
+        )
+        yield (
+            f"senkf-L2-r{radius}",
+            lambda ex, radius=radius: SEnKF(
+                radius_km=radius, n_layers=2, inflation=1.02, ridge=1e-3,
+                executor=ex,
+            ),
+        )
+    yield "letkf", lambda ex: LETKF(inflation=1.03, executor=ex)
+
+
+#: chaos knobs are inert for the vectorized strategy (no pool workers to
+#: crash); equivalence must hold with them armed all the same.
+_CHAOS = {
+    "clean": None,
+    "chaos": FaultSchedule(
+        seed=5, worker_crash_rate=0.5, worker_hang_rate=0.2,
+        worker_hang_seconds=0.01,
+    ),
+}
+
+
+class TestFilterEquivalence:
+    @pytest.mark.parametrize(
+        "label,make_filter", list(_filter_cases()), ids=lambda c: c
+        if isinstance(c, str) else "",
+    )
+    @pytest.mark.parametrize("chaos", sorted(_CHAOS))
+    def test_vectorized_matches_serial(self, label, make_filter, chaos):
+        grid, truth, states, net, y = problem()
+        decomp = Decomposition(grid, n_sdx=4, n_sdy=2, xi=2, eta=2)
+        ref = make_filter(None).assimilate(decomp, states, net, y, rng=5)
+        with AnalysisExecutor(
+            strategy="vectorized", faults=_CHAOS[chaos]
+        ) as ex:
+            out = make_filter(ex).assimilate(decomp, states, net, y, rng=5)
+        assert np.allclose(ref, out, rtol=RTOL, atol=ATOL)
+
+    def test_fanout_strategies_stay_bit_identical(self):
+        """The vectorized layer must not perturb the existing contract."""
+        grid, truth, states, net, y = problem()
+        decomp = Decomposition(grid, n_sdx=4, n_sdy=2, xi=2, eta=2)
+        ref = DistributedEnKF(radius_km=2.0).assimilate(
+            decomp, states, net, y, rng=7
+        )
+        for strategy in ("serial", "thread", "process"):
+            with AnalysisExecutor(strategy=strategy, workers=2) as ex:
+                out = DistributedEnKF(radius_km=2.0, executor=ex).assimilate(
+                    decomp, states, net, y, rng=7
+                )
+            assert np.array_equal(ref, out), strategy
+
+    def test_filter_strategy_kwarg(self):
+        """Filters build (and own) a pinned-strategy executor."""
+        grid, truth, states, net, y = problem()
+        decomp = Decomposition(grid, n_sdx=4, n_sdy=2, xi=2, eta=2)
+        ref = DistributedEnKF(radius_km=2.0).assimilate(
+            decomp, states, net, y, rng=9
+        )
+        filt = DistributedEnKF(radius_km=2.0, strategy="vectorized")
+        try:
+            assert filt.executor.strategy == "vectorized"
+            out = filt.assimilate(decomp, states, net, y, rng=9)
+        finally:
+            filt.close()
+        assert filt.executor is None  # close() released the owned executor
+        assert np.allclose(ref, out, rtol=RTOL, atol=ATOL)
+        with pytest.raises(ValueError, match="either executor"):
+            DistributedEnKF(
+                radius_km=2.0, strategy="serial",
+                executor=AnalysisExecutor(strategy="serial"),
+            )
+
+
+# ---------------------------------------------------------------------------
+# Bucketing policy: empty pieces, single-piece buckets, pad-or-split
+# ---------------------------------------------------------------------------
+class TestBucketing:
+    @pytest.mark.parametrize("kind", [KIND_ENKF, KIND_ETKF])
+    def test_empty_obs_pieces_run_exact(self, kind):
+        # 2 observations over 16 pieces: most pieces see nothing.
+        plan = make_plan(kind, m=2, radius=1.5)
+        ref = serial_reference(plan)
+        stats = run_vectorized(plan)
+        assert stats["empty_pieces"] > 0
+        assert stats["empty_pieces"] + stats["batched_pieces"] == len(
+            plan.pieces
+        )
+        assert np.allclose(plan.out, ref, rtol=RTOL, atol=ATOL)
+
+    @pytest.mark.parametrize("kind", [KIND_ENKF, KIND_ETKF])
+    def test_zero_waste_policy_forbids_padding(self, kind):
+        plan = make_plan(kind, m=40)
+        ref = serial_reference(plan)
+        stats = run_vectorized(plan, policy=VectorizedPolicy(max_pad_waste=0.0))
+        assert stats["pad_slots"] == 0
+        assert stats["pad_waste"] == 0.0
+        assert np.allclose(plan.out, ref, rtol=RTOL, atol=ATOL)
+
+    def test_always_pad_policy_minimises_buckets(self):
+        plan = make_plan(KIND_ENKF, m=40)
+        ref = serial_reference(plan)
+        stats_pad = run_vectorized(
+            plan, policy=VectorizedPolicy(max_pad_waste=1.0)
+        )
+        assert np.allclose(plan.out, ref, rtol=RTOL, atol=ATOL)
+
+        plan2 = make_plan(KIND_ENKF, m=40)
+        stats_split = run_vectorized(
+            plan2, policy=VectorizedPolicy(max_pad_waste=0.0)
+        )
+        # Padding merges ragged shape-groups that splitting keeps apart.
+        assert stats_pad["n_buckets"] <= stats_split["n_buckets"]
+        assert stats_pad["pad_slots"] >= stats_split["pad_slots"]
+        # The realised waste metric is recorded and sane.
+        assert 0.0 <= stats_pad["pad_waste"] <= 1.0
+
+    def test_single_piece_buckets(self):
+        # A 2x1 split yields 2 structurally distinct pieces -> every
+        # bucket holds exactly one piece; batching must still be exact.
+        plan = make_plan(KIND_ENKF, n_sdx=2, n_sdy=1, m=30)
+        ref = serial_reference(plan)
+        stats = run_vectorized(plan)
+        assert stats["n_buckets"] >= 1
+        assert np.allclose(plan.out, ref, rtol=RTOL, atol=ATOL)
+
+    def test_unknown_kind_raises(self):
+        plan = make_plan(KIND_ENKF)
+        plan.kind = "weird"
+        with pytest.raises(ValueError, match="kind 'weird'"):
+            run_vectorized(plan)
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError, match="max_pad_waste"):
+            VectorizedPolicy(max_pad_waste=1.5)
+
+    def test_split_by_waste_boundaries(self):
+        class _Geo:
+            def __init__(self, m):
+                self.obs_positions = np.arange(m)
+
+        def group(counts):
+            return [(i, None, _Geo(m)) for i, m in enumerate(counts)]
+
+        # Equal counts never split.
+        assert len(_split_by_waste(group([10, 10, 10]), 0.0)) == 1
+        # 1 then 10: re-padding to 10 wastes 9/20 = 0.45 of the slots.
+        assert len(_split_by_waste(group([1, 10]), 0.25)) == 2
+        assert len(_split_by_waste(group([1, 10]), 0.5)) == 1
+        # Zero tolerance: every distinct count is its own batch.
+        assert len(_split_by_waste(group([1, 2, 3]), 0.0)) == 3
+
+    def test_stats_backend_name(self):
+        plan = make_plan(KIND_ENKF)
+        stats = run_vectorized(plan, backend=get_backend("numpy"))
+        assert stats["backend"] == "numpy"
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis: random piece shapes, batched == per-piece
+# ---------------------------------------------------------------------------
+class TestPropertyEquivalence:
+    @settings(
+        max_examples=12, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        kind=st.sampled_from([KIND_ENKF, KIND_ETKF]),
+        n_sdx=st.sampled_from([2, 4]),
+        n_sdy=st.sampled_from([2, 4]),
+        cell_x=st.integers(min_value=3, max_value=5),
+        cell_y=st.integers(min_value=2, max_value=4),
+        halo=st.integers(min_value=0, max_value=2),
+        m=st.integers(min_value=1, max_value=30),
+        # Radii keep the predecessor stencil (<= 6 points) below the
+        # ensemble's 7 degrees of freedom: outside that regime the local
+        # regression is rank-deficient and equivalence between summation
+        # orders is not defined (see docs/PERFORMANCE.md).
+        radius=st.sampled_from([1.0, 1.8]),
+        waste=st.sampled_from([0.0, 0.3, 1.0]),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_random_shapes(self, kind, n_sdx, n_sdy, cell_x, cell_y,
+                           halo, m, radius, waste, seed):
+        plan = make_plan(
+            kind,
+            n_sdx=n_sdx, n_sdy=n_sdy, xi=halo, eta=halo, m=m,
+            radius=radius, seed=seed,
+            n_x=n_sdx * cell_x, n_y=n_sdy * cell_y, n_members=8,
+        )
+        ref = serial_reference(plan)
+        stats = run_vectorized(
+            plan, policy=VectorizedPolicy(max_pad_waste=waste)
+        )
+        assert stats["empty_pieces"] + stats["batched_pieces"] == len(
+            plan.pieces
+        )
+        if waste == 0.0:
+            assert stats["pad_slots"] == 0
+        assert np.allclose(plan.out, ref, rtol=RTOL, atol=ATOL)
+
+
+# ---------------------------------------------------------------------------
+# Executor integration: auto-resolution, telemetry
+# ---------------------------------------------------------------------------
+class TestExecutorIntegration:
+    def test_auto_selects_vectorized_for_many_small_pieces(self):
+        plan = make_plan(KIND_ENKF, n_sdx=4, n_sdy=4)  # 16 small pieces
+        ex = AnalysisExecutor(strategy="auto")
+        assert ex.resolve(plan) == "vectorized"
+
+    def test_auto_selects_vectorized_even_with_one_worker(self):
+        # The batching win is core-count independent: the vectorized
+        # check runs before the worker-availability check.
+        plan = make_plan(KIND_ENKF, n_sdx=4, n_sdy=4)
+        ex = AnalysisExecutor(strategy="auto", workers=1)
+        assert ex.resolve(plan) == "vectorized"
+
+    def test_auto_keeps_fanout_for_few_pieces(self):
+        plan = make_plan(KIND_ENKF, n_sdx=2, n_sdy=2)  # 4 pieces < 16
+        ex = AnalysisExecutor(strategy="auto", workers=1)
+        assert ex.resolve(plan) != "vectorized"
+
+    def test_auto_keeps_fanout_for_huge_pieces(self):
+        # 16 pieces but each expansion far beyond the mean-points
+        # ceiling: per-piece BLAS dominates, batching buys nothing.
+        plan = make_plan(
+            KIND_ENKF, n_sdx=4, n_sdy=4, n_x=128, n_y=128, xi=8, eta=8,
+        )
+        ex = AnalysisExecutor(strategy="auto")
+        assert ex.resolve(plan) != "vectorized"
+
+    def test_executor_runs_vectorized(self):
+        plan = make_plan(KIND_ENKF)
+        ref = serial_reference(plan)
+        with AnalysisExecutor(strategy="vectorized") as ex:
+            n = ex.run(plan)
+        assert n == len(plan.pieces)
+        assert np.allclose(plan.out, ref, rtol=RTOL, atol=ATOL)
+
+    def test_backend_name_accepted(self):
+        plan = make_plan(KIND_ENKF)
+        with AnalysisExecutor(strategy="vectorized", backend="numpy") as ex:
+            ex.run(plan)
+        assert ex._resolve_backend().name == "numpy"
+
+    def test_metrics_and_spans(self):
+        plan = make_plan(KIND_ENKF)
+        metrics = MetricsRegistry()
+        tracer = Tracer(metrics=metrics)
+        with use_tracer(tracer), use_metrics(metrics):
+            with AnalysisExecutor(strategy="vectorized") as ex:
+                ex.run(plan)
+        snap = metrics.snapshot()["counters"]
+        assert snap["vectorized.buckets"] >= 1
+        assert snap["vectorized.batched_pieces"] >= 1
+        assert snap["vectorized.obs_slots"] >= snap["vectorized.pad_slots"]
+        assert "vectorized.pad_waste" in metrics.snapshot()["gauges"]
+        bucket_spans = [
+            s for s in tracer.spans if s.name == "vectorized.bucket"
+        ]
+        assert bucket_spans
+        assert all(s.attrs["n_batch"] >= 1 for s in bucket_spans)
+        run_spans = [s for s in tracer.spans if s.name == "parallel.run"]
+        assert run_spans and run_spans[0].attrs["strategy"] == "vectorized"
+
+    def test_bucket_cache_hits_across_cycles(self):
+        cache = GeometryCache()
+        plan = make_plan(KIND_ENKF, cache=cache)
+        run_vectorized(plan)
+        entries_after_first = cache.stats["entries"]
+        tracer = Tracer()
+        plan.out[:] = 0.0  # cycle 2: same problem, fresh analysis
+        with use_tracer(tracer):
+            run_vectorized(plan)
+        # Cycle 2 rebuilt nothing: same entry count, buckets all cached.
+        assert cache.stats["entries"] == entries_after_first
+        bucket_spans = [
+            s for s in tracer.spans if s.name == "vectorized.bucket"
+        ]
+        assert bucket_spans and all(s.attrs["cached"] for s in bucket_spans)
+
+
+# ---------------------------------------------------------------------------
+# Cost model: per-kernel T_comp + autotune kernel choice
+# ---------------------------------------------------------------------------
+def _params(**kw):
+    defaults = dict(
+        n_x=48, n_y=24, n_members=8, h=240.0, xi=2, eta=1,
+        a=1e-5, b=1e-9, c=2e-4, theta=5e-9,
+    )
+    defaults.update(kw)
+    return CostParams(**defaults)
+
+
+class TestCostModelKernels:
+    def test_kernel_constant_resolution(self):
+        p = _params(c_vectorized=5e-5)
+        assert kernel_comp_constant(p, "fanout") == p.c
+        assert kernel_comp_constant(p, "vectorized") == 5e-5
+        with pytest.raises(ValueError, match="not calibrated"):
+            kernel_comp_constant(_params(), "vectorized")
+        with pytest.raises(ValueError, match="unknown analysis kernel"):
+            kernel_comp_constant(p, "gpu")
+
+    def test_t_comp_prices_the_selected_kernel(self):
+        p = _params(c_vectorized=1e-5)
+        fanout = t_comp(p, n_sdx=4, n_sdy=4, n_layers=2)
+        vectorized = t_comp(p, n_sdx=4, n_sdy=4, n_layers=2,
+                            kernel="vectorized")
+        assert vectorized == pytest.approx(fanout * (1e-5 / p.c))
+
+    def test_fit_constants_recovers_both_kernels(self):
+        template = _params()
+        unit = template.with_(a=1.0, b=1.0, c=1.0, theta=1.0)
+        c_true, cv_true = 3e-4, 8e-5
+        obs = []
+        for cfg in ((4, 4, 3, 4), (4, 4, 5, 4), (4, 4, 9, 4)):
+            n_sdx, n_sdy, n_layers, n_cg = cfg
+            structural = t_comp(
+                unit, n_sdx=n_sdx, n_sdy=n_sdy, n_layers=n_layers
+            )
+            for kernel, const in (("fanout", c_true),
+                                  ("vectorized", cv_true)):
+                obs.append(PhaseObservation(
+                    n_sdx=n_sdx, n_sdy=n_sdy, n_layers=n_layers, n_cg=n_cg,
+                    read_seconds=1e-3, comm_seconds=1e-4,
+                    comp_seconds=const * structural, kernel=kernel,
+                ))
+        fit = fit_constants(obs, template)
+        assert fit.params.c == pytest.approx(c_true)
+        assert fit.params.c_vectorized == pytest.approx(cv_true)
+        assert "comp" in fit.residuals
+        assert "comp_vectorized" in fit.residuals
+        assert fit.residuals["comp_vectorized"].rel_rms < 1e-12
+        assert fit.summary()["constants"]["c_vectorized"] == pytest.approx(
+            cv_true
+        )
+
+    def test_fit_constants_unknown_kernel_raises(self):
+        obs = [PhaseObservation(
+            n_sdx=4, n_sdy=4, n_layers=3, n_cg=4,
+            read_seconds=1e-3, comm_seconds=1e-4, comp_seconds=1e-2,
+            kernel="gpu",
+        )]
+        with pytest.raises(ValueError, match="unknown analysis kernel"):
+            fit_constants(obs, _params())
+
+    def test_uncalibrated_kernel_untouched_by_fit(self):
+        obs = [PhaseObservation(
+            n_sdx=4, n_sdy=4, n_layers=3, n_cg=4,
+            read_seconds=1e-3, comm_seconds=1e-4, comp_seconds=1e-2,
+        )]
+        fit = fit_constants(obs, _params())
+        assert fit.params.c_vectorized is None
+        assert "c_vectorized" not in fit.summary()["constants"]
+
+
+class TestAutotuneKernels:
+    def test_auto_picks_the_cheaper_kernel(self):
+        p = _params(c_vectorized=2e-5)  # 10x cheaper than fanout's c
+        fanout_only = autotune(p, n_p=40, epsilon=1e-3)
+        both = autotune(p, n_p=40, epsilon=1e-3, kernels="auto")
+        assert fanout_only.kernel == "fanout"
+        assert both.kernel == "vectorized"
+        assert both.t_total < fanout_only.t_total
+
+    def test_auto_without_calibration_sticks_to_fanout(self):
+        result = autotune(_params(), n_p=40, epsilon=1e-3, kernels="auto")
+        assert result.kernel == "fanout"
+
+    def test_explicit_uncalibrated_kernel_raises(self):
+        with pytest.raises(ValueError, match="not calibrated"):
+            autotune(_params(), n_p=40, epsilon=1e-3, kernels="vectorized")
+
+    def test_expensive_vectorized_loses(self):
+        p = _params(c_vectorized=5e-3)  # far costlier than fanout
+        result = autotune(p, n_p=40, epsilon=1e-3, kernels="auto")
+        assert result.kernel == "fanout"
+
+
+# ---------------------------------------------------------------------------
+# Forward/backward compat: payloads that grew strategy/backend fields
+# ---------------------------------------------------------------------------
+class TestPayloadCompat:
+    def test_fault_schedule_ignores_engine_metadata(self):
+        fs = FaultSchedule(seed=3, disk_fault_rate=0.1)
+        data = fs.to_dict()
+        data["strategy"] = "vectorized"
+        data["backend"] = "numpy"
+        assert FaultSchedule.from_dict(data) == fs
+        # Round-trip the other way: serialized new-style, rebuilt, equal.
+        assert FaultSchedule.from_dict(
+            FaultSchedule.from_dict(data).to_dict()
+        ) == fs
+
+    def test_fault_schedule_still_rejects_unknown_fault_fields(self):
+        data = FaultSchedule(seed=3).to_dict()
+        data["quantum_fault_rate"] = 0.5
+        with pytest.raises(ValueError, match="unknown FaultSchedule"):
+            FaultSchedule.from_dict(data)
+
+    def test_bench_history_roundtrips_strategy_context(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        append_history(
+            path, "parallel",
+            {"vectorized_warm_seconds": 0.1, "serial_warm_seconds": 0.3},
+            context={
+                "backend": "numpy", "strategy": "vectorized",
+                "speedup_asserted": True, "cpu_count": 1,
+            },
+        )
+        (entry,) = read_history(path)
+        assert entry.context["backend"] == "numpy"
+        assert entry.context["speedup_asserted"] is True
+        assert entry.values["vectorized_warm_seconds"] == 0.1
+
+    def test_bench_history_reader_tolerates_old_and_odd_lines(self, tmp_path):
+        """Old entries without the new fields and newer entries carrying
+        extra top-level keys must both read back without KeyError."""
+        path = tmp_path / "hist.jsonl"
+        old_line = {
+            "schema": "senkf-bench-history/1", "bench": "parallel",
+            "timestamp": 1.0,
+            "values": {"serial_warm_seconds": 0.5},
+            "context": {},
+        }
+        new_line = {
+            "schema": "senkf-bench-history/1", "bench": "parallel",
+            "timestamp": 2.0,
+            "values": {
+                "serial_warm_seconds": 0.4,
+                "backend": "numpy",  # non-numeric: dropped, not fatal
+            },
+            "context": {"strategy": "vectorized"},
+            "strategy": "vectorized",  # unknown top-level key: ignored
+        }
+        path.write_text(
+            json.dumps(old_line) + "\n" + json.dumps(new_line) + "\n"
+        )
+        entries = read_history(path, bench="parallel")
+        assert len(entries) == 2
+        assert entries[0].context == {}
+        assert entries[1].values == {"serial_warm_seconds": 0.4}
+        assert entries[1].context["strategy"] == "vectorized"
