@@ -269,9 +269,11 @@ def _append_to_history(payload: dict) -> Path:
     override) accretes the trajectory the
     ``senkf-experiments bench-report`` sentinel judges drift against.
     Warm seconds are recorded (not speedups) because the sentinel treats
-    larger values as regressions.
+    larger values as regressions; ``peak_rss_bytes`` rides along so the
+    sentinel guards the fan-out's memory footprint the same way.
     """
     from repro.telemetry import append_history
+    from repro.telemetry.memprof import peak_rss_bytes
 
     history = Path(
         os.environ.get(
@@ -283,6 +285,7 @@ def _append_to_history(payload: dict) -> Path:
         f"{strategy}_warm_seconds": payload["warm_seconds"][strategy]
         for strategy in STRATEGIES
     }
+    values["peak_rss_bytes"] = peak_rss_bytes()
     append_history(
         history,
         "parallel",

@@ -122,8 +122,10 @@ def _write_metrics_snapshot(payload_path: Path, payload: dict) -> Path:
 
 def _append_to_history(payload: dict) -> Path:
     """One ``service_throughput`` sentinel datapoint per run (seconds,
-    not rates — the sentinel treats larger values as regressions)."""
+    not rates — the sentinel treats larger values as regressions;
+    ``peak_rss_bytes`` rides along to guard the service's footprint)."""
     from repro.telemetry import append_history
+    from repro.telemetry.memprof import peak_rss_bytes
 
     history = Path(
         os.environ.get(
@@ -137,6 +139,7 @@ def _append_to_history(payload: dict) -> Path:
         {
             "seconds_per_job": payload["seconds_per_job"],
             "wall_seconds": payload["wall_seconds"],
+            "peak_rss_bytes": peak_rss_bytes(),
         },
         context={
             "jobs": payload["n_jobs"],

@@ -407,6 +407,7 @@ class CampaignRunner:
         self,
         result: TwinResult | None = None,
         notes: list[str] | None = None,
+        profile: dict | None = None,
     ) -> RunReport:
         """Roll the campaign's telemetry into a versioned :class:`RunReport`.
 
@@ -416,6 +417,9 @@ class CampaignRunner:
         active capture's per-category phase totals and the global
         metrics snapshot.  Call after ``run``/``resume`` with the same
         tracer still installed (or injected via ``tracer=``).
+        ``profile`` attaches a resource-observatory slice (a
+        ``senkf-profile/1`` payload from
+        :func:`~repro.telemetry.memprof.build_profile_report`).
         """
         tracer = self.tracer if self.tracer is not None else get_tracer()
         seeds: dict = {"master_seed": self.experiment.master_seed}
@@ -450,6 +454,7 @@ class CampaignRunner:
                 if self.supervision is not None else None
             ),
             health=health,
+            profile=profile,
             notes=list(notes or []),
         )
 

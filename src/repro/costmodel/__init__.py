@@ -21,6 +21,7 @@ from repro.costmodel.model import (
     CostParams,
     expected_read_inflation,
     kernel_comp_constant,
+    predicted_footprint_bytes,
     t_comm,
     t_comp,
     t_read,
@@ -47,6 +48,7 @@ __all__ = [
     "fit_constants",
     "kernel_comp_constant",
     "observation_from_sim_report",
+    "predicted_footprint_bytes",
     "t1",
     "t_comm",
     "t_comp",

@@ -205,6 +205,56 @@ def t_total_pipelined(
     return read + comm + comp + (n_layers - 1) * max(comp, read, comm)
 
 
+def predicted_footprint_bytes(
+    p: CostParams,
+    n_sdx: int,
+    n_sdy: int,
+    n_layers: int,
+    n_cg: int,
+    geometry_cache_bytes: float = 0.0,
+) -> dict[str, float]:
+    """The memory twin of Eq. (10): peak incremental bytes of one cycle.
+
+    The time model prices seconds; this prices the resident bytes the
+    same decomposition implies, component by component:
+
+    * ``ensemble_bytes`` — the background ensemble *and* the analysis
+      output, both ``n_x·n_y·h·N`` resident simultaneously during the
+      update (the shared-memory engine maps exactly these two arrays,
+      plus perturbed observations already counted in staging);
+    * ``staging_bytes`` — one stage's worth of in-flight small bars
+      (all ``n_cg`` groups stage concurrently: rows ``n_y/(n_sdy·L)+2η``
+      by ``n_x`` columns, ``N/n_cg`` members each) plus the halo-padded
+      blocks the compute side holds (``n_sdx·n_sdy`` ranks, each
+      ``rows × (n_x/n_sdx + 2ξ)`` by ``N/n_cg``).  This is the term the
+      C1/C2 economic split trades against I/O: more layers mean smaller
+      bars in flight;
+    * ``geometry_cache_bytes`` — measured, passed in by the caller
+      (:meth:`repro.parallel.geometry.GeometryCache.nbytes`), because
+      cached geometry depends on the observation network, which the
+      cost model deliberately does not parameterise.
+
+    Returns the components plus their ``total_bytes`` sum — the
+    *increment* over the process baseline, not absolute RSS (see
+    :func:`repro.telemetry.memprof.footprint_attribution`).
+    """
+    ensemble = 2.0 * p.n_x * p.n_y * p.h * p.n_members
+    rows = p.small_bar_rows(n_sdy, n_layers)
+    bars = rows * p.n_x * p.h * p.n_members  # all n_cg groups, one stage
+    blocks = (
+        rows * p.block_cols(n_sdx) * (p.n_members / n_cg) * p.h
+        * n_sdx * n_sdy
+    )
+    staging = bars + blocks
+    total = ensemble + staging + float(geometry_cache_bytes)
+    return {
+        "ensemble_bytes": ensemble,
+        "staging_bytes": staging,
+        "geometry_cache_bytes": float(geometry_cache_bytes),
+        "total_bytes": total,
+    }
+
+
 def expected_read_inflation(
     fault_rate: float,
     max_retries: int = 3,

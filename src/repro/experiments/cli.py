@@ -481,6 +481,322 @@ def _render_health_panel(path) -> int:
     return 1 if critical else 0
 
 
+def _run_doctor_profile(args) -> int:
+    """``senkf-experiments doctor --profile``: the resource observatory.
+
+    Runs the CLI's fixed mini campaign twice — once bare as the
+    bit-identity reference, once under the sampling profiler, the
+    memory profiler and a process fan-out (so worker tracks land in the
+    artifact) — then writes the flamegraph inputs (collapsed stacks +
+    speedscope JSON), the schema-validated ``senkf-profile/1`` artifact
+    and a run report embedding it.  The panel prints the
+    phase-attributed sample mix, the per-phase memory deltas, the
+    predicted-vs-measured peak-RSS drift verdict and the shared-memory
+    leak sentinel.  Exit 1 when any acceptance check fails: profiling
+    must not change a single bit of the analysis, >= 90 % of samples
+    must attribute to known phases, predicted peak RSS must join the
+    measurement within 15 %, and no shared segment may outlive the run.
+    """
+    from pathlib import Path
+
+    import numpy as np
+
+    from repro.core import radius_to_halo
+    from repro.costmodel import CostParams, predicted_footprint_bytes
+    from repro.telemetry import (
+        PROFILE_SCHEMA,
+        AlertEngine,
+        MemoryProfiler,
+        MetricsRegistry,
+        RunReport,
+        SamplingProfiler,
+        Tracer,
+        append_history,
+        build_profile_report,
+        check_regression,
+        default_memory_rules,
+        footprint_attribution,
+        publish_memory_gauges,
+        read_history,
+        shared_segment_registry,
+        use_metrics,
+        use_profiler,
+        use_tracer,
+        write_profile_report,
+    )
+    from repro.util.timing import WallTimer
+
+    out = Path(args.out or "doctor-out")
+    out.mkdir(parents=True, exist_ok=True)
+    n_cycles = max(2, args.cycles)
+
+    def drive(twin, truth0, ensemble0, on_cycle=None):
+        # TwinResult carries diagnostics only; the bit-identity check
+        # needs the final ensemble, so drive the cycles by hand.
+        state = twin.initial_state(truth0, ensemble0, track_free_run=False)
+        seeds = twin.cycle_seeds()
+        for _ in range(n_cycles):
+            if on_cycle is None:
+                state = twin.run_cycle(state, next(seeds))
+            else:
+                state = on_cycle(state, next(seeds))
+        return state.states.copy()
+
+    # Pass 1 — the uninstrumented reference this run must match bit-for-bit.
+    twin, truth0, ensemble0, filt = _campaign_problem()
+    try:
+        reference = drive(twin, truth0, ensemble0)
+    finally:
+        filt.close()
+
+    # Pass 2 — same campaign under the full observatory: ambient tracer
+    # (phase attribution), sampling profiler (driver + pool workers),
+    # memory profiler feeding the runaway alert engine every cycle.
+    registry = shared_segment_registry()
+    live_before = registry.live_count()
+    shm_before = registry.checkpoint()
+    metrics = MetricsRegistry()
+    tracer = Tracer()
+    profiler = SamplingProfiler(interval=args.profile_interval)
+    mem = MemoryProfiler()
+    engine = AlertEngine(default_memory_rules())
+    executor = None
+    if args.profile_chaos:
+        # Chaos mode: the supervised pool with injected worker crashes.
+        # Piece retries are deterministic, so the bit-identity check
+        # below still has to hold — profiled, supervised AND faulted.
+        from repro.faults import FaultSchedule
+        from repro.parallel import (
+            AnalysisExecutor,
+            DeadlinePolicy,
+            SupervisionPolicy,
+        )
+
+        executor = AnalysisExecutor(
+            strategy="process",
+            workers=2,
+            supervision=SupervisionPolicy(
+                deadline=DeadlinePolicy(floor_seconds=10.0)
+            ),
+            faults=FaultSchedule(
+                seed=args.fault_seed, worker_crash_rate=0.2
+            ),
+        )
+    twin, truth0, ensemble0, filt = _campaign_problem(
+        workers=None if executor is not None else 2,
+        executor=executor,
+        strategy=None if executor is not None else "process",
+    )
+    with WallTimer() as timer:
+        try:
+            with use_tracer(tracer), use_metrics(metrics), \
+                    use_profiler(profiler):
+                mem.start()
+                profiler.start()
+
+                def profiled_cycle(state, seed):
+                    with mem.phase("cycle"):
+                        state = twin.run_cycle(state, seed)
+                    engine.evaluate(state.cycle, mem.observe_cycle())
+                    return state
+
+                try:
+                    profiled = drive(
+                        twin, truth0, ensemble0, on_cycle=profiled_cycle
+                    )
+                finally:
+                    profiler.stop()
+                    mem.stop()
+            geometry_bytes = float(filt.geometry.nbytes())
+        finally:
+            filt.close()
+            if executor is not None:
+                executor.close()
+
+    # The report's shm slice is taken *after* filt.close(): every
+    # segment the fan-out mapped must be gone by now.
+    memory_slice = mem.report()
+    leaked = registry.live_count() - live_before
+    shm_after = registry.checkpoint()
+    gc_reclaimed = shm_after[1] - shm_before[1]
+
+    # Predicted footprint: the cost-model parameters of the exact
+    # problem _campaign_problem builds (float64 fields, 2x2 ranks, no
+    # layering or group concurrency on the real path), joined against
+    # the measured peak.
+    xi, eta = radius_to_halo(6.0, 2.5, 5.0)
+    params = CostParams(
+        n_x=24, n_y=12, n_members=16, h=8.0, xi=xi, eta=eta,
+        a=0.0, b=0.0, c=0.0, theta=0.0,
+    )
+    components = predicted_footprint_bytes(
+        params, n_sdx=2, n_sdy=2, n_layers=1, n_cg=1,
+        geometry_cache_bytes=geometry_bytes,
+    )
+    footprint = footprint_attribution(
+        components["total_bytes"],
+        memory_slice["baseline_rss_bytes"],
+        memory_slice["peak_rss_bytes"],
+        components=components,
+    )
+    tm_peak = memory_slice["tracemalloc"]["peak_bytes"]
+    publish_memory_gauges(
+        metrics,
+        geometry_cache_bytes=geometry_bytes,
+        tracemalloc_peak=tm_peak,
+    )
+
+    identical = bool(np.array_equal(reference, profiled))
+    sampler_slice = profiler.report(top=10)
+    notes = [
+        f"{n_cycles}-cycle P-EnKF mini campaign, process fan-out "
+        f"(2 workers"
+        + (", supervised, worker_crash_rate=0.2" if args.profile_chaos
+           else "")
+        + f"), profiled at {profiler.interval * 1e3:.1f} ms",
+        f"bit-identical to the unprofiled reference: "
+        f"{'yes' if identical else 'NO'}",
+        f"memory alerts fired: {len(engine.fired)}",
+    ]
+    payload = build_profile_report(
+        sampler=sampler_slice, memory=memory_slice, footprint=footprint,
+        notes=notes,
+    )
+    profile_path = write_profile_report(payload, out / "profile.json")
+    collapsed_path = profiler.write_collapsed(out / "profile.collapsed")
+    speedscope_path = profiler.write_speedscope(
+        out / "profile.speedscope.json"
+    )
+    run_report = RunReport(
+        kind="doctor-profile",
+        config={
+            "n_cycles": n_cycles,
+            "workers": 2,
+            "strategy": "process",
+            "profile_interval": profiler.interval,
+            "chaos": bool(args.profile_chaos),
+        },
+        seeds={"master_seed": 3, "ensemble_seed": 7, "network_seed": 1},
+        n_cycles=n_cycles,
+        phase_totals=tracer.phase_totals(),
+        metrics=metrics.snapshot(),
+        diagnostics={"wall_seconds": [timer.elapsed]},
+        notes=notes,
+        profile=payload,
+    )
+    report_path = run_report.write(out / "run_report.json")
+
+    def mb(x):
+        return f"{x / 1e6:.1f} MB"
+
+    frac = sampler_slice["attributed_fraction"]
+    print("== resource observatory ==")
+    print(
+        f"sampler: {sampler_slice['n_samples']} samples over "
+        f"{timer.elapsed:.2f} s on tracks "
+        f"{', '.join(sorted(sampler_slice['tracks']))}"
+    )
+    print(
+        f"  phase mix: "
+        + "  ".join(
+            f"{phase}={n}"
+            for phase, n in sorted(sampler_slice["phase_samples"].items())
+        )
+        + f"   (attributed {frac:.1%})"
+    )
+    for line in profiler.collapsed().splitlines()[:5]:
+        print(f"  {line}")
+    print(
+        f"memory: baseline {mb(memory_slice['baseline_rss_bytes'])} -> "
+        f"peak {mb(memory_slice['peak_rss_bytes'])}"
+        + (
+            f", tracemalloc peak {mb(tm_peak)}"
+            if tm_peak is not None else ", tracemalloc unavailable"
+        )
+    )
+    for name, ph in sorted(memory_slice["phases"].items()):
+        print(
+            f"  phase {name}: x{ph['count']:.0f}, "
+            f"rss {ph['rss_delta_bytes'] / 1e6:+.1f} MB, "
+            f"tracemalloc {ph['tracemalloc_delta_bytes'] / 1e6:+.1f} MB"
+        )
+    rel = footprint["rel_error"]
+    print(
+        f"footprint: predicted peak "
+        f"{mb(footprint['predicted_peak_rss_bytes'])} "
+        f"(baseline + {footprint['predicted_increment_bytes']:.0f} B model "
+        f"increment) vs measured {mb(footprint['measured_peak_rss_bytes'])}"
+        + (f"  ({rel:+.1%})" if rel is not None else "")
+    )
+    for flag in footprint["drift_flags"]:
+        print(f"  DRIFT {flag}")
+    shm = memory_slice["shm"]
+    print(
+        f"shm sentinel: {shm_after[0] - shm_before[0]} segment(s) created "
+        f"this run, {gc_reclaimed} reclaimed only by gc, "
+        f"{shm['live_count']} live at exit ({mb(shm['live_bytes'])})"
+    )
+    print(
+        "memory alerts: "
+        + (
+            ", ".join(a.rule for a in engine.fired)
+            if engine.fired else "none"
+        )
+    )
+    print(
+        "bit identity: profiled analysis "
+        + ("matches" if identical else "DIVERGES from")
+        + " the unprofiled reference"
+    )
+    print()
+    print(f"wrote {profile_path}  (schema {PROFILE_SCHEMA})")
+    print(f"wrote {collapsed_path}  (collapsed stacks; flamegraph input)")
+    print(f"wrote {speedscope_path}  (open at speedscope.app)")
+    print(f"wrote {report_path}  (schema {run_report.schema})")
+
+    history_path = Path(args.history)
+    values = {
+        "wall_seconds": timer.elapsed,
+        "peak_rss_bytes": float(memory_slice["peak_rss_bytes"]),
+    }
+    verdicts = check_regression(
+        read_history(history_path, bench="doctor-profile"),
+        "doctor-profile",
+        values,
+    )
+    append_history(
+        history_path,
+        "doctor-profile",
+        values,
+        context={"schema": PROFILE_SCHEMA, "n_cycles": n_cycles},
+    )
+    print(f"appended doctor-profile entry to {history_path}")
+
+    failures = []
+    if not identical:
+        failures.append("profiled run is not bit-identical to the reference")
+    if sampler_slice["n_samples"] == 0:
+        failures.append("sampler collected zero samples")
+    elif frac < 0.90:
+        failures.append(
+            f"only {frac:.1%} of samples attributed to known phases (< 90%)"
+        )
+    if footprint["drift_flags"]:
+        failures.append("predicted peak RSS drifted beyond 15% of measured")
+    if leaked > 0:
+        failures.append(f"{leaked} shared segment(s) still live at exit")
+    if engine.fired:
+        failures.append(
+            f"memory alert(s) fired: {', '.join(a.rule for a in engine.fired)}"
+        )
+    for v in verdicts:
+        if v.status == "fail":
+            failures.append(f"sentinel FAIL: doctor-profile.{v.key} {v.reason}")
+    for f in failures:
+        print(f"FAIL: {f}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def _run_doctor(args) -> int:
     """``senkf-experiments doctor``: observe → calibrate → attribute.
 
@@ -492,7 +808,9 @@ def _run_doctor(args) -> int:
     the run to the bench regression sentinel's history.  With
     ``--run-report PATH`` it instead renders the supervision panel of an
     existing report and exits; with ``--service-report PATH`` the
-    service dashboard of a serving session.
+    service dashboard of a serving session; with ``--profile`` the
+    resource observatory over a *real* profiled campaign
+    (:func:`_run_doctor_profile`).
     """
     if args.run_report:
         return _render_report_supervision(args.run_report)
@@ -500,6 +818,8 @@ def _run_doctor(args) -> int:
         return _render_service_report_panel(args.service_report)
     if args.health:
         return _render_health_panel(args.health)
+    if args.profile:
+        return _run_doctor_profile(args)
 
     from pathlib import Path
 
@@ -940,6 +1260,28 @@ def main(argv: list[str] | None = None) -> int:
         default=0.15,
         metavar="RATE",
         help="disk fault rate of the doctor's chaos cycle (default 0.15)",
+    )
+    doctor.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the resource observatory instead: profile a real "
+             "process fan-out campaign (flamegraph + per-phase memory + "
+             "peak-RSS drift verdict + shm leak sentinel); exit 1 when "
+             "any acceptance check fails",
+    )
+    doctor.add_argument(
+        "--profile-interval",
+        type=float,
+        default=0.002,
+        metavar="SECONDS",
+        help="sampling interval of doctor --profile (default 0.002)",
+    )
+    doctor.add_argument(
+        "--profile-chaos",
+        action="store_true",
+        help="run doctor --profile's campaign on the supervised pool "
+             "with injected worker crashes (bit-identity must survive "
+             "chaos + profiling + retries)",
     )
     doctor.add_argument(
         "--history",

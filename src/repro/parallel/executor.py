@@ -74,6 +74,7 @@ from repro.parallel.supervise import SupervisionPolicy, SupervisionStats
 from repro.parallel.vectorized import VectorizedPolicy, run_vectorized
 from repro.parallel.worker import KIND_ENKF, KIND_ETKF, compute_piece, run_chunk
 from repro.telemetry.metrics import get_metrics
+from repro.telemetry.profiler import get_profiler
 from repro.telemetry.tracer import get_tracer
 
 __all__ = ["AnalysisExecutor", "AnalysisPlan", "serial_executor"]
@@ -296,6 +297,10 @@ class AnalysisExecutor:
             metrics.gauge("parallel.workers").set(
                 workers if strategy not in ("serial", "vectorized") else 1
             )
+            if plan.cache is not None:
+                metrics.gauge("geometry.cache_bytes").set(
+                    float(plan.cache.nbytes())
+                )
         return n_pieces
 
     # -- prepared-piece pipeline ----------------------------------------------
@@ -451,6 +456,12 @@ class AnalysisExecutor:
                 "kind": plan.kind,
                 "params": plan.params,
                 "trace": bool(tracer.enabled),
+                # sampling interval for the in-worker profiler, or None;
+                # workers only sample while profiling is on in the parent.
+                "profile": (
+                    get_profiler().interval if get_profiler().enabled
+                    else None
+                ),
                 "states": asdict(shm_states.spec),
                 "obs": asdict(shm_obs.spec),
                 "out": asdict(shm_out.spec),
@@ -489,8 +500,9 @@ class AnalysisExecutor:
             if chunk:
                 futures.append(pool.submit(run_chunk, token, ctx_bytes, chunk))
             for future in futures:
-                pid, spans = future.result()
+                pid, spans, samples = future.result()
                 self._merge_worker_spans(tracer, pid, spans)
+                self._merge_worker_profile(pid, samples)
             np.copyto(plan.out, shm_out.array)
             if tracer.enabled:
                 get_metrics().counter("parallel.chunks").inc(len(futures))
@@ -604,11 +616,12 @@ class AnalysisExecutor:
                     for future in done:
                         idx = remaining.pop(future)
                         try:
-                            pid, spans = future.result()
+                            pid, spans, samples = future.result()
                         except BrokenProcessPool:
                             failure = "crash"
                             break
                         self._merge_worker_spans(tracer, pid, spans)
+                        self._merge_worker_profile(pid, samples)
                         pending.difference_update(idx)
                         observed = (
                             (time.perf_counter() - round_t0) / len(idx)
@@ -712,6 +725,18 @@ class AnalysisExecutor:
                 name, start + offset, end + offset,
                 category=category, track=f"worker-{pid}", **attrs,
             )
+
+    @staticmethod
+    def _merge_worker_profile(pid: int, samples: list) -> None:
+        """Fold a chunk's in-worker stack samples into the ambient
+        profiler under the same ``worker-<pid>`` track the spans use —
+        everything a worker samples *is* parallel local analysis, so the
+        phase is fixed."""
+        if not samples:
+            return
+        profiler = get_profiler()
+        if profiler.enabled:
+            profiler.merge_samples(f"worker-{pid}", "parallel", samples)
 
     # -- lifecycle -------------------------------------------------------------
     def close(self) -> None:

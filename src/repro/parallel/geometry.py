@@ -33,7 +33,7 @@ from __future__ import annotations
 import hashlib
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 import numpy as np
 
@@ -43,6 +43,29 @@ from repro.telemetry.metrics import get_metrics
 from repro.telemetry.tracer import get_tracer
 
 __all__ = ["BucketGeometry", "GeometryCache", "PieceGeometry"]
+
+
+def _value_nbytes(value) -> int:
+    """Array bytes of one field value: ndarray, CSR matrix, or a
+    list/tuple of either; everything else counts zero."""
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    if hasattr(value, "data") and hasattr(value, "indices") and hasattr(
+        value, "indptr"
+    ):  # scipy CSR/CSC without importing scipy here
+        return int(
+            value.data.nbytes + value.indices.nbytes + value.indptr.nbytes
+        )
+    if isinstance(value, (list, tuple)):
+        return sum(_value_nbytes(item) for item in value)
+    return 0
+
+
+def _geometry_nbytes(entry) -> int:
+    """Summed array bytes across every dataclass field of one entry."""
+    return sum(
+        _value_nbytes(getattr(entry, f.name)) for f in fields(entry)
+    )
 
 
 @dataclass(frozen=True)
@@ -360,14 +383,31 @@ class GeometryCache:
         with self._lock:
             return len(self._entries)
 
+    def nbytes(self) -> int:
+        """Total bytes of array payload held by the cached entries.
+
+        The cache bounds entry *count* (``maxsize``); this is the
+        byte-side view the resource observatory exports as the
+        ``geometry_cache_bytes`` gauge and the footprint model counts as
+        a measured component.  Sums every ndarray field of every entry —
+        including CSR matrices (data/indices/indptr) and per-point
+        predecessor lists — and ignores scalars/signatures, whose bytes
+        are noise next to the arrays.
+        """
+        with self._lock:
+            entries = list(self._entries.values())
+        return sum(_geometry_nbytes(entry) for entry in entries)
+
     @property
     def stats(self) -> dict:
         with self._lock:
-            return {
+            stats = {
                 "hits": self.hits,
                 "misses": self.misses,
                 "entries": len(self._entries),
             }
+        stats["bytes"] = self.nbytes()
+        return stats
 
     def clear(self) -> None:
         """Drop every entry (and the object pins backing the keys)."""

@@ -29,6 +29,8 @@ from multiprocessing import resource_tracker, shared_memory
 
 import numpy as np
 
+from repro.telemetry.memprof import shared_segment_registry
+
 __all__ = ["AttachedArray", "SharedArraySpec", "SharedEnsemble", "attach_array"]
 
 
@@ -123,6 +125,7 @@ class SharedEnsemble:
         self.spec = SharedArraySpec(
             name=self._shm.name, shape=shape, dtype=dtype.str
         )
+        shared_segment_registry().record_create(self._shm.name, nbytes)
 
     @classmethod
     def create(cls, shape: tuple[int, ...], dtype=np.float64) -> "SharedEnsemble":
@@ -144,7 +147,7 @@ class SharedEnsemble:
         return self._view
 
     # -- lifecycle -----------------------------------------------------------
-    def dispose(self) -> None:
+    def dispose(self, _via_gc: bool = False) -> None:
         """Drop the view, close the mapping and unlink the name (idempotent)."""
         self._view = None
         if self._shm is None:
@@ -158,6 +161,9 @@ class SharedEnsemble:
             shm.unlink()
         except FileNotFoundError:  # pragma: no cover - already unlinked
             pass
+        # GC-driven disposal means the segment outlived its run: the
+        # registry counts it separately so the leak sentinel can flag it.
+        shared_segment_registry().record_dispose(shm.name, via_gc=_via_gc)
 
     def __enter__(self) -> "SharedEnsemble":
         return self
@@ -168,6 +174,6 @@ class SharedEnsemble:
 
     def __del__(self):  # pragma: no cover - GC backstop only
         try:
-            self.dispose()
+            self.dispose(_via_gc=True)
         except Exception:
             pass

@@ -116,46 +116,67 @@ def _call_state(token: Any, ctx_bytes: bytes) -> _CallState:
 
 def run_chunk(
     token: Any, ctx_bytes: bytes, chunk: list, attempt: int = 0
-) -> tuple[int, list]:
+) -> tuple[int, list, list]:
     """Process-pool task: analyse ``chunk``'s pieces against shared arrays.
 
     ``chunk`` is a list of ``(index, piece, geometry)`` triples prepared
     (and geometry-cached) in the parent.  ``attempt`` is the
     supervisor's resubmission count for these pieces (0 on first
     submission); it only feeds the fault-injection draws.  Returns
-    ``(pid, spans)`` where ``spans`` are ``(name, category, start, end,
-    attrs)`` tuples on this process's ``perf_counter`` clock; the parent
-    re-bases them onto its tracer clock.
+    ``(pid, spans, profile_samples)`` where ``spans`` are ``(name,
+    category, start, end, attrs)`` tuples on this process's
+    ``perf_counter`` clock (the parent re-bases them onto its tracer
+    clock) and ``profile_samples`` are aggregated ``(stack, count)``
+    pairs from the in-worker sampler — empty unless the context carries
+    a ``profile`` interval (see
+    :mod:`repro.telemetry.profiler`); the parent merges them onto the
+    ``worker-<pid>`` track.
     """
     state = _call_state(token, ctx_bytes)
     ctx = state.ctx
     kind = ctx["kind"]
     params = ctx["params"]
     trace = ctx["trace"]
+    profile = ctx.get("profile")
     states = state.states.array
     obs = state.obs.array
     out = state.out.array
     spans: list[tuple] = []
-    for index, piece, geometry in chunk:
-        if state.faults is not None:
-            hang = state.faults.worker_hang(index, attempt)
-            if hang > 0.0:
-                time.sleep(hang)
-            if state.faults.worker_crash(index, attempt):
-                # A real worker death: no cleanup, no exception — the
-                # parent sees a BrokenProcessPool, exactly as it would
-                # for a segfault or an OOM kill.
-                os._exit(13)
-        t0 = time.perf_counter()
-        xb = states[geometry.expansion_flat]
-        result = compute_piece(kind, piece, xb, obs, geometry, params)
-        out[geometry.interior_flat] = result
-        if trace:
-            spans.append((
-                "parallel.local_analysis",
-                "parallel",
-                t0,
-                time.perf_counter(),
-                {"piece": index, "n_obs": int(geometry.obs_positions.size)},
-            ))
-    return os.getpid(), spans
+    if profile:
+        from repro.telemetry.profiler import worker_begin_chunk
+
+        worker_begin_chunk(profile)
+    try:
+        for index, piece, geometry in chunk:
+            if state.faults is not None:
+                hang = state.faults.worker_hang(index, attempt)
+                if hang > 0.0:
+                    time.sleep(hang)
+                if state.faults.worker_crash(index, attempt):
+                    # A real worker death: no cleanup, no exception — the
+                    # parent sees a BrokenProcessPool, exactly as it would
+                    # for a segfault or an OOM kill.
+                    os._exit(13)
+            t0 = time.perf_counter()
+            xb = states[geometry.expansion_flat]
+            result = compute_piece(kind, piece, xb, obs, geometry, params)
+            out[geometry.interior_flat] = result
+            if trace:
+                spans.append((
+                    "parallel.local_analysis",
+                    "parallel",
+                    t0,
+                    time.perf_counter(),
+                    {"piece": index, "n_obs": int(geometry.obs_positions.size)},
+                ))
+    finally:
+        samples: list[tuple] = []
+        if profile:
+            from repro.telemetry.profiler import (
+                worker_drain_samples,
+                worker_end_chunk,
+            )
+
+            worker_end_chunk()
+            samples = worker_drain_samples()
+    return os.getpid(), spans, samples

@@ -110,6 +110,13 @@ class AssimilationService:
     dump_dir:
         Where automatic and requested flight dumps land; defaults to
         ``root/_flight`` when a root is set.
+    memory_budget_bytes:
+        Optional per-host resident-memory budget.  ``submit`` rejects
+        (``AdmissionError``) any job whose predicted peak footprint
+        (:meth:`~repro.service.job.CostEstimate.peak_bytes`) can never
+        fit it, and the scheduler defers placement while the running
+        jobs' predicted footprints leave no room (see
+        :class:`~repro.service.scheduler.Scheduler`).
     """
 
     def __init__(
@@ -127,6 +134,7 @@ class AssimilationService:
         alert_rules: list[AlertRule] | tuple[AlertRule, ...] | None = None,
         flight_capacity: int = DEFAULT_CAPACITY,
         dump_dir: str | Path | None = None,
+        memory_budget_bytes: float | None = None,
     ):
         self.clock = clock
         self.root = Path(root) if root is not None else None
@@ -137,6 +145,7 @@ class AssimilationService:
             self.ledger,
             aging_rate=aging_rate,
             default_seconds=default_seconds,
+            memory_budget_bytes=memory_budget_bytes,
         )
         self.tracing = bool(tracing)
         self.metrics = MetricsRegistry()
@@ -229,6 +238,14 @@ class AssimilationService:
                 f"job demands {spec.slots} slot(s) but the service has "
                 f"only {self.total_slots}"
             )
+        budget = self.scheduler.memory_budget_bytes
+        if budget is not None:
+            demand = self.scheduler.predict_peak_bytes(spec)
+            if demand > budget:
+                raise AdmissionError(
+                    f"job's predicted peak footprint {demand:.4g} B exceeds "
+                    f"the per-host memory budget {budget:.4g} B"
+                )
         predicted = self.scheduler.predict_seconds(spec)
         self.ledger.check_submit(
             spec.tenant, predicted, self.queue.tenant_pending_count(spec.tenant)

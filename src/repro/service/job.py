@@ -29,7 +29,12 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Optional
 
-from repro.costmodel.model import CostParams, t_total, t_total_pipelined
+from repro.costmodel.model import (
+    CostParams,
+    predicted_footprint_bytes,
+    t_total,
+    t_total_pipelined,
+)
 from repro.util.validation import check_nonnegative, check_positive
 
 __all__ = [
@@ -135,6 +140,19 @@ class CostEstimate:
             params, self.n_sdx, self.n_sdy, self.n_layers, self.n_cg
         )
         return self.n_cycles * per_cycle
+
+    def peak_bytes(self, geometry_cache_bytes: float = 0.0) -> float:
+        """Predicted peak resident bytes while the job runs.
+
+        Cycles reuse the same ensembles and staging buffers, so unlike
+        :meth:`seconds` this does **not** scale with ``n_cycles`` — it is
+        the per-host footprint the scheduler's memory budget admits
+        against (see :func:`repro.costmodel.model.predicted_footprint_bytes`).
+        """
+        return predicted_footprint_bytes(
+            self.params, self.n_sdx, self.n_sdy, self.n_layers, self.n_cg,
+            geometry_cache_bytes=geometry_cache_bytes,
+        )["total_bytes"]
 
 
 @dataclass(frozen=True)

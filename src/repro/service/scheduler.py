@@ -85,6 +85,19 @@ class Scheduler:
         waiting forgives three slot-seconds of past usage.
     default_seconds:
         Prediction for jobs submitted without a :class:`CostEstimate`.
+    memory_budget_bytes:
+        Optional per-host resident-memory budget.  When set, a job is
+        placed only if its predicted peak footprint
+        (:meth:`~repro.service.job.CostEstimate.peak_bytes`, or
+        ``default_peak_bytes`` without an estimate) fits alongside the
+        predicted footprints of the jobs already running.  Memory
+        pressure never *preempts* — evicting a running campaign frees
+        its bytes only after the checkpoint completes, by which time the
+        pressure that motivated the eviction has already done its damage
+        — it only defers placement.
+    default_peak_bytes:
+        Footprint assumed for jobs without a :class:`CostEstimate` when
+        a memory budget is set.
     """
 
     def __init__(
@@ -94,14 +107,24 @@ class Scheduler:
         *,
         aging_rate: float = 0.05,
         default_seconds: float = 1.0,
+        memory_budget_bytes: float | None = None,
+        default_peak_bytes: float = 0.0,
     ):
         check_positive("total_slots", total_slots)
         check_nonnegative("aging_rate", aging_rate)
         check_positive("default_seconds", default_seconds)
+        if memory_budget_bytes is not None:
+            check_positive("memory_budget_bytes", memory_budget_bytes)
+        check_nonnegative("default_peak_bytes", default_peak_bytes)
         self.total_slots = int(total_slots)
         self.ledger = ledger if ledger is not None else QuotaLedger()
         self.aging_rate = float(aging_rate)
         self.default_seconds = float(default_seconds)
+        self.memory_budget_bytes = (
+            float(memory_budget_bytes) if memory_budget_bytes is not None
+            else None
+        )
+        self.default_peak_bytes = float(default_peak_bytes)
 
     # -- admission oracle ---------------------------------------------------
     def predict_seconds(self, spec: JobSpec) -> float:
@@ -111,6 +134,12 @@ class Scheduler:
         return spec.cost.seconds(
             read_inflation=service_read_inflation(spec.faults)
         )
+
+    def predict_peak_bytes(self, spec: JobSpec) -> float:
+        """Predicted peak resident footprint of one submission."""
+        if spec.cost is None:
+            return self.default_peak_bytes
+        return spec.cost.peak_bytes()
 
     # -- ordering -----------------------------------------------------------
     def order_key(self, job: Job, now: float):
@@ -157,15 +186,30 @@ class Scheduler:
             tenant_running[job.tenant] = (
                 tenant_running.get(job.tenant, 0) + job.slots
             )
+        free_bytes = None
+        if self.memory_budget_bytes is not None:
+            free_bytes = self.memory_budget_bytes - sum(
+                self.predict_peak_bytes(job.spec) for job in running
+            )
         preemption_considered = False
         for job in self.ordered_pending(pending, now):
             held = tenant_running.get(job.tenant, 0)
             if not self.ledger.allows_start(job.tenant, job.slots, held):
                 continue
+            if free_bytes is not None:
+                # Memory is deferral-only: a job that doesn't fit the
+                # byte budget waits for a running footprint to finish;
+                # lower-ranked jobs may still backfill (and may also
+                # still trigger slot preemption below).
+                job_bytes = self.predict_peak_bytes(job.spec)
+                if job_bytes > free_bytes:
+                    continue
             if job.slots <= free:
                 plan.place.append(job)
                 free -= job.slots
                 tenant_running[job.tenant] = held + job.slots
+                if free_bytes is not None:
+                    free_bytes -= job_bytes
                 continue
             if not preemption_considered:
                 preemption_considered = True

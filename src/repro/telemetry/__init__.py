@@ -30,6 +30,7 @@ from repro.telemetry.attribution import (
     ATTRIBUTION_SCHEMA,
     AttributionReport,
     CycleAttribution,
+    MemoryAttribution,
     PhaseAttribution,
     attribute_sim_reports,
     cycle_from_sim_report,
@@ -71,6 +72,20 @@ from repro.telemetry.health import (
     render_health,
     validate_health_report,
 )
+from repro.telemetry.memprof import (
+    PROFILE_SCHEMA,
+    MemoryProfiler,
+    SharedSegmentRegistry,
+    build_profile_report,
+    current_rss_bytes,
+    default_memory_rules,
+    footprint_attribution,
+    peak_rss_bytes,
+    publish_memory_gauges,
+    shared_segment_registry,
+    validate_profile_report,
+    write_profile_report,
+)
 from repro.telemetry.metrics import (
     DEFAULT_TIME_BUCKETS,
     Counter,
@@ -82,6 +97,15 @@ from repro.telemetry.metrics import (
     set_metrics,
     use_metrics,
     use_thread_metrics,
+)
+from repro.telemetry.profiler import (
+    NULL_PROFILER,
+    NullProfiler,
+    SamplingProfiler,
+    WorkerSampler,
+    get_profiler,
+    set_profiler,
+    use_profiler,
 )
 from repro.telemetry.report import (
     RUN_REPORT_SCHEMA,
@@ -117,31 +141,46 @@ __all__ = [
     "HealthProbe",
     "HealthReport",
     "Histogram",
+    "MemoryAttribution",
+    "MemoryProfiler",
     "MetricsExporter",
     "MetricsRegistry",
+    "NULL_PROFILER",
     "NULL_TRACER",
+    "NullProfiler",
     "NullTracer",
+    "PROFILE_SCHEMA",
     "PhaseAttribution",
     "RUN_REPORT_SCHEMA",
     "RunReport",
+    "SamplingProfiler",
     "SentinelVerdict",
+    "SharedSegmentRegistry",
     "Span",
     "SpanRing",
     "TraceEvent",
     "Tracer",
+    "WorkerSampler",
     "append_history",
     "attribute_sim_reports",
+    "build_profile_report",
     "check_regression",
     "chrome_trace",
+    "current_rss_bytes",
     "cycle_from_sim_report",
     "cycle_from_spans",
     "default_filter_rules",
+    "default_memory_rules",
     "default_service_rules",
+    "footprint_attribution",
     "get_metrics",
+    "get_profiler",
     "get_tracer",
     "merge_snapshots",
+    "peak_rss_bytes",
     "percentiles_from_buckets",
     "prometheus_text",
+    "publish_memory_gauges",
     "read_history",
     "render_health",
     "render_histograms",
@@ -153,15 +192,20 @@ __all__ = [
     "sanitize_metric_name",
     "sentinel_report",
     "set_metrics",
+    "set_profiler",
     "set_tracer",
+    "shared_segment_registry",
     "spans_from_chrome",
     "spans_from_timeline",
     "use_metrics",
+    "use_profiler",
     "use_thread_metrics",
     "use_thread_tracer",
     "use_tracer",
     "validate_attribution_report",
     "validate_health_report",
+    "validate_profile_report",
     "validate_run_report",
     "write_chrome_trace",
+    "write_profile_report",
 ]

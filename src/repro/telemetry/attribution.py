@@ -46,6 +46,7 @@ __all__ = [
     "ATTRIBUTION_SCHEMA",
     "AttributionReport",
     "CycleAttribution",
+    "MemoryAttribution",
     "PhaseAttribution",
     "attribute_sim_reports",
     "cycle_from_sim_report",
@@ -84,6 +85,57 @@ class PhaseAttribution:
             "phase": self.phase,
             "predicted": self.predicted,
             "measured": self.measured,
+            "abs_error": self.abs_error,
+            "rel_error": rel if math.isfinite(rel) else None,
+        }
+
+
+@dataclass(frozen=True)
+class MemoryAttribution:
+    """One predicted-vs-measured *bytes* row (the footprint join).
+
+    Same error conventions as :class:`PhaseAttribution` — signed
+    relative error against the measurement, infinite when predicting
+    bytes that were never measured — so the memory dashboard reads
+    exactly like the time one.  Built by
+    :func:`repro.telemetry.memprof.footprint_attribution`.
+    """
+
+    label: str
+    predicted_bytes: float
+    measured_bytes: float
+
+    @property
+    def abs_error(self) -> float:
+        return self.predicted_bytes - self.measured_bytes
+
+    @property
+    def rel_error(self) -> float:
+        if self.measured_bytes > 0.0:
+            return self.abs_error / self.measured_bytes
+        return math.inf if self.predicted_bytes > 0.0 else 0.0
+
+    def drift_flag(self, threshold: float = 0.15) -> str | None:
+        """The drift message for this row, or None when within budget."""
+        rel = self.rel_error
+        if not math.isfinite(rel):
+            return (
+                f"{self.label}: predicted {self.predicted_bytes:.4g}B "
+                f"but nothing measured"
+            )
+        if abs(rel) > threshold:
+            return (
+                f"{self.label}: predicted {self.predicted_bytes:.4g}B vs "
+                f"measured {self.measured_bytes:.4g}B ({rel:+.1%})"
+            )
+        return None
+
+    def to_dict(self) -> dict:
+        rel = self.rel_error
+        return {
+            "label": self.label,
+            "predicted_bytes": self.predicted_bytes,
+            "measured_bytes": self.measured_bytes,
             "abs_error": self.abs_error,
             "rel_error": rel if math.isfinite(rel) else None,
         }

@@ -279,7 +279,7 @@ def sentinel_report(
     ]
     lines.append(
         f"  {'bench':<28} {'metric':<18} {'current':>10} {'median':>10} "
-        f"{'n':>3}  verdict"
+        f"{'n':>3} {'peak RSS':>9}  verdict"
     )
     all_verdicts: list[SentinelVerdict] = []
     for bench in sorted(by_bench):
@@ -289,11 +289,16 @@ def sentinel_report(
             window=window, warn_mads=warn_mads, fail_mads=fail_mads,
         )
         all_verdicts.extend(verdicts)
-        for v in verdicts:
+        # Memory column: the bench's latest recorded peak RSS, shown on
+        # its first row (benches predating the memory sentinel show -).
+        rss = latest.values.get("peak_rss_bytes")
+        rss_text = f"{rss / 1e6:.0f} MB" if rss else "-"
+        for i, v in enumerate(verdicts):
             median = f"{v.median:.4g}" if v.median is not None else "-"
             lines.append(
                 f"  {bench:<28} {v.key:<18} {v.current:>10.4g} {median:>10} "
-                f"{v.n_history:>3}  {v.status.upper()}"
+                f"{v.n_history:>3} {(rss_text if i == 0 else ''):>9}  "
+                f"{v.status.upper()}"
                 + (f" ({v.reason})" if v.status != "pass" else "")
             )
     worst = "pass"

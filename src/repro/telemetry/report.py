@@ -61,6 +61,10 @@ class RunReport:
     #: :class:`~repro.telemetry.health.HealthReport` payload); validated
     #: against the ``senkf-health/1`` schema when present.
     health: dict | None = None
+    #: optional resource-observatory slice (a ``senkf-profile/1``
+    #: payload from :func:`~repro.telemetry.memprof.build_profile_report`);
+    #: validated against that schema when present.
+    profile: dict | None = None
     schema: str = RUN_REPORT_SCHEMA
 
     def to_dict(self) -> dict:
@@ -86,6 +90,7 @@ class RunReport:
             attribution=payload.get("attribution"),
             supervision=payload.get("supervision"),
             health=payload.get("health"),
+            profile=payload.get("profile"),
         )
 
 
@@ -162,6 +167,14 @@ def validate_run_report(payload: dict) -> dict:
                 validate_health_report(health)
             except ValueError as exc:
                 errors.append(f"health: {exc}")
+        profile = payload.get("profile")
+        if profile is not None:
+            from repro.telemetry.memprof import validate_profile_report
+
+            try:
+                validate_profile_report(profile)
+            except ValueError as exc:
+                errors.append(f"profile: {exc}")
     if errors:
         raise ValueError("invalid run report: " + "; ".join(errors))
     return payload

@@ -149,6 +149,12 @@ class NullTracer:
     ) -> None:
         return None
 
+    def open_span(self, thread_id: int) -> None:
+        return None
+
+    def traced_thread_ids(self) -> set:
+        return set()
+
 
 NULL_TRACER = NullTracer()
 
@@ -172,6 +178,11 @@ class Tracer:
         self._clock = clock
         self._lock = threading.Lock()
         self._local = threading.local()
+        #: thread-id -> that thread's open-span stack (the same list object
+        #: ``_stack`` hands the owning thread).  Only the owning thread
+        #: mutates its list; other threads — the sampling profiler — may
+        #: *peek* at the top entry, which is safe under the GIL.
+        self._thread_stacks: dict[int, list[Span]] = {}
         self._next_id = 1
         self.metrics = metrics
         self.spans: list[Span] = []
@@ -192,6 +203,8 @@ class Tracer:
         stack = getattr(self._local, "stack", None)
         if stack is None:
             stack = self._local.stack = []
+            with self._lock:
+                self._thread_stacks[threading.get_ident()] = stack
         return stack
 
     def _track(self) -> str:
@@ -202,6 +215,28 @@ class Tracer:
         """Span id of the innermost open span on this thread, or None."""
         stack = self._stack()
         return stack[-1].span_id if stack else None
+
+    def open_span(self, thread_id: int) -> Span | None:
+        """The innermost *open* span of ``thread_id``, or None.
+
+        Cross-thread peek for the sampling profiler: the returned span is
+        still in flight (its ``end`` is unset), so callers must only read
+        its identity fields (name, category).  A momentary stale read
+        during a concurrent push/pop is acceptable — the profiler is
+        statistical.
+        """
+        stack = self._thread_stacks.get(thread_id)
+        if not stack:
+            return None
+        try:
+            return stack[-1]
+        except IndexError:  # popped between the check and the read
+            return None
+
+    def traced_thread_ids(self) -> set[int]:
+        """Ids of every thread that ever opened a span on this tracer."""
+        with self._lock:
+            return set(self._thread_stacks)
 
     # -- recording -----------------------------------------------------------
     def span(self, name: str, category: str = "default", **attrs) -> _ActiveSpan:

@@ -1,0 +1,41 @@
+"""Suite-wide fixtures: the shared-memory leak sentinel.
+
+Every ``SharedEnsemble`` registers its segment with the process-wide
+:class:`~repro.telemetry.memprof.SharedSegmentRegistry`; the autouse
+fixture below diffs that registry around every test and fails any test
+that leaves a senkf segment mapped.  ``__del__`` disposal is counted as
+*gc-reclaimed* (the segment outlived its run), which the sentinel
+tolerates but the registry reports — a test only fails when a segment
+is still live, i.e. neither ``dispose()`` nor the garbage collector
+ever released it.
+"""
+
+import gc
+
+import pytest
+
+from repro.telemetry.memprof import shared_segment_registry
+
+
+@pytest.fixture(autouse=True)
+def shm_leak_sentinel():
+    """Fail any test that leaves a live senkf shared-memory segment."""
+    registry = shared_segment_registry()
+    live_before = set(registry.live_segments())
+    yield
+    # Let dropped-on-the-floor ensembles run their finalizers first:
+    # __del__ disposal is legal (the registry books it as gc-reclaimed),
+    # a segment that survives collection is a leak.
+    gc.collect()
+    leaked = [
+        (seg, nbytes)
+        for seg, nbytes in registry.live_segments().items()
+        if seg not in live_before
+    ]
+    if leaked:
+        for seg, _ in leaked:
+            registry.record_dispose(seg)
+        detail = ", ".join(f"{seg} ({nbytes} B)" for seg, nbytes in leaked)
+        pytest.fail(
+            f"test leaked {len(leaked)} shared-memory segment(s): {detail}"
+        )

@@ -163,3 +163,18 @@ class TestSentinelReport:
         text, verdicts = sentinel_report(tmp_path / "none.jsonl")
         assert "no entries" in text
         assert verdicts == []
+
+    def test_memory_column_shows_latest_peak_rss(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        for _ in range(3):
+            append_history(
+                path, "mem",
+                {"wall_seconds": 1.0, "peak_rss_bytes": 128e6},
+            )
+        append_history(path, "old", {"wall_seconds": 1.0})
+        text, _ = sentinel_report(path)
+        assert "peak RSS" in text
+        assert "128 MB" in text
+        # A bench that never recorded memory renders the placeholder.
+        old_rows = [ln for ln in text.splitlines() if ln.lstrip().startswith("old")]
+        assert old_rows and " - " in old_rows[0] + " "

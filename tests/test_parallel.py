@@ -102,7 +102,11 @@ class TestGeometryCache:
         geo2, cached2 = cache.get(net, sd, radius_km=2.0)
         assert (cached1, cached2) == (False, True)
         assert geo1 is geo2
-        assert cache.stats == {"hits": 1, "misses": 1, "entries": 1}
+        stats = cache.stats
+        assert {k: stats[k] for k in ("hits", "misses", "entries")} == {
+            "hits": 1, "misses": 1, "entries": 1
+        }
+        assert stats["bytes"] == cache.nbytes() > 0
 
     def test_structurally_equal_piece_hits(self):
         # S-EnKF rebuilds equal layer SubDomains every call; the cache
